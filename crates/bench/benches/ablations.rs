@@ -1,0 +1,83 @@
+//! Ablation benchmarks for the design choices DESIGN.md §5 calls out:
+//! the cost of each on-device blend variant and each selection
+//! criterion inside a full simulation step, plus the quadratic
+//! theory-sim with and without the Theorem 1 learning-rate schedule.
+//! (Accuracy ablations live in the `ablation_report` binary; Criterion
+//! measures the runtime side.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use middle_core::quadratic_sim::{simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig};
+use middle_core::{Algorithm, OnDevicePolicy, SelectionPolicy, SimConfig, Simulation};
+use middle_data::Task;
+
+fn cfg_with(selection: SelectionPolicy, on_device: OnDevicePolicy) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(
+        Task::Mnist,
+        Algorithm::custom("ablation", selection, on_device),
+    );
+    cfg.num_edges = 3;
+    cfg.num_devices = 12;
+    cfg.devices_per_edge = 2;
+    cfg.samples_per_device = 16;
+    cfg.local_steps = 3;
+    cfg.batch_size = 8;
+    cfg.steps = 4;
+    cfg.test_samples = 60;
+    cfg.eval_interval = 4;
+    cfg
+}
+
+fn bench_alpha_variants(c: &mut Criterion) {
+    for (name, od) in [
+        ("ablate_alpha_sim_weighted", OnDevicePolicy::SimilarityWeighted),
+        ("ablate_alpha_fixed_05", OnDevicePolicy::FixedAlpha { alpha: 0.5 }),
+        ("ablate_alpha_unclipped", OnDevicePolicy::UnclippedSimilarity),
+    ] {
+        c.bench_function(name, |bch| {
+            bch.iter_batched(
+                || Simulation::new(cfg_with(SelectionPolicy::LeastSimilarUpdate, od)),
+                |mut sim| sim.run(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+fn bench_selection_variants(c: &mut Criterion) {
+    for (name, sel) in [
+        ("ablate_sel_least_similar", SelectionPolicy::LeastSimilarUpdate),
+        ("ablate_sel_most_similar", SelectionPolicy::MostSimilarUpdate),
+        ("ablate_sel_random", SelectionPolicy::Random),
+    ] {
+        c.bench_function(name, |bch| {
+            bch.iter_batched(
+                || Simulation::new(cfg_with(sel, OnDevicePolicy::SimilarityWeighted)),
+                |mut sim| sim.run(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+fn bench_quadratic_theory(c: &mut Criterion) {
+    let problem = two_cluster_problem(10, 2, 2.0);
+    for (name, theorem_lr) in [("quadratic_theorem_lr", true), ("quadratic_fixed_lr", false)] {
+        c.bench_function(name, |bch| {
+            bch.iter(|| {
+                let cfg = QuadraticHflConfig {
+                    steps: 100,
+                    theorem_lr,
+                    ..Default::default()
+                };
+                simulate_quadratic_hfl(&problem, &cfg)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_alpha_variants, bench_selection_variants, bench_quadratic_theory
+}
+criterion_main!(ablations);

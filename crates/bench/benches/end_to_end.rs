@@ -1,0 +1,56 @@
+//! End-to-end benchmarks: one full simulation time step and a short
+//! complete run per algorithm — the costs behind Figures 6–8.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use middle_core::{Algorithm, SimConfig, Simulation};
+use middle_data::Task;
+
+fn small_config(algorithm: Algorithm) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(Task::Mnist, algorithm);
+    cfg.num_edges = 3;
+    cfg.num_devices = 12;
+    cfg.devices_per_edge = 2;
+    cfg.samples_per_device = 16;
+    cfg.local_steps = 3;
+    cfg.batch_size = 8;
+    cfg.steps = 6;
+    cfg.test_samples = 60;
+    cfg.eval_interval = 6;
+    cfg
+}
+
+fn bench_single_step(c: &mut Criterion) {
+    c.bench_function("sim_single_step_middle", |bch| {
+        bch.iter_batched(
+            || Simulation::new(small_config(Algorithm::middle())),
+            |mut sim| sim.step(0),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_short_runs(c: &mut Criterion) {
+    for algorithm in [Algorithm::middle(), Algorithm::oort(), Algorithm::hierfavg()] {
+        let name = format!("sim_run6_{}", algorithm.name.to_ascii_lowercase());
+        c.bench_function(&name, |bch| {
+            bch.iter_batched(
+                || Simulation::new(small_config(algorithm.clone())),
+                |mut sim| sim.run(),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+fn bench_construction(c: &mut Criterion) {
+    c.bench_function("sim_construction", |bch| {
+        bch.iter(|| Simulation::new(small_config(Algorithm::middle())))
+    });
+}
+
+criterion_group! {
+    name = end_to_end;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_construction, bench_single_step, bench_short_runs
+}
+criterion_main!(end_to_end);

@@ -1,0 +1,95 @@
+//! Mesobenchmarks of the federated-learning components: similarity
+//! utility on real models, on-device aggregation, device selection,
+//! mobility-trace generation and Non-IID partitioning.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use middle_core::aggregation::on_device_init;
+use middle_core::selection::select_devices;
+use middle_core::{model_similarity_utility, OnDevicePolicy, SelectionPolicy};
+use middle_data::partition::{partition, Scheme};
+use middle_data::synthetic::{SyntheticSource, Task};
+use middle_mobility::generate_markov_hop;
+use middle_nn::params::flatten;
+use middle_nn::zoo;
+use middle_tensor::random::rng;
+
+fn bench_similarity(c: &mut Criterion) {
+    let spec = Task::Mnist.spec();
+    let a = zoo::cnn2(&spec, &mut rng(1));
+    let b = zoo::cnn2(&spec, &mut rng(2));
+    c.bench_function("model_similarity_cnn2", |bch| {
+        bch.iter(|| model_similarity_utility(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_on_device(c: &mut Criterion) {
+    let spec = Task::Mnist.spec();
+    let edge = zoo::cnn2(&spec, &mut rng(3));
+    let local = zoo::cnn2(&spec, &mut rng(4));
+    for (name, policy) in [
+        ("ondevice_similarity_weighted", OnDevicePolicy::SimilarityWeighted),
+        ("ondevice_average", OnDevicePolicy::Average),
+        ("ondevice_edge_model", OnDevicePolicy::EdgeModel),
+    ] {
+        c.bench_function(name, |bch| {
+            bch.iter(|| on_device_init(black_box(policy), &edge, &local))
+        });
+    }
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let src = SyntheticSource::new(Task::Mnist, 5);
+    let spec = Task::Mnist.spec();
+    let devices: Vec<middle_core::Device> = (0..20)
+        .map(|id| {
+            middle_core::Device::new(
+                id,
+                src.generate_balanced(10, id as u64),
+                zoo::logistic(&spec, &mut rng(id as u64)),
+                900 + id as u64,
+            )
+        })
+        .collect();
+    let cloud = flatten(&devices[0].model);
+    let candidates: Vec<usize> = (0..20).collect();
+    for (name, policy) in [
+        ("select_least_similar_k5_of20", SelectionPolicy::LeastSimilarUpdate),
+        ("select_oort_k5_of20", SelectionPolicy::OortUtility),
+        ("select_random_k5_of20", SelectionPolicy::Random),
+    ] {
+        c.bench_function(name, |bch| {
+            let mut r = rng(7);
+            bch.iter(|| {
+                select_devices(black_box(policy), 5, &candidates, &devices, &cloud, &mut r)
+            })
+        });
+    }
+}
+
+fn bench_trace(c: &mut Criterion) {
+    c.bench_function("markov_trace_10e_100d_100t", |bch| {
+        bch.iter(|| generate_markov_hop(10, 100, 100, 0.5, black_box(42)))
+    });
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let base = SyntheticSource::new(Task::Mnist, 6).generate_balanced(1000, 1);
+    c.bench_function("partition_major_100d_40s", |bch| {
+        bch.iter(|| {
+            partition(
+                black_box(&base),
+                100,
+                40,
+                Scheme::MajorClass { major_frac: 0.8 },
+                9,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = fl_components;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_similarity, bench_on_device, bench_selection, bench_trace, bench_partition
+}
+criterion_main!(fl_components);

@@ -1,0 +1,71 @@
+//! Microbenchmarks of the numeric kernels everything else sits on.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use middle_nn::loss::softmax_cross_entropy;
+use middle_tensor::conv::{conv2d_forward, ConvGeometry};
+use middle_tensor::matmul::matmul;
+use middle_tensor::ops::{cosine_similarity_slices, weighted_mean};
+use middle_tensor::random::{rng, uniform};
+use middle_tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut r = rng(1);
+    let a = uniform([64, 64], -1.0, 1.0, &mut r);
+    let b = uniform([64, 64], -1.0, 1.0, &mut r);
+    c.bench_function("matmul_64x64x64", |bch| {
+        bch.iter(|| matmul(black_box(&a), black_box(&b)))
+    });
+    let a2 = uniform([128, 256], -1.0, 1.0, &mut r);
+    let b2 = uniform([256, 64], -1.0, 1.0, &mut r);
+    c.bench_function("matmul_128x256x64", |bch| {
+        bch.iter(|| matmul(black_box(&a2), black_box(&b2)))
+    });
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let g = ConvGeometry {
+        in_c: 1, out_c: 8, kernel: 3, stride: 1, pad: 1, in_h: 16, in_w: 16,
+    };
+    let mut r = rng(2);
+    let x = uniform([8, 1, 16, 16], -1.0, 1.0, &mut r);
+    let w = uniform([8, 9], -1.0, 1.0, &mut r);
+    let b = Tensor::zeros([8]);
+    c.bench_function("conv2d_fwd_b8_16x16_c1to8", |bch| {
+        bch.iter(|| conv2d_forward(black_box(&x), &w, &b, &g))
+    });
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let mut r = rng(3);
+    let a = uniform([20_000], -1.0, 1.0, &mut r).into_vec();
+    let b = uniform([20_000], -1.0, 1.0, &mut r).into_vec();
+    c.bench_function("cosine_similarity_20k", |bch| {
+        bch.iter(|| cosine_similarity_slices(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_weighted_mean(c: &mut Criterion) {
+    let mut r = rng(4);
+    let tensors: Vec<Tensor> = (0..5).map(|_| uniform([20_000], -1.0, 1.0, &mut r)).collect();
+    let refs: Vec<&Tensor> = tensors.iter().collect();
+    let weights = [1.0f32, 2.0, 3.0, 4.0, 5.0];
+    c.bench_function("weighted_mean_5x20k", |bch| {
+        bch.iter(|| weighted_mean(black_box(&refs), black_box(&weights)))
+    });
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let mut r = rng(5);
+    let logits = uniform([32, 10], -2.0, 2.0, &mut r);
+    let labels: Vec<usize> = (0..32).map(|i| i % 10).collect();
+    c.bench_function("softmax_xent_b32_c10", |bch| {
+        bch.iter(|| softmax_cross_entropy(black_box(&logits), black_box(&labels)))
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_matmul, bench_conv, bench_cosine, bench_weighted_mean, bench_loss
+}
+criterion_main!(kernels);

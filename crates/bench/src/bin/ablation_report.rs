@@ -1,0 +1,72 @@
+//! Accuracy ablations for the design choices in DESIGN.md §5:
+//!
+//! * on-device blend: similarity-weighted (Eq. 9) vs fixed α vs
+//!   unclipped cosine vs plain average vs none;
+//! * selection: `−U` (MIDDLE) vs `+U` vs random vs Oort utility;
+//! * cloud weighting: participating-sample `d̂` vs uniform (reported via
+//!   the empty-window fallback path).
+//!
+//! ```sh
+//! cargo run -p middle-bench --release --bin ablation_report
+//! ```
+
+use middle_bench::{fig_config, run_logged, write_csv};
+use middle_core::{Algorithm, OnDevicePolicy, SelectionPolicy};
+use middle_data::Task;
+
+fn main() {
+    let task = Task::Mnist;
+
+    println!("=== Ablation A — on-device aggregation policy (selection fixed to MIDDLE's) ===\n");
+    let mut csv = String::from("ablation,variant,final_accuracy,tail_accuracy\n");
+    let on_device_variants: Vec<(&str, OnDevicePolicy)> = vec![
+        ("similarity (Eq.9)", OnDevicePolicy::SimilarityWeighted),
+        ("fixed a=0.25", OnDevicePolicy::FixedAlpha { alpha: 0.25 }),
+        ("fixed a=0.50", OnDevicePolicy::FixedAlpha { alpha: 0.5 }),
+        ("fixed a=0.75", OnDevicePolicy::FixedAlpha { alpha: 0.75 }),
+        ("unclipped cos", OnDevicePolicy::UnclippedSimilarity),
+        ("plain average", OnDevicePolicy::Average),
+        ("none (edge model)", OnDevicePolicy::EdgeModel),
+        ("keep local", OnDevicePolicy::KeepLocal),
+    ];
+    for (name, od) in on_device_variants {
+        let mut cfg = fig_config(
+            task,
+            Algorithm::custom(name, SelectionPolicy::LeastSimilarUpdate, od),
+        );
+        cfg.steps = (cfg.steps * 2) / 3;
+        let r = run_logged(cfg);
+        println!("  {name:<18} final {:.3}  tail {:.3}", r.final_accuracy(), r.tail_accuracy(4));
+        csv.push_str(&format!(
+            "on_device,{name},{:.4},{:.4}\n",
+            r.final_accuracy(),
+            r.tail_accuracy(4)
+        ));
+    }
+
+    println!("\n=== Ablation B — selection policy (on-device fixed to Eq. 9) ===\n");
+    let selection_variants: Vec<(&str, SelectionPolicy)> = vec![
+        ("-U (MIDDLE)", SelectionPolicy::LeastSimilarUpdate),
+        ("+U (mirror)", SelectionPolicy::MostSimilarUpdate),
+        ("random", SelectionPolicy::Random),
+        ("oort utility", SelectionPolicy::OortUtility),
+    ];
+    for (name, sel) in selection_variants {
+        let mut cfg = fig_config(
+            task,
+            Algorithm::custom(name, sel, OnDevicePolicy::SimilarityWeighted),
+        );
+        cfg.steps = (cfg.steps * 2) / 3;
+        let r = run_logged(cfg);
+        println!("  {name:<18} final {:.3}  tail {:.3}", r.final_accuracy(), r.tail_accuracy(4));
+        csv.push_str(&format!(
+            "selection,{name},{:.4},{:.4}\n",
+            r.final_accuracy(),
+            r.tail_accuracy(4)
+        ));
+    }
+
+    write_csv("ablation_report", &csv);
+    println!("\nexpected: Eq. 9's adaptive blend ≥ fixed α; clipping ≥ unclipped;");
+    println!("-U selection ≥ +U (which over-samples already-learned data).");
+}

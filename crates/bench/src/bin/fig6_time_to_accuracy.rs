@@ -1,0 +1,119 @@
+//! Figure 6 + the §6.2.1 speedup table: time-to-accuracy of MIDDLE
+//! against OORT, FedMes, Greedy and Ensemble on all four tasks.
+//!
+//! ```sh
+//! cargo run -p middle-bench --release --bin fig6_time_to_accuracy
+//! # quick smoke run:
+//! MIDDLE_SCALE=0.1 cargo run -p middle-bench --release --bin fig6_time_to_accuracy
+//! # single task:
+//! cargo run -p middle-bench --release --bin fig6_time_to_accuracy mnist
+//! ```
+
+use middle_bench::{curves_to_csv, fig_config, print_curves, run_logged, scaled_target, write_csv};
+use middle_core::{speedup, Algorithm, RunRecord};
+use middle_data::Task;
+
+/// Averages per-seed records pointwise into one record (same eval grid).
+fn average_records(records: Vec<RunRecord>) -> RunRecord {
+    let mut out = records[0].clone();
+    let n = records.len() as f32;
+    for (i, p) in out.points.iter_mut().enumerate() {
+        p.global_accuracy = records.iter().map(|r| r.points[i].global_accuracy).sum::<f32>() / n;
+        p.global_loss = records.iter().map(|r| r.points[i].global_loss).sum::<f32>() / n;
+    }
+    out.wall_seconds = records.iter().map(|r| r.wall_seconds).sum();
+    out
+}
+
+/// Seeds per cell: `MIDDLE_SEEDS` (default 2; cifar10 runs once —
+/// its runs are ~3x the cost of the others).
+fn seeds_for(task: Task) -> u64 {
+    let base = std::env::var("MIDDLE_SEEDS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(2);
+    if task == Task::Cifar10 {
+        1
+    } else {
+        base
+    }
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let tasks: Vec<Task> = match arg.as_deref() {
+        Some(name) => vec![Task::parse(name).unwrap_or_else(|| panic!("unknown task {name}"))],
+        None => Task::ALL.to_vec(),
+    };
+
+    let mut speedup_rows = Vec::new();
+    for task in tasks {
+        let mut curves = Vec::new();
+        let mut records: Vec<RunRecord> = Vec::new();
+        for algorithm in Algorithm::figure6() {
+            let per_seed: Vec<RunRecord> = (0..seeds_for(task))
+                .map(|s| {
+                    let mut cfg = fig_config(task, algorithm.clone());
+                    cfg.seed = 2023 + 31 * s;
+                    run_logged(cfg)
+                })
+                .collect();
+            let record = average_records(per_seed);
+            curves.push((record.algorithm.clone(), record.curve()));
+            records.push(record);
+        }
+        let title = format!("Figure 6 ({}) — global accuracy vs time steps", task.name());
+        print_curves(&title, &curves);
+        write_csv(&format!("fig6_{}", task.name()), &curves_to_csv(&curves));
+
+        // §6.2.1 speedup table: MIDDLE vs each baseline at the harness's
+        // scaled target (paper targets in parentheses; see EXPERIMENTS.md).
+        let target = scaled_target(task);
+        println!(
+            "\n(paper target {:.2}; harness scaled target {target:.2})",
+            task.target_accuracy()
+        );
+        let middle = &records[0];
+        println!("\nspeedup to target {target:.2} ({}):", task.name());
+        match middle.time_to_accuracy(target) {
+            None => println!(
+                "  MIDDLE did not reach the target in {} steps (best {:.3})",
+                middle.points.last().map_or(0, |p| p.step),
+                middle.best_accuracy()
+            ),
+            Some(tm) => {
+                println!("  MIDDLE reached it at step {tm}");
+                for baseline in &records[1..] {
+                    let line = match (
+                        speedup(middle, baseline, target),
+                        baseline.time_to_accuracy(target),
+                    ) {
+                        (Some(s), Some(tb)) => {
+                            format!("vs {:<9} {s:>5.2}x (baseline step {tb})", baseline.algorithm)
+                        }
+                        (Some(s), None) => format!(
+                            "vs {:<9} ≥{s:>4.2}x (baseline never reached target)",
+                            baseline.algorithm
+                        ),
+                        _ => format!("vs {:<9} n/a", baseline.algorithm),
+                    };
+                    println!("  {line}");
+                    speedup_rows.push(format!(
+                        "{},{},{}",
+                        task.name(),
+                        baseline.algorithm,
+                        speedup(middle, baseline, target)
+                            .map_or("n/a".to_string(), |s| format!("{s:.3}"))
+                    ));
+                }
+            }
+        }
+    }
+    if !speedup_rows.is_empty() {
+        let csv = format!("task,baseline,speedup\n{}\n", speedup_rows.join("\n"));
+        write_csv("fig6_speedups", &csv);
+    }
+    println!("\npaper shape check: MIDDLE should reach each target first;");
+    println!("the paper reports 1.51x-6.85x speedups over these baselines.");
+}

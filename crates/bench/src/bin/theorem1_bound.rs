@@ -1,0 +1,108 @@
+//! Theorem 1 / Remark 1 validation: the analytic convergence bound and
+//! the measured optimality gap on the strongly-convex quadratic
+//! test-bed, both as functions of the global mobility P.
+//!
+//! ```sh
+//! cargo run -p middle-bench --release --bin theorem1_bound
+//! ```
+
+use middle_bench::write_csv;
+use middle_core::quadratic_sim::{
+    simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig,
+};
+use middle_core::theory::BoundParams;
+
+fn main() {
+    let problem = two_cluster_problem(20, 2, 3.0);
+    let base = QuadraticHflConfig {
+        edges: 4,
+        steps: 200,
+        local_steps: 5,
+        cloud_interval: 20,
+        alpha: 0.5,
+        p: 0.5,
+        noise_std: 0.1,
+        theorem_lr: true,
+        seed: 42,
+        homed: false,
+        download_each_step: true,
+    };
+    let bound = BoundParams {
+        beta: problem.beta(),
+        mu: problem.mu(),
+        b: base.noise_std * base.noise_std,
+        g2: 25.0,
+        local_steps: base.local_steps,
+        alpha: base.alpha,
+        p: base.p as f32,
+        initial_gap: 20.0,
+    };
+    bound.validate().expect("valid Theorem 1 parameters");
+
+    println!("=== Theorem 1 — analytic bound vs measured gap over time (P = 0.5) ===\n");
+    let res = simulate_quadratic_hfl(&problem, &base);
+    println!("{:>6} {:>14} {:>14}", "step", "measured gap", "analytic bound");
+    let mut csv_t = String::from("step,measured_gap,bound\n");
+    for (t, &gap) in res.gap_trajectory.iter().enumerate() {
+        if t % 20 == 0 || t + 1 == res.gap_trajectory.len() {
+            println!("{t:>6} {gap:>14.4} {:>14.4}", bound.bound(t));
+        }
+        csv_t.push_str(&format!("{t},{gap:.6},{:.6}\n", bound.bound(t)));
+    }
+    write_csv("theorem1_trajectory", &csv_t);
+
+    println!("\n=== Remark 1 — mobility's effect under the Theorem 1 dynamics ===");
+    println!("(devices keep local models between cloud syncs; on-device blending on");
+    println!("movement is the only cross-device homogenization — §5's setting)\n");
+    println!(
+        "{:>6} {:>18} {:>14} {:>16} {:>14}",
+        "P", "start divergence", "measured gap", "mobility term", "d(bound)/dP"
+    );
+    let mut csv_p =
+        String::from("p,start_divergence,measured_gap,mobility_term,derivative\n");
+    for p in [0.05f64, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
+        // Average over seeds so the trend is visible through SGD noise.
+        let (mut divergence, mut gap) = (0.0f32, 0.0f32);
+        const SEEDS: u64 = 8;
+        for s in 0..SEEDS {
+            let cfg = QuadraticHflConfig {
+                p,
+                seed: 1000 + s,
+                steps: 150,
+                cloud_interval: 30,
+                theorem_lr: false,
+                download_each_step: false,
+                homed: true,
+                ..base
+            };
+            let r = simulate_quadratic_hfl(&problem, &cfg);
+            let warm = 20usize;
+            divergence += r.start_dispersion[warm..].iter().sum::<f32>()
+                / (r.start_dispersion.len() - warm) as f32;
+            gap += r.gap_trajectory[warm..].iter().sum::<f32>()
+                / (r.gap_trajectory.len() - warm) as f32;
+        }
+        divergence /= SEEDS as f32;
+        gap /= SEEDS as f32;
+        let mut b = bound;
+        b.p = p as f32;
+        println!(
+            "{p:>6.2} {divergence:>18.4} {gap:>14.4} {:>16.4} {:>14.2}",
+            b.mobility_term(),
+            b.mobility_derivative()
+        );
+        csv_p.push_str(&format!(
+            "{p},{divergence:.6},{gap:.6},{:.6},{:.6}\n",
+            b.mobility_term(),
+            b.mobility_derivative()
+        ));
+    }
+    write_csv("theorem1_mobility", &csv_p);
+
+    println!("\npaper shape check: the measured start-point divergence (the proof's");
+    println!("unique Eq. 19 term) and the analytic mobility term both fall");
+    println!("monotonically in P, with negative derivative everywhere on (0, 1] —");
+    println!("Remark 1. (The end-of-run gap itself is flat/noisy; the paper itself");
+    println!("observes that 'the experimental results do not follow our theoretical");
+    println!("analysis' for final accuracy under most baselines.)");
+}

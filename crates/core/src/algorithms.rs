@@ -1,0 +1,177 @@
+//! Training algorithms: MIDDLE and the paper's four baselines (§6.1.3),
+//! decomposed into an in-edge device-selection policy and an on-device
+//! aggregation policy.
+//!
+//! | Algorithm | Selection | On-device aggregation |
+//! |---|---|---|
+//! | MIDDLE | top-K of `−U(w_c, Δw_m)` (Eq. 12) | similarity-weighted (Eq. 9) |
+//! | OORT | top-K Oort statistical utility | none (download edge model) |
+//! | FedMes | random | plain average of edge + local |
+//! | Greedy | top-K Oort statistical utility | keep previous local model |
+//! | Ensemble | top-K Oort statistical utility | plain average |
+//! | HierFAVG ("General") | random | none |
+
+use serde::{Deserialize, Serialize};
+
+/// In-edge device selection policy (paper §4.3 and baselines).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SelectionPolicy {
+    /// Uniform random choice of `K` candidates.
+    Random,
+    /// MIDDLE (Eq. 12): select the `K` devices whose accumulated update
+    /// `Δw_m = w_m − w_c` is *least* similar to the cloud model —
+    /// `TOPK(−U(w_c, Δw_m))` — so under-represented data is preferred.
+    LeastSimilarUpdate,
+    /// Ablation: the sign-flipped variant `TOPK(+U(w_c, Δw_m))`.
+    MostSimilarUpdate,
+    /// Oort's statistical utility `|B_m| · sqrt(mean(loss²))` from each
+    /// device's most recent participation; devices with no history get
+    /// infinite utility (Oort's exploration of fresh clients).
+    OortUtility,
+}
+
+/// On-device model aggregation policy (paper §4.2 and baselines),
+/// applied only to devices that moved across edges since the previous
+/// step (Algorithm 1, line 4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OnDevicePolicy {
+    /// Classical HFL: start local training from the downloaded edge
+    /// model.
+    EdgeModel,
+    /// MIDDLE (Eq. 9): blend edge and carried local model with the
+    /// similarity-utility weights `1/(1+U)` and `U/(1+U)`.
+    SimilarityWeighted,
+    /// Ablation of Eq. 9 without the `max(·, 0)` clipping: raw cosine is
+    /// clamped into `[0, 1]` only after the weight computation would
+    /// allow negative blending, i.e. weights use `(1+c)/2`-style signed
+    /// similarity. Kept to measure the value of clipping.
+    UnclippedSimilarity,
+    /// FedMes / Ensemble: plain average of edge and local model.
+    Average,
+    /// Greedy: keep the carried local model, ignore the edge model.
+    KeepLocal,
+    /// Theory (§5): fixed blend `ŵ = (1−α)·w_m + α·w_n`.
+    FixedAlpha {
+        /// Weight on the *edge* model.
+        alpha: f32,
+    },
+}
+
+/// A complete algorithm = selection policy + on-device policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Algorithm {
+    /// Display name (baseline names follow the paper).
+    pub name: String,
+    /// In-edge device selection.
+    pub selection: SelectionPolicy,
+    /// On-device aggregation for moved devices.
+    pub on_device: OnDevicePolicy,
+}
+
+impl Algorithm {
+    /// Builds a custom algorithm from its two components.
+    pub fn custom(name: impl Into<String>, selection: SelectionPolicy, on_device: OnDevicePolicy) -> Algorithm {
+        Algorithm { name: name.into(), selection, on_device }
+    }
+
+    /// MIDDLE (the paper's contribution).
+    pub fn middle() -> Algorithm {
+        Algorithm::custom(
+            "MIDDLE",
+            SelectionPolicy::LeastSimilarUpdate,
+            OnDevicePolicy::SimilarityWeighted,
+        )
+    }
+
+    /// OORT baseline [Lai et al., OSDI'21] adapted per §6.1.3.
+    pub fn oort() -> Algorithm {
+        Algorithm::custom("OORT", SelectionPolicy::OortUtility, OnDevicePolicy::EdgeModel)
+    }
+
+    /// FedMes baseline [Han et al., JSAC'21] adapted per §6.1.3.
+    pub fn fedmes() -> Algorithm {
+        Algorithm::custom("FedMes", SelectionPolicy::Random, OnDevicePolicy::Average)
+    }
+
+    /// Greedy baseline (§6.1.3): keep the carried model, Oort selection.
+    pub fn greedy() -> Algorithm {
+        Algorithm::custom("Greedy", SelectionPolicy::OortUtility, OnDevicePolicy::KeepLocal)
+    }
+
+    /// Ensemble baseline (§6.1.3): OORT selection + FedMes aggregation.
+    pub fn ensemble() -> Algorithm {
+        Algorithm::custom("Ensemble", SelectionPolicy::OortUtility, OnDevicePolicy::Average)
+    }
+
+    /// Classical hierarchical FedAvg ("General" in §2) — random
+    /// selection, no on-device aggregation.
+    pub fn hierfavg() -> Algorithm {
+        Algorithm::custom("HierFAVG", SelectionPolicy::Random, OnDevicePolicy::EdgeModel)
+    }
+
+    /// The five algorithms plotted in Figures 6–7, in the paper's order.
+    pub fn figure6() -> [Algorithm; 5] {
+        [
+            Algorithm::middle(),
+            Algorithm::oort(),
+            Algorithm::fedmes(),
+            Algorithm::greedy(),
+            Algorithm::ensemble(),
+        ]
+    }
+
+    /// Looks an algorithm up by its display name (case-insensitive).
+    pub fn by_name(name: &str) -> Option<Algorithm> {
+        let lower = name.to_ascii_lowercase();
+        [
+            Algorithm::middle(),
+            Algorithm::oort(),
+            Algorithm::fedmes(),
+            Algorithm::greedy(),
+            Algorithm::ensemble(),
+            Algorithm::hierfavg(),
+        ]
+        .into_iter()
+        .find(|a| a.name.to_ascii_lowercase() == lower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn middle_components_match_paper() {
+        let m = Algorithm::middle();
+        assert_eq!(m.selection, SelectionPolicy::LeastSimilarUpdate);
+        assert_eq!(m.on_device, OnDevicePolicy::SimilarityWeighted);
+    }
+
+    #[test]
+    fn baselines_match_section_6_1_3() {
+        assert_eq!(Algorithm::oort().on_device, OnDevicePolicy::EdgeModel);
+        assert_eq!(Algorithm::fedmes().selection, SelectionPolicy::Random);
+        assert_eq!(Algorithm::fedmes().on_device, OnDevicePolicy::Average);
+        assert_eq!(Algorithm::greedy().on_device, OnDevicePolicy::KeepLocal);
+        assert_eq!(Algorithm::greedy().selection, SelectionPolicy::OortUtility);
+        assert_eq!(Algorithm::ensemble().selection, SelectionPolicy::OortUtility);
+        assert_eq!(Algorithm::ensemble().on_device, OnDevicePolicy::Average);
+    }
+
+    #[test]
+    fn by_name_is_case_insensitive() {
+        assert_eq!(Algorithm::by_name("middle"), Some(Algorithm::middle()));
+        assert_eq!(Algorithm::by_name("FEDMES"), Some(Algorithm::fedmes()));
+        assert_eq!(Algorithm::by_name("nope"), None);
+    }
+
+    #[test]
+    fn figure6_has_five_distinct_algorithms() {
+        let algos = Algorithm::figure6();
+        let names: Vec<&str> = algos.iter().map(|a| a.name.as_str()).collect();
+        let mut dedup = names.clone();
+        dedup.dedup();
+        assert_eq!(names.len(), 5);
+        assert_eq!(dedup.len(), 5);
+    }
+}

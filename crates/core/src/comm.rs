@@ -1,0 +1,126 @@
+//! Communication-cost accounting.
+//!
+//! The paper motivates hierarchical FL by communication efficiency in
+//! wireless networks (§1, §7): edges aggregate locally over cheap
+//! device-edge links and talk to the cloud over the expensive WAN only
+//! every `T_c` steps. This module counts every model transmission the
+//! simulation performs, so algorithms can be compared on bytes moved and
+//! on a simple wall-clock model, not only on time steps.
+
+use serde::{Deserialize, Serialize};
+
+/// Transmission counters for one simulation run, in *model units*
+/// (one unit = one full parameter vector). Multiply by
+/// `4 × param_count` for bytes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Edge → device model downloads (one per selected device per step).
+    pub edge_to_device: u64,
+    /// Device → edge model uploads (one per participating device).
+    pub device_to_edge: u64,
+    /// Edge → cloud uploads (one per edge per sync).
+    pub edge_to_cloud: u64,
+    /// Cloud → edge broadcasts (one per edge per sync).
+    pub cloud_to_edge: u64,
+    /// Cloud → device broadcasts (one per device per sync).
+    pub cloud_to_device: u64,
+}
+
+impl CommStats {
+    /// Total transmissions over device-edge wireless links.
+    pub fn wireless_total(&self) -> u64 {
+        self.edge_to_device + self.device_to_edge + self.cloud_to_device
+    }
+
+    /// Total transmissions over the edge-cloud WAN.
+    pub fn wan_total(&self) -> u64 {
+        self.edge_to_cloud + self.cloud_to_edge
+    }
+
+    /// Total transmissions.
+    pub fn total(&self) -> u64 {
+        self.wireless_total() + self.wan_total()
+    }
+
+    /// Total bytes for a model with `param_count` f32 parameters.
+    pub fn total_bytes(&self, param_count: usize) -> u64 {
+        self.total() * 4 * param_count as u64
+    }
+
+    /// Simulated communication wall-clock under a two-tier link model.
+    ///
+    /// `wireless_s` / `wan_s` are the seconds one model transfer takes on
+    /// each tier; transfers within a tier and step are assumed parallel
+    /// across devices/edges, so the cost counts *rounds*, approximated by
+    /// `steps` wireless rounds plus `syncs` WAN round-trips.
+    pub fn wall_clock(&self, steps: u64, syncs: u64, wireless_s: f64, wan_s: f64) -> f64 {
+        // Each time step: download + upload (2 wireless rounds).
+        // Each sync: edge→cloud + cloud→edge (2 WAN rounds) + broadcast
+        // to devices (1 wireless round).
+        let wireless_rounds = 2 * steps + syncs;
+        let wan_rounds = 2 * syncs;
+        wireless_rounds as f64 * wireless_s + wan_rounds as f64 * wan_s
+    }
+
+    /// Adds another counter set into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.edge_to_device += other.edge_to_device;
+        self.device_to_edge += other.device_to_edge;
+        self.edge_to_cloud += other.edge_to_cloud;
+        self.cloud_to_edge += other.cloud_to_edge;
+        self.cloud_to_device += other.cloud_to_device;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> CommStats {
+        CommStats {
+            edge_to_device: 10,
+            device_to_edge: 10,
+            edge_to_cloud: 2,
+            cloud_to_edge: 2,
+            cloud_to_device: 8,
+        }
+    }
+
+    #[test]
+    fn totals_partition_by_tier() {
+        let s = stats();
+        assert_eq!(s.wireless_total(), 28);
+        assert_eq!(s.wan_total(), 4);
+        assert_eq!(s.total(), 32);
+    }
+
+    #[test]
+    fn bytes_scale_with_model_size() {
+        let s = stats();
+        assert_eq!(s.total_bytes(1000), 32 * 4000);
+        assert_eq!(s.total_bytes(0), 0);
+    }
+
+    #[test]
+    fn wall_clock_charges_wan_per_sync() {
+        let s = stats();
+        // 10 steps, 1 sync, 1 s wireless, 10 s WAN:
+        // wireless rounds = 21, wan rounds = 2 → 21 + 20 = 41 s.
+        assert!((s.wall_clock(10, 1, 1.0, 10.0) - 41.0).abs() < 1e-9);
+        // No syncs: WAN free.
+        assert!((s.wall_clock(10, 0, 1.0, 10.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = stats();
+        a.merge(&stats());
+        assert_eq!(a.total(), 64);
+        assert_eq!(a.edge_to_cloud, 4);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CommStats::default().total(), 0);
+    }
+}

@@ -1,0 +1,268 @@
+//! Experiment configuration.
+
+use crate::algorithms::Algorithm;
+use middle_data::{Scheme, Task};
+use middle_nn::OptimizerKind;
+use serde::{Deserialize, Serialize};
+
+/// How the mobility trace is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MobilitySource {
+    /// Markov edge-hop with the given global mobility probability `P`
+    /// (the paper's controlled knob; §6.1.2 default `P = 0.5`).
+    MarkovHop {
+        /// Global mobility probability.
+        p: f64,
+    },
+    /// Home-biased Markov edge-hop: devices start at a home edge chosen
+    /// by their major class and preferentially return to it, so edge
+    /// data distributions stay persistently Non-IID — the paper's
+    /// "data samples of devices are Non-IID across edges" (§3.2) under
+    /// ONE-simulator-like spatial locality.
+    HomedMarkovHop {
+        /// Global mobility probability.
+        p: f64,
+        /// Probability that a relocation from away returns home.
+        home_bias: f64,
+    },
+    /// Geometric random-waypoint over a grid service area, speeds in
+    /// metres per time step.
+    RandomWaypoint {
+        /// Minimum speed.
+        min_speed: f64,
+        /// Maximum speed.
+        max_speed: f64,
+    },
+    /// Geometric random walk.
+    RandomWalk {
+        /// Maximum speed.
+        max_speed: f64,
+    },
+    /// No movement at all (P = 0).
+    Stationary,
+}
+
+fn default_availability() -> f64 {
+    1.0
+}
+
+/// Full configuration of one hierarchical-FL simulation run.
+///
+/// Paper defaults (§6.1.2): 10 edges, 100 devices, K = 5 selected per
+/// edge, I = 10 local steps, T_c = 10, P = 0.5, device data with a >80%
+/// major class, SGD+momentum(0.9) at lr 0.01 (Adam at 0.001 for speech).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Learning task (dataset + model family).
+    pub task: Task,
+    /// The training algorithm under test.
+    pub algorithm: Algorithm,
+    /// Number of edge servers.
+    pub num_edges: usize,
+    /// Number of mobile devices.
+    pub num_devices: usize,
+    /// Training samples held by each device.
+    pub samples_per_device: usize,
+    /// Label-skew scheme for device data.
+    pub scheme: Scheme,
+    /// Devices selected per edge per time step (`K`).
+    pub devices_per_edge: usize,
+    /// Local SGD steps per participation (`I`).
+    pub local_steps: usize,
+    /// Mini-batch size for local steps.
+    pub batch_size: usize,
+    /// Cloud synchronisation interval in time steps (`T_c`).
+    pub cloud_interval: usize,
+    /// Total time steps to simulate (`T`).
+    pub steps: usize,
+    /// Device mobility.
+    pub mobility: MobilitySource,
+    /// Local optimizer.
+    pub optimizer: OptimizerKind,
+    /// Held-out test-set size for accuracy curves.
+    pub test_samples: usize,
+    /// Evaluate the (virtual) global model every this many steps.
+    pub eval_interval: usize,
+    /// Also evaluate every edge model at each evaluation (Figures 1–2).
+    #[serde(default)]
+    pub eval_edges: bool,
+    /// Also record per-class accuracies at each evaluation (Figures 1–2).
+    #[serde(default)]
+    pub eval_per_class: bool,
+    /// Per-step probability that a device is reachable (straggler /
+    /// dropout injection). 1.0 = always available.
+    #[serde(default = "default_availability")]
+    pub availability: f64,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's §6.1.2 configuration for `task`, scaled down
+    /// (fewer devices/steps; see DESIGN.md §7) so the full figure suite
+    /// regenerates on a laptop.
+    pub fn paper_default(task: Task, algorithm: Algorithm) -> Self {
+        let optimizer = match task {
+            Task::Speech => OptimizerKind::Adam { lr: 0.001 },
+            _ => OptimizerKind::Momentum { lr: 0.01, momentum: 0.9 },
+        };
+        SimConfig {
+            task,
+            algorithm,
+            num_edges: 10,
+            num_devices: 100,
+            samples_per_device: 40,
+            scheme: Scheme::MajorClass { major_frac: 0.8 },
+            devices_per_edge: 5,
+            local_steps: 10,
+            batch_size: 16,
+            cloud_interval: 10,
+            steps: 120,
+            mobility: MobilitySource::HomedMarkovHop { p: 0.5, home_bias: 0.6 },
+            optimizer,
+            test_samples: 400,
+            eval_interval: 2,
+            eval_edges: false,
+            eval_per_class: false,
+            availability: 1.0,
+            seed: 2023,
+        }
+    }
+
+    /// A tiny configuration for unit/integration tests: 2 edges, 8
+    /// devices, a handful of steps.
+    pub fn tiny(task: Task, algorithm: Algorithm) -> Self {
+        SimConfig {
+            task,
+            algorithm,
+            num_edges: 2,
+            num_devices: 8,
+            samples_per_device: 12,
+            scheme: Scheme::MajorClass { major_frac: 0.8 },
+            devices_per_edge: 2,
+            local_steps: 2,
+            batch_size: 6,
+            cloud_interval: 4,
+            steps: 8,
+            mobility: MobilitySource::MarkovHop { p: 0.5 },
+            optimizer: OptimizerKind::Sgd { lr: 0.05 },
+            test_samples: 60,
+            eval_interval: 2,
+            eval_edges: false,
+            eval_per_class: false,
+            availability: 1.0,
+            seed: 7,
+        }
+    }
+
+    /// Validates internal consistency; call before running.
+    ///
+    /// # Errors
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_edges == 0 {
+            return Err("num_edges must be positive".into());
+        }
+        if self.num_devices < self.num_edges {
+            return Err("need at least one device per edge".into());
+        }
+        if self.devices_per_edge == 0 {
+            return Err("devices_per_edge (K) must be positive".into());
+        }
+        if self.samples_per_device == 0 {
+            return Err("samples_per_device must be positive".into());
+        }
+        if self.local_steps == 0 {
+            return Err("local_steps (I) must be positive".into());
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".into());
+        }
+        if self.cloud_interval == 0 {
+            return Err("cloud_interval (T_c) must be positive".into());
+        }
+        if self.steps == 0 {
+            return Err("steps must be positive".into());
+        }
+        if self.eval_interval == 0 {
+            return Err("eval_interval must be positive".into());
+        }
+        if self.test_samples == 0 {
+            return Err("test_samples must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.availability) {
+            return Err(format!("availability = {} outside [0, 1]", self.availability));
+        }
+        match self.mobility {
+            MobilitySource::MarkovHop { p } => {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("mobility P = {p} outside [0, 1]"));
+                }
+            }
+            MobilitySource::HomedMarkovHop { p, home_bias } => {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("mobility P = {p} outside [0, 1]"));
+                }
+                if !(0.0..=1.0).contains(&home_bias) {
+                    return Err(format!("home_bias = {home_bias} outside [0, 1]"));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_section_6_1_2() {
+        let c = SimConfig::paper_default(Task::Mnist, Algorithm::middle());
+        assert_eq!(c.num_edges, 10);
+        assert_eq!(c.num_devices, 100);
+        assert_eq!(c.devices_per_edge, 5);
+        assert_eq!(c.local_steps, 10);
+        assert_eq!(c.cloud_interval, 10);
+        assert_eq!(
+            c.mobility,
+            MobilitySource::HomedMarkovHop { p: 0.5, home_bias: 0.6 }
+        );
+        assert!(matches!(c.optimizer, OptimizerKind::Momentum { .. }));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn speech_uses_adam() {
+        let c = SimConfig::paper_default(Task::Speech, Algorithm::oort());
+        assert_eq!(c.optimizer, OptimizerKind::Adam { lr: 0.001 });
+    }
+
+    #[test]
+    fn tiny_config_validates() {
+        assert!(SimConfig::tiny(Task::Mnist, Algorithm::middle()).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_catches_violations() {
+        let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        c.devices_per_edge = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        c.mobility = MobilitySource::MarkovHop { p: 1.5 };
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        c.num_devices = 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_serialises() {
+        let c = SimConfig::paper_default(Task::Cifar10, Algorithm::fedmes());
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.task, Task::Cifar10);
+        assert_eq!(back.algorithm.name, "FedMes");
+    }
+}

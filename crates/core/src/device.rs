@@ -1,0 +1,167 @@
+//! A mobile device: local data, the carried local model, and local
+//! training (paper Eqs. 1 and 5).
+
+use middle_data::batch::random_batch;
+use middle_data::Dataset;
+use middle_nn::loss::per_sample_cross_entropy;
+use middle_nn::{OptimizerKind, Sequential};
+use middle_tensor::random::{derive_seed, rng};
+use rand::rngs::StdRng;
+
+/// One mobile device.
+///
+/// The device persistently carries its local model `w_m` between time
+/// steps — the crux of MIDDLE: after moving to a new edge, this carried
+/// model transports the previous edge's "knowledge".
+pub struct Device {
+    /// Stable device identifier (index into the simulation's device set).
+    pub id: usize,
+    /// The carried local model `w_m^t`.
+    pub model: Sequential,
+    /// Oort statistical utility from the most recent participation;
+    /// `None` until the device first trains.
+    pub oort_utility: Option<f32>,
+    /// Time step of the most recent participation (staleness tracking).
+    pub last_participation: Option<usize>,
+    data: Dataset,
+    rng: StdRng,
+}
+
+impl Device {
+    /// Creates a device with its local dataset and initial model.
+    pub fn new(id: usize, data: Dataset, initial_model: Sequential, seed: u64) -> Self {
+        assert!(!data.is_empty(), "device {id} has no data");
+        Device {
+            id,
+            model: initial_model,
+            oort_utility: None,
+            last_participation: None,
+            data,
+            rng: rng(derive_seed(seed, 0xD0_0000 + id as u64)),
+        }
+    }
+
+    /// Number of local samples (`d_m`).
+    pub fn num_samples(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The device's local dataset.
+    pub fn data(&self) -> &Dataset {
+        &self.data
+    }
+
+    /// Runs `I` local SGD steps (Eq. 5) starting from `init`, replacing
+    /// the carried model with the result, and refreshes the Oort
+    /// statistical utility. Returns the final mini-batch training loss.
+    pub fn local_train(
+        &mut self,
+        init: Sequential,
+        local_steps: usize,
+        batch_size: usize,
+        optimizer: &OptimizerKind,
+        time_step: usize,
+    ) -> f32 {
+        assert!(local_steps > 0, "need at least one local step");
+        self.model = init;
+        // Fresh optimizer per participation: momentum/Adam state cannot
+        // meaningfully persist across model replacement by aggregation.
+        let mut opt = optimizer.build();
+        let bs = batch_size.min(self.data.len()).max(1);
+        let mut loss = 0.0f32;
+        for _ in 0..local_steps {
+            let (x, y) = random_batch(&self.data, bs, &mut self.rng);
+            loss = self.model.train_batch(&x, &y, opt.as_mut());
+        }
+        self.refresh_oort_utility();
+        self.last_participation = Some(time_step);
+        loss
+    }
+
+    /// Recomputes the Oort statistical utility
+    /// `|B_m| · sqrt(mean(loss_i²))` over the device's local samples with
+    /// the current carried model.
+    pub fn refresh_oort_utility(&mut self) {
+        let logits = self.model.forward(self.data.inputs(), false);
+        let losses = per_sample_cross_entropy(&logits, self.data.labels());
+        let mean_sq = losses.iter().map(|l| l * l).sum::<f32>() / losses.len() as f32;
+        self.oort_utility = Some(self.data.len() as f32 * mean_sq.sqrt());
+    }
+
+    /// Steps since the device last participated (`None` if never).
+    pub fn staleness(&self, now: usize) -> Option<usize> {
+        self.last_participation.map(|t| now.saturating_sub(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use middle_data::synthetic::{SyntheticSource, Task};
+    use middle_nn::zoo;
+    use middle_tensor::random::rng as seed_rng;
+
+    fn mk_device(id: usize, seed: u64) -> Device {
+        let src = SyntheticSource::new(Task::Mnist, 5);
+        let data = src.generate_balanced(20, id as u64);
+        let spec = Task::Mnist.spec();
+        let model = zoo::logistic(&spec, &mut seed_rng(1));
+        Device::new(id, data, model, seed)
+    }
+
+    #[test]
+    fn local_training_reduces_loss() {
+        let mut d = mk_device(0, 42);
+        let init = d.model.clone();
+        let (inputs, labels) = (d.data().inputs().clone(), d.data().labels().to_vec());
+        let before = d.model.eval_loss(&inputs, &labels);
+        let kind = OptimizerKind::Sgd { lr: 0.1 };
+        d.local_train(init, 20, 10, &kind, 3);
+        let after = d.model.eval_loss(&inputs, &labels);
+        assert!(after < before, "{before} -> {after}");
+        assert_eq!(d.last_participation, Some(3));
+    }
+
+    #[test]
+    fn oort_utility_set_after_training() {
+        let mut d = mk_device(1, 43);
+        assert!(d.oort_utility.is_none());
+        let init = d.model.clone();
+        d.local_train(init, 1, 5, &OptimizerKind::Sgd { lr: 0.01 }, 0);
+        let u = d.oort_utility.unwrap();
+        assert!(u > 0.0 && u.is_finite());
+    }
+
+    #[test]
+    fn oort_utility_falls_as_model_fits() {
+        let mut d = mk_device(2, 44);
+        let init = d.model.clone();
+        d.local_train(init, 1, 10, &OptimizerKind::Sgd { lr: 0.05 }, 0);
+        let early = d.oort_utility.unwrap();
+        let carried = d.model.clone();
+        d.local_train(carried, 40, 10, &OptimizerKind::Sgd { lr: 0.05 }, 1);
+        let late = d.oort_utility.unwrap();
+        assert!(late < early, "{early} -> {late}");
+    }
+
+    #[test]
+    fn staleness_counts_from_last_participation() {
+        let mut d = mk_device(3, 45);
+        assert_eq!(d.staleness(10), None);
+        let init = d.model.clone();
+        d.local_train(init, 1, 5, &OptimizerKind::Sgd { lr: 0.01 }, 4);
+        assert_eq!(d.staleness(10), Some(6));
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut d = mk_device(0, seed);
+            let init = d.model.clone();
+            d.local_train(init, 3, 8, &OptimizerKind::Sgd { lr: 0.05 }, 0);
+            middle_nn::params::flatten(&d.model)
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

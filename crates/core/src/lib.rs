@@ -1,0 +1,56 @@
+//! # middle-core
+//!
+//! MIDDLE — MobIlity-Driven feDerated LEarning (Zhang et al., ICPP 2023)
+//! — reproduced in Rust: the similarity utility, on-device model
+//! aggregation, in-edge device selection, the full device-edge-cloud
+//! simulation loop (Algorithm 1), all four evaluation baselines, and the
+//! Theorem 1 convergence theory with a strongly-convex validation
+//! test-bed.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use middle_core::{Algorithm, SimConfig, Simulation};
+//! use middle_data::Task;
+//!
+//! let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+//! cfg.steps = 4;
+//! let record = Simulation::new(cfg).run();
+//! println!("final accuracy: {:.3}", record.final_accuracy());
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`similarity`] — the `U(a, b) = max(cos, 0)` utility (Eq. 8);
+//! * [`aggregation`] — on-device aggregation (Eq. 9) + edge/cloud FedAvg
+//!   (Eqs. 6–7);
+//! * [`selection`] — in-edge device selection (Eqs. 10–12) + baselines;
+//! * [`algorithms`] — MIDDLE / OORT / FedMes / Greedy / Ensemble /
+//!   HierFAVG as (selection, on-device) policy pairs;
+//! * [`device`], [`sim`] — mobile devices and the Algorithm 1 loop,
+//!   Rayon-parallel across devices;
+//! * [`config`], [`metrics`] — experiment configs and run records
+//!   (time-to-accuracy, speedups);
+//! * [`theory`], [`quadratic_sim`] — the Theorem 1 bound, Remark 1, and
+//!   numerical validation on strongly-convex quadratics.
+
+pub mod aggregation;
+pub mod comm;
+pub mod algorithms;
+pub mod config;
+pub mod device;
+pub mod metrics;
+pub mod quadratic_sim;
+pub mod selection;
+pub mod sim;
+pub mod similarity;
+pub mod theory;
+
+pub use algorithms::{Algorithm, OnDevicePolicy, SelectionPolicy};
+pub use config::{MobilitySource, SimConfig};
+pub use comm::CommStats;
+pub use device::Device;
+pub use metrics::{speedup, EvalPoint, RunRecord};
+pub use sim::{EdgeState, Simulation};
+pub use similarity::{model_similarity_utility, similarity_utility};
+pub use theory::{BoundParams, QuadraticProblem};

@@ -1,0 +1,286 @@
+//! In-edge device selection (paper §4.3, Eqs. 10–12, plus baselines).
+
+use crate::algorithms::SelectionPolicy;
+use crate::device::Device;
+use crate::similarity::similarity_utility;
+use middle_nn::params::flatten;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Selects up to `k` devices from `candidates` (indices into `devices`)
+/// under `policy`.
+///
+/// When fewer than `k` candidates are present, all of them are selected —
+/// the edge trains with whatever it has (devices can cluster on one edge
+/// under high mobility).
+pub fn select_devices(
+    policy: SelectionPolicy,
+    k: usize,
+    candidates: &[usize],
+    devices: &[Device],
+    cloud_flat: &[f32],
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    assert!(k > 0, "K must be positive");
+    if candidates.len() <= k {
+        return candidates.to_vec();
+    }
+    match policy {
+        SelectionPolicy::Random => sample_without_replacement(candidates, k, rng),
+        SelectionPolicy::LeastSimilarUpdate => top_k_by(
+            candidates,
+            k,
+            |m| -update_similarity(&devices[m], cloud_flat),
+            rng,
+        ),
+        SelectionPolicy::MostSimilarUpdate => top_k_by(
+            candidates,
+            k,
+            |m| update_similarity(&devices[m], cloud_flat),
+            rng,
+        ),
+        SelectionPolicy::OortUtility => top_k_by(
+            candidates,
+            k,
+            // Never-trained devices get +inf utility: Oort-style
+            // exploration of fresh clients, required here because moved
+            // devices have no history at the new edge.
+            |m| devices[m].oort_utility.unwrap_or(f32::INFINITY),
+            rng,
+        ),
+    }
+}
+
+/// The MIDDLE selection criterion `U(w_c, Δw_m)` with `Δw_m = w_m − w_c`
+/// (Eqs. 10–11): how aligned the device's accumulated update is with the
+/// current cloud model.
+pub fn update_similarity(device: &Device, cloud_flat: &[f32]) -> f32 {
+    let local = flatten(&device.model);
+    assert_eq!(local.len(), cloud_flat.len(), "architecture mismatch");
+    let delta: Vec<f32> = local.iter().zip(cloud_flat).map(|(l, c)| l - c).collect();
+    similarity_utility(cloud_flat, &delta)
+}
+
+/// Top-`k` candidates by a score function. Ties are broken *randomly*:
+/// exact ties are common (e.g. every freshly-synced device has `Δw = 0`
+/// and hence utility 0), and a deterministic id tie-break would starve
+/// high-id devices of participation.
+fn top_k_by(
+    candidates: &[usize],
+    k: usize,
+    score: impl Fn(usize) -> f32,
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let mut scored: Vec<(f32, u32, usize)> = candidates
+        .iter()
+        .map(|&m| (score(m), rng.gen::<u32>(), m))
+        .collect();
+    // Descending score, random key on ties; NaN sorts last.
+    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+    scored.into_iter().take(k).map(|(_, _, m)| m).collect()
+}
+
+/// Uniform sample of `k` distinct items (partial Fisher–Yates).
+fn sample_without_replacement(items: &[usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
+    let mut pool = items.to_vec();
+    for i in 0..k {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use middle_data::synthetic::{SyntheticSource, Task};
+    use middle_nn::params::unflatten;
+    use middle_nn::zoo;
+    use middle_tensor::random::rng;
+
+    fn mk_devices(n: usize) -> Vec<Device> {
+        let src = SyntheticSource::new(Task::Mnist, 3);
+        (0..n)
+            .map(|id| {
+                let data = src.generate_balanced(10, id as u64);
+                let model = zoo::logistic(&Task::Mnist.spec(), &mut rng(id as u64));
+                Device::new(id, data, model, 100 + id as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fewer_candidates_than_k_selects_all() {
+        let devices = mk_devices(3);
+        let cloud = flatten(&devices[0].model);
+        let sel = select_devices(
+            SelectionPolicy::Random,
+            5,
+            &[0, 2],
+            &devices,
+            &cloud,
+            &mut rng(1),
+        );
+        assert_eq!(sel, vec![0, 2]);
+    }
+
+    #[test]
+    fn random_selection_is_distinct_and_sized() {
+        let devices = mk_devices(10);
+        let cloud = flatten(&devices[0].model);
+        let cands: Vec<usize> = (0..10).collect();
+        let sel = select_devices(
+            SelectionPolicy::Random,
+            4,
+            &cands,
+            &devices,
+            &cloud,
+            &mut rng(2),
+        );
+        assert_eq!(sel.len(), 4);
+        let mut s = sel.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn oort_prefers_untrained_then_high_utility() {
+        let mut devices = mk_devices(4);
+        devices[0].oort_utility = Some(1.0);
+        devices[1].oort_utility = Some(5.0);
+        devices[2].oort_utility = None; // fresh: infinite utility
+        devices[3].oort_utility = Some(3.0);
+        let cloud = flatten(&devices[0].model);
+        let sel = select_devices(
+            SelectionPolicy::OortUtility,
+            2,
+            &[0, 1, 2, 3],
+            &devices,
+            &cloud,
+            &mut rng(3),
+        );
+        assert_eq!(sel, vec![2, 1]);
+    }
+
+    #[test]
+    fn least_similar_picks_low_alignment_devices() {
+        let mut devices = mk_devices(3);
+        let d = devices[0].model.param_count();
+        // Cloud = all ones. Device 0 aligned with cloud (Δ ∝ +cloud),
+        // device 1 orthogonal-ish, device 2 anti-aligned (Δ ∝ −cloud,
+        // clipped to 0 utility).
+        let cloud = vec![1.0f32; d];
+        let mut w0 = vec![2.0f32; d]; // Δ = +1 ⇒ U = 1
+        let mut w1 = vec![1.0f32; d];
+        for (i, v) in w1.iter_mut().enumerate() {
+            *v += if i % 2 == 0 { 0.5 } else { -0.5 }; // Δ alternating ⇒ U ≈ 0
+        }
+        let w2 = vec![0.0f32; d]; // Δ = −1 ⇒ clipped U = 0
+        unflatten(&mut devices[0].model, &w0);
+        unflatten(&mut devices[1].model, &w1);
+        unflatten(&mut devices[2].model, &w2);
+        w0.clear();
+
+        let sel = select_devices(
+            SelectionPolicy::LeastSimilarUpdate,
+            2,
+            &[0, 1, 2],
+            &devices,
+            &cloud,
+            &mut rng(4),
+        );
+        // Device 0 (perfectly aligned) must NOT be selected.
+        assert!(!sel.contains(&0), "selected {sel:?}");
+        assert_eq!(sel.len(), 2);
+    }
+
+    #[test]
+    fn most_similar_is_the_mirror_image() {
+        let mut devices = mk_devices(2);
+        let d = devices[0].model.param_count();
+        let cloud = vec![1.0f32; d];
+        unflatten(&mut devices[0].model, &vec![2.0; d]); // aligned
+        unflatten(&mut devices[1].model, &vec![0.0; d]); // anti-aligned
+        let least = select_devices(
+            SelectionPolicy::LeastSimilarUpdate,
+            1,
+            &[0, 1],
+            &devices,
+            &cloud,
+            &mut rng(5),
+        );
+        let most = select_devices(
+            SelectionPolicy::MostSimilarUpdate,
+            1,
+            &[0, 1],
+            &devices,
+            &cloud,
+            &mut rng(5),
+        );
+        assert_eq!(least, vec![1]);
+        assert_eq!(most, vec![0]);
+    }
+
+    #[test]
+    fn update_similarity_is_clipped() {
+        let mut devices = mk_devices(1);
+        let d = devices[0].model.param_count();
+        let cloud = vec![1.0f32; d];
+        unflatten(&mut devices[0].model, &vec![0.0; d]); // Δ = −cloud
+        assert_eq!(update_similarity(&devices[0], &cloud), 0.0);
+    }
+
+    #[test]
+    fn selection_is_deterministic_given_the_same_rng_stream() {
+        let devices = mk_devices(6);
+        let cloud = flatten(&devices[0].model);
+        let cands: Vec<usize> = (0..6).collect();
+        let a = select_devices(
+            SelectionPolicy::LeastSimilarUpdate,
+            3,
+            &cands,
+            &devices,
+            &cloud,
+            &mut rng(1),
+        );
+        let b = select_devices(
+            SelectionPolicy::LeastSimilarUpdate,
+            3,
+            &cands,
+            &devices,
+            &cloud,
+            &mut rng(1),
+        );
+        assert_eq!(a, b, "same seed, same selection");
+    }
+
+    #[test]
+    fn exact_ties_are_broken_randomly_not_by_id() {
+        // All devices identical (same model) ⇒ all scores tie; over many
+        // draws every device must get selected sometimes.
+        let devices = mk_devices(1);
+        let base = devices.into_iter().next().unwrap();
+        let devices: Vec<Device> = (0..8)
+            .map(|id| Device::new(id, base.data().clone(), base.model.clone(), 7))
+            .collect();
+        let cloud = flatten(&devices[0].model);
+        let cands: Vec<usize> = (0..8).collect();
+        let mut seen = vec![false; 8];
+        let mut r = rng(5);
+        for _ in 0..40 {
+            for m in select_devices(
+                SelectionPolicy::LeastSimilarUpdate,
+                2,
+                &cands,
+                &devices,
+                &cloud,
+                &mut r,
+            ) {
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "tie-break starved a device: {seen:?}");
+    }
+}

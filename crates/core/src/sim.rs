@@ -1,0 +1,515 @@
+//! The device-edge-cloud simulation loop (paper Algorithm 1).
+//!
+//! Each time step:
+//! 1. every edge selects `K` devices from its current candidate set
+//!    (in-edge device selection, §4.3);
+//! 2. every selected device initialises its local model — a device that
+//!    just moved performs on-device model aggregation (§4.2), otherwise
+//!    it downloads the edge model — and runs `I` local SGD steps
+//!    (devices train in parallel via Rayon; each owns its model, so
+//!    there is no shared mutable state);
+//! 3. each edge FedAvg-aggregates the uploaded local models (Eq. 6);
+//! 4. every `T_c` steps the cloud aggregates the edge models weighted by
+//!    the participating-sample totals `d̂_n` (Eq. 7) and broadcasts the
+//!    result back to all edges and devices.
+
+use crate::aggregation::{cloud_aggregate, edge_aggregate, on_device_init};
+use crate::comm::CommStats;
+use crate::config::{MobilitySource, SimConfig};
+use crate::device::Device;
+use crate::metrics::{EvalPoint, RunRecord};
+use crate::selection::select_devices;
+use middle_data::partition::{partition, Partition};
+use middle_data::synthetic::SyntheticSource;
+use middle_data::{Confusion, Dataset};
+use middle_mobility::{
+    generate_geometric, generate_markov_hop, generate_markov_hop_homed, MobilityKind,
+    ServiceArea, Trace,
+};
+use middle_nn::params::flatten;
+use middle_nn::{zoo, Sequential};
+use middle_tensor::random::{derive_seed, rng};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// State of one edge server.
+pub struct EdgeState {
+    /// The edge model `w_n^t`.
+    pub model: Sequential,
+    /// Participating samples since the last cloud sync (`d̂_n`, Eq. 7).
+    pub window_samples: f32,
+}
+
+/// A fully-constructed hierarchical-FL simulation.
+pub struct Simulation {
+    config: SimConfig,
+    devices: Vec<Device>,
+    edges: Vec<EdgeState>,
+    cloud: Sequential,
+    trace: Trace,
+    test: Dataset,
+    partition: Partition,
+    rng: StdRng,
+    availability_rng: StdRng,
+    comm: CommStats,
+    syncs: u64,
+}
+
+impl Simulation {
+    /// Builds the simulation: synthesises data, partitions it across
+    /// devices, generates the mobility trace and initialises every model
+    /// from the same seed-derived starting point.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails [`SimConfig::validate`].
+    pub fn new(config: SimConfig) -> Self {
+        if let Err(e) = config.validate() {
+            panic!("invalid SimConfig: {e}");
+        }
+        let seed = config.seed;
+        let source = SyntheticSource::new(config.task, derive_seed(seed, 1));
+        let base = source.generate_balanced(
+            config.num_devices * config.samples_per_device,
+            derive_seed(seed, 2),
+        );
+        let part = partition(
+            &base,
+            config.num_devices,
+            config.samples_per_device,
+            config.scheme,
+            derive_seed(seed, 3),
+        );
+        let test = source.generate_balanced(config.test_samples, derive_seed(seed, 4));
+
+        let spec = config.task.spec();
+        let init = zoo::model_for_task(config.task.name(), &spec, &mut rng(derive_seed(seed, 5)));
+
+        let devices: Vec<Device> = (0..config.num_devices)
+            .map(|m| {
+                Device::new(m, base.subset(&part.assignments[m]), init.clone(), seed)
+            })
+            .collect();
+
+        let edges = (0..config.num_edges)
+            .map(|_| EdgeState {
+                model: init.clone(),
+                window_samples: 0.0,
+            })
+            .collect();
+
+        // Home edges: cluster devices by major class so edge-level data
+        // distributions are Non-IID (paper §3.2); devices without a
+        // defined major class get round-robin homes.
+        let homes: Vec<usize> = (0..config.num_devices)
+            .map(|m| match part.major_class[m] {
+                Some(c) => c % config.num_edges,
+                None => m % config.num_edges,
+            })
+            .collect();
+        let trace = build_trace(&config, &homes);
+
+        Simulation {
+            cloud: init,
+            devices,
+            edges,
+            trace,
+            test,
+            partition: part,
+            rng: rng(derive_seed(seed, 6)),
+            availability_rng: rng(derive_seed(seed, 8)),
+            comm: CommStats::default(),
+            syncs: 0,
+            config,
+        }
+    }
+
+    /// Like [`Simulation::new`] but with a caller-supplied mobility
+    /// trace (e.g. the Figure 2 scripted device swap, or an imported
+    /// ONE-simulator trace).
+    ///
+    /// # Panics
+    /// Panics when the trace's device/edge counts or horizon disagree
+    /// with the configuration.
+    pub fn with_trace(config: SimConfig, trace: Trace) -> Self {
+        assert_eq!(trace.devices(), config.num_devices, "trace device count");
+        assert_eq!(trace.num_edges(), config.num_edges, "trace edge count");
+        assert!(
+            trace.steps() >= config.steps,
+            "trace shorter than the configured horizon"
+        );
+        let mut sim = Simulation::new(config);
+        sim.trace = trace;
+        sim
+    }
+
+    /// The simulation's configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// The mobility trace in use.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The device-level data partition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The held-out test set.
+    pub fn test_set(&self) -> &Dataset {
+        &self.test
+    }
+
+    /// Current cloud model.
+    pub fn cloud_model(&self) -> &Sequential {
+        &self.cloud
+    }
+
+    /// Current edge states.
+    pub fn edges(&self) -> &[EdgeState] {
+        &self.edges
+    }
+
+    /// Current devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Model transmissions performed so far.
+    pub fn comm_stats(&self) -> &CommStats {
+        &self.comm
+    }
+
+    /// Cloud synchronisations performed so far.
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+
+    /// The *virtual* global model `w̄^t` (Eq. 13): the `d̂`-weighted
+    /// average of the current edge models. Equals the cloud model right
+    /// after a synchronisation.
+    pub fn virtual_global(&self) -> Sequential {
+        let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
+        let weights: Vec<f32> = self.edges.iter().map(|e| e.window_samples).collect();
+        cloud_aggregate(&models, &weights)
+    }
+
+    /// Executes one time step `t` of Algorithm 1 (0-based; syncs with the
+    /// cloud after every `cloud_interval`-th step).
+    pub fn step(&mut self, t: usize) {
+        assert!(t < self.trace.steps(), "step beyond trace horizon");
+        let cloud_flat = flatten(&self.cloud);
+
+        // Phase 1 — in-edge device selection, then compute each selected
+        // device's initial model (moved devices aggregate on device).
+        let mut inits: Vec<Option<Sequential>> = (0..self.devices.len()).map(|_| None).collect();
+        let mut selected_per_edge: Vec<Vec<usize>> = Vec::with_capacity(self.edges.len());
+        for (n, edge) in self.edges.iter().enumerate() {
+            let mut candidates = self.trace.devices_at(t, n);
+            // Straggler injection: each device is reachable this step
+            // with the configured probability.
+            if self.config.availability < 1.0 {
+                candidates.retain(|_| {
+                    self.availability_rng.gen::<f64>() < self.config.availability
+                });
+            }
+            if candidates.is_empty() {
+                selected_per_edge.push(Vec::new());
+                continue;
+            }
+            let selected = select_devices(
+                self.config.algorithm.selection,
+                self.config.devices_per_edge,
+                &candidates,
+                &self.devices,
+                &cloud_flat,
+                &mut self.rng,
+            );
+            self.comm.edge_to_device += selected.len() as u64;
+            self.comm.device_to_edge += selected.len() as u64;
+            for &m in &selected {
+                let init = if self.trace.moved(t, m) {
+                    on_device_init(
+                        self.config.algorithm.on_device,
+                        &edge.model,
+                        &self.devices[m].model,
+                    )
+                } else {
+                    edge.model.clone()
+                };
+                inits[m] = Some(init);
+            }
+            selected_per_edge.push(selected);
+        }
+
+        // Phase 2 — parallel local training. Each participating device
+        // owns its slot; no shared mutable state.
+        let (local_steps, batch_size, optimizer) = (
+            self.config.local_steps,
+            self.config.batch_size,
+            self.config.optimizer,
+        );
+        self.devices
+            .par_iter_mut()
+            .zip(inits.par_iter_mut())
+            .for_each(|(dev, slot)| {
+                if let Some(init) = slot.take() {
+                    dev.local_train(init, local_steps, batch_size, &optimizer, t);
+                }
+            });
+
+        // Phase 3 — edge aggregation (Eq. 6).
+        for (n, selected) in selected_per_edge.iter().enumerate() {
+            if selected.is_empty() {
+                continue;
+            }
+            let models: Vec<&Sequential> = selected.iter().map(|&m| &self.devices[m].model).collect();
+            let counts: Vec<usize> = selected.iter().map(|&m| self.devices[m].num_samples()).collect();
+            self.edges[n].model = edge_aggregate(&models, &counts);
+            self.edges[n].window_samples += counts.iter().sum::<usize>() as f32;
+        }
+
+        // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
+        if (t + 1) % self.config.cloud_interval == 0 {
+            self.syncs += 1;
+            self.comm.edge_to_cloud += self.edges.len() as u64;
+            self.comm.cloud_to_edge += self.edges.len() as u64;
+            self.comm.cloud_to_device += self.devices.len() as u64;
+            let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
+            let weights: Vec<f32> = self.edges.iter().map(|e| e.window_samples).collect();
+            self.cloud = cloud_aggregate(&models, &weights);
+            for edge in &mut self.edges {
+                edge.model = self.cloud.clone();
+                edge.window_samples = 0.0;
+            }
+            let cloud = &self.cloud;
+            self.devices.par_iter_mut().for_each(|d| {
+                d.model = cloud.clone();
+            });
+        }
+    }
+
+    /// Evaluates a model on the held-out test set, returning
+    /// `(accuracy, mean loss, confusion)`.
+    pub fn evaluate(&self, model: &Sequential) -> (f32, f32, Confusion) {
+        let mut m = model.clone();
+        let preds = m.predict(self.test.inputs());
+        let loss = m.eval_loss(self.test.inputs(), self.test.labels());
+        let conf = Confusion::from_predictions(self.test.labels(), &preds, self.test.classes());
+        (conf.accuracy(), loss, conf)
+    }
+
+    /// Runs the configured number of steps, recording an [`EvalPoint`]
+    /// every `eval_interval` steps (plus the final step).
+    pub fn run(&mut self) -> RunRecord {
+        let start = Instant::now();
+        let mut points = Vec::new();
+        for t in 0..self.config.steps {
+            self.step(t);
+            let is_eval = (t + 1) % self.config.eval_interval == 0 || t + 1 == self.config.steps;
+            if is_eval {
+                points.push(self.eval_point(t));
+            }
+        }
+        RunRecord {
+            algorithm: self.config.algorithm.name.clone(),
+            task: self.config.task.name().to_string(),
+            points,
+            empirical_mobility: self.trace.empirical_mobility(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+            comm: self.comm,
+            syncs: self.syncs,
+        }
+    }
+
+    /// Builds the evaluation point for time step `t`.
+    fn eval_point(&self, t: usize) -> EvalPoint {
+        let global = self.virtual_global();
+        let (acc, loss, conf) = self.evaluate(&global);
+        let mut point = EvalPoint {
+            step: t + 1,
+            global_accuracy: acc,
+            global_loss: loss,
+            edge_accuracy: Vec::new(),
+            global_per_class: Vec::new(),
+            edge0_per_class: Vec::new(),
+        };
+        if self.config.eval_per_class {
+            point.global_per_class = conf.per_class_accuracy();
+        }
+        if self.config.eval_edges {
+            for (n, edge) in self.edges.iter().enumerate() {
+                let (eacc, _, econf) = self.evaluate(&edge.model);
+                point.edge_accuracy.push(eacc);
+                if n == 0 && self.config.eval_per_class {
+                    point.edge0_per_class = econf.per_class_accuracy();
+                }
+            }
+        }
+        point
+    }
+}
+
+/// Builds the mobility trace described by the config.
+fn build_trace(config: &SimConfig, homes: &[usize]) -> Trace {
+    let seed = derive_seed(config.seed, 7);
+    match config.mobility {
+        MobilitySource::MarkovHop { p } => generate_markov_hop(
+            config.num_edges,
+            config.num_devices,
+            config.steps,
+            p,
+            seed,
+        ),
+        MobilitySource::HomedMarkovHop { p, home_bias } => {
+            generate_markov_hop_homed(config.num_edges, homes, config.steps, p, home_bias, seed)
+        }
+        MobilitySource::Stationary => {
+            let area = ServiceArea::grid(1000.0, 1000.0, config.num_edges);
+            let mut model = MobilityKind::Stationary.build();
+            generate_geometric(&area, model.as_mut(), config.num_devices, config.steps, seed)
+        }
+        MobilitySource::RandomWalk { max_speed } => {
+            let area = ServiceArea::grid(1000.0, 1000.0, config.num_edges);
+            let mut model = MobilityKind::RandomWalk { max_speed }.build();
+            generate_geometric(&area, model.as_mut(), config.num_devices, config.steps, seed)
+        }
+        MobilitySource::RandomWaypoint {
+            min_speed,
+            max_speed,
+        } => {
+            let area = ServiceArea::grid(1000.0, 1000.0, config.num_edges);
+            let mut model = MobilityKind::RandomWaypoint {
+                min_speed,
+                max_speed,
+            }
+            .build();
+            generate_geometric(&area, model.as_mut(), config.num_devices, config.steps, seed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use middle_data::Task;
+
+    #[test]
+    fn construction_partitions_all_devices() {
+        let cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        let sim = Simulation::new(cfg.clone());
+        assert_eq!(sim.devices().len(), cfg.num_devices);
+        assert_eq!(sim.edges().len(), cfg.num_edges);
+        for d in sim.devices() {
+            assert_eq!(d.num_samples(), cfg.samples_per_device);
+        }
+    }
+
+    #[test]
+    fn all_models_start_identical() {
+        let sim = Simulation::new(SimConfig::tiny(Task::Mnist, Algorithm::middle()));
+        let cloud = flatten(sim.cloud_model());
+        for e in sim.edges() {
+            assert_eq!(flatten(&e.model), cloud);
+        }
+        for d in sim.devices() {
+            assert_eq!(flatten(&d.model), cloud);
+        }
+    }
+
+    #[test]
+    fn one_step_changes_participating_edge_models() {
+        let mut sim = Simulation::new(SimConfig::tiny(Task::Mnist, Algorithm::middle()));
+        let before = flatten(&sim.edges()[0].model);
+        sim.step(0);
+        // At least one edge must have trained (8 devices over 2 edges).
+        let changed = sim
+            .edges()
+            .iter()
+            .any(|e| flatten(&e.model) != before);
+        assert!(changed);
+    }
+
+    #[test]
+    fn cloud_syncs_at_interval() {
+        let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        cfg.cloud_interval = 2;
+        let mut sim = Simulation::new(cfg);
+        let initial_cloud = flatten(sim.cloud_model());
+        sim.step(0);
+        assert_eq!(flatten(sim.cloud_model()), initial_cloud, "no sync yet");
+        sim.step(1);
+        let synced = flatten(sim.cloud_model());
+        assert_ne!(synced, initial_cloud, "sync after step 2");
+        // Broadcast: edges and devices match the cloud.
+        for e in sim.edges() {
+            assert_eq!(flatten(&e.model), synced);
+        }
+        for d in sim.devices() {
+            assert_eq!(flatten(&d.model), synced);
+        }
+    }
+
+    #[test]
+    fn run_produces_monotone_step_points() {
+        let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        cfg.steps = 6;
+        cfg.eval_interval = 2;
+        let record = Simulation::new(cfg).run();
+        let steps: Vec<usize> = record.points.iter().map(|p| p.step).collect();
+        assert_eq!(steps, vec![2, 4, 6]);
+        assert!(record.wall_seconds > 0.0);
+        assert!((0.0..=1.0).contains(&record.final_accuracy()));
+    }
+
+    #[test]
+    fn eval_flags_populate_extra_series() {
+        let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        cfg.steps = 2;
+        cfg.eval_interval = 2;
+        cfg.eval_edges = true;
+        cfg.eval_per_class = true;
+        let record = Simulation::new(cfg.clone()).run();
+        let p = &record.points[0];
+        assert_eq!(p.edge_accuracy.len(), cfg.num_edges);
+        assert_eq!(p.global_per_class.len(), 10);
+        assert_eq!(p.edge0_per_class.len(), 10);
+    }
+
+    #[test]
+    fn runs_are_seed_reproducible() {
+        let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        cfg.steps = 4;
+        let a = Simulation::new(cfg.clone()).run();
+        let b = Simulation::new(cfg.clone()).run();
+        let accs = |r: &RunRecord| r.points.iter().map(|p| p.global_accuracy).collect::<Vec<_>>();
+        assert_eq!(accs(&a), accs(&b));
+        cfg.seed = 8;
+        let c = Simulation::new(cfg).run();
+        assert_ne!(accs(&a), accs(&c));
+    }
+
+    #[test]
+    fn all_five_figure6_algorithms_run() {
+        for algo in Algorithm::figure6() {
+            let mut cfg = SimConfig::tiny(Task::Mnist, algo);
+            cfg.steps = 4;
+            let record = Simulation::new(cfg).run();
+            assert!(!record.points.is_empty());
+            assert!(record.points.iter().all(|p| p.global_accuracy.is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SimConfig")]
+    fn invalid_config_panics() {
+        let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        cfg.steps = 0;
+        Simulation::new(cfg);
+    }
+}

@@ -1,0 +1,329 @@
+//! Theoretical analysis (paper §5): the Theorem 1 convergence bound, the
+//! Remark 1 mobility derivative, and a strongly-convex quadratic
+//! test-bed that validates both numerically (and drives the Figure 3
+//! parameter-space illustration).
+
+use serde::{Deserialize, Serialize};
+
+/// Constants of the Theorem 1 bound.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BoundParams {
+    /// Smoothness constant `β` (Assumption 1).
+    pub beta: f32,
+    /// Strong-convexity constant `μ` (Assumption 2).
+    pub mu: f32,
+    /// Aggregate gradient-variance term `B = Σ h_m² σ_m² + 6βΓ` (Eq. 18).
+    pub b: f32,
+    /// Uniform stochastic-gradient bound `G²` (Assumption 4).
+    pub g2: f32,
+    /// Local steps per round `I`.
+    pub local_steps: usize,
+    /// Fixed on-device aggregation coefficient `α ∈ (0, 1)`.
+    pub alpha: f32,
+    /// Global mobility probability `P ∈ (0, 1]`.
+    pub p: f32,
+    /// Initial distance `E‖w¹ − w*‖²`.
+    pub initial_gap: f32,
+}
+
+impl BoundParams {
+    /// `γ = max(8β/μ, I)` (Theorem 1).
+    pub fn gamma(&self) -> f32 {
+        (8.0 * self.beta / self.mu).max(self.local_steps as f32)
+    }
+
+    /// The Theorem 1 learning-rate schedule `η_t = 2 / (μ(γ + t))`.
+    pub fn learning_rate(&self, t: usize) -> f32 {
+        2.0 / (self.mu * (self.gamma() + t as f32))
+    }
+
+    /// Validates the assumptions' ranges.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.beta > 0.0) {
+            return Err("β must be positive".into());
+        }
+        if !(self.mu > 0.0 && self.mu <= self.beta) {
+            return Err("need 0 < μ ≤ β".into());
+        }
+        if !(0.0 < self.alpha && self.alpha < 1.0) {
+            return Err("α must lie in (0, 1)".into());
+        }
+        if !(0.0 < self.p && self.p <= 1.0) {
+            return Err("P must lie in (0, 1]".into());
+        }
+        if self.local_steps == 0 {
+            return Err("I must be positive".into());
+        }
+        if self.b < 0.0 || self.g2 < 0.0 || self.initial_gap < 0.0 {
+            return Err("B, G², and the initial gap must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// The Theorem 1 upper bound on `E[F(w^{T+1})] − F(w*)` after `t`
+    /// steps (Eq. 17):
+    ///
+    /// `β/(γ+T+1) · (2B/μ² + (γ+1)/2 · E‖w¹−w*‖²) + 8βI²G²/(μ²γ²α(1−α)P)`.
+    pub fn bound(&self, t: usize) -> f32 {
+        let gamma = self.gamma();
+        let decaying = self.beta / (gamma + t as f32 + 1.0)
+            * (2.0 * self.b / (self.mu * self.mu) + (gamma + 1.0) / 2.0 * self.initial_gap);
+        decaying + self.mobility_term()
+    }
+
+    /// The residual mobility term `8βI²G²/(μ²γ²α(1−α)P)` — the part of
+    /// the bound that device mobility shrinks.
+    pub fn mobility_term(&self) -> f32 {
+        let gamma = self.gamma();
+        let i2 = (self.local_steps * self.local_steps) as f32;
+        8.0 * self.beta * i2 * self.g2
+            / (self.mu * self.mu * gamma * gamma * self.alpha * (1.0 - self.alpha) * self.p)
+    }
+
+    /// Remark 1: `∂(bound)/∂P = −8βI²G²/(μ²γ²α(1−α)P²)`, negative for
+    /// all admissible parameters — more mobility always tightens the
+    /// bound.
+    pub fn mobility_derivative(&self) -> f32 {
+        -self.mobility_term() / self.p
+    }
+}
+
+/// A distributed strongly-convex quadratic problem:
+/// `F_m(w) = ½ a_m ‖w − c_m‖²` per device, so `F` satisfies Assumptions
+/// 1–2 with `β = max a_m`, `μ = min a_m`, and the global optimum is the
+/// weighted mean of the `c_m`. Used to validate Theorem 1 and to draw the
+/// Figure 3 parameter-space picture.
+#[derive(Debug, Clone)]
+pub struct QuadraticProblem {
+    /// Per-device curvature `a_m > 0`.
+    pub curvatures: Vec<f32>,
+    /// Per-device optimum `c_m` (all the same dimension).
+    pub centers: Vec<Vec<f32>>,
+    /// Per-device weight `h_m` (sums to 1).
+    pub weights: Vec<f32>,
+}
+
+impl QuadraticProblem {
+    /// Creates a problem; weights are normalised internally.
+    ///
+    /// # Panics
+    /// Panics on empty input, dimension mismatches or non-positive
+    /// curvatures/weights.
+    pub fn new(curvatures: Vec<f32>, centers: Vec<Vec<f32>>, weights: Vec<f32>) -> Self {
+        assert!(!curvatures.is_empty(), "need at least one device");
+        assert_eq!(curvatures.len(), centers.len(), "curvatures/centers");
+        assert_eq!(curvatures.len(), weights.len(), "curvatures/weights");
+        assert!(curvatures.iter().all(|&a| a > 0.0), "curvatures must be positive");
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        let dim = centers[0].len();
+        assert!(centers.iter().all(|c| c.len() == dim), "center dims differ");
+        let total: f32 = weights.iter().sum();
+        let weights = weights.into_iter().map(|w| w / total).collect();
+        QuadraticProblem {
+            curvatures,
+            centers,
+            weights,
+        }
+    }
+
+    /// Problem dimension.
+    pub fn dim(&self) -> usize {
+        self.centers[0].len()
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.curvatures.len()
+    }
+
+    /// Smoothness `β = max a_m`.
+    pub fn beta(&self) -> f32 {
+        self.curvatures.iter().copied().fold(0.0, f32::max)
+    }
+
+    /// Strong convexity `μ = min a_m`.
+    pub fn mu(&self) -> f32 {
+        self.curvatures.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Device `m`'s loss at `w`.
+    pub fn device_loss(&self, m: usize, w: &[f32]) -> f32 {
+        let d2: f32 = w
+            .iter()
+            .zip(&self.centers[m])
+            .map(|(x, c)| (x - c) * (x - c))
+            .sum();
+        0.5 * self.curvatures[m] * d2
+    }
+
+    /// Device `m`'s gradient at `w`, written into `out`.
+    pub fn device_grad(&self, m: usize, w: &[f32], out: &mut [f32]) {
+        for ((g, x), c) in out.iter_mut().zip(w).zip(&self.centers[m]) {
+            *g = self.curvatures[m] * (x - c);
+        }
+    }
+
+    /// Global loss `F(w) = Σ h_m F_m(w)`.
+    pub fn global_loss(&self, w: &[f32]) -> f32 {
+        (0..self.devices())
+            .map(|m| self.weights[m] * self.device_loss(m, w))
+            .sum()
+    }
+
+    /// Closed-form global optimum `w* = Σ h_m a_m c_m / Σ h_m a_m`.
+    pub fn optimum(&self) -> Vec<f32> {
+        let mut num = vec![0.0f32; self.dim()];
+        let mut den = 0.0f32;
+        for m in 0..self.devices() {
+            let k = self.weights[m] * self.curvatures[m];
+            den += k;
+            for (n, c) in num.iter_mut().zip(&self.centers[m]) {
+                *n += k * c;
+            }
+        }
+        for n in &mut num {
+            *n /= den;
+        }
+        num
+    }
+
+    /// Optimality gap `F(w) − F(w*)`.
+    pub fn gap(&self, w: &[f32]) -> f32 {
+        (self.global_loss(w) - self.global_loss(&self.optimum())).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BoundParams {
+        BoundParams {
+            beta: 4.0,
+            mu: 1.0,
+            b: 2.0,
+            g2: 9.0,
+            local_steps: 10,
+            alpha: 0.5,
+            p: 0.5,
+            initial_gap: 1.0,
+        }
+    }
+
+    #[test]
+    fn gamma_and_lr_schedule() {
+        let p = params();
+        assert_eq!(p.gamma(), 32.0); // 8β/μ = 32 > I = 10
+        assert!((p.learning_rate(0) - 2.0 / 32.0).abs() < 1e-6);
+        assert!(p.learning_rate(100) < p.learning_rate(0));
+    }
+
+    #[test]
+    fn bound_decreases_in_time() {
+        let p = params();
+        assert!(p.bound(10) > p.bound(100));
+        assert!(p.bound(100) > p.bound(10_000));
+        // Converges to the mobility term.
+        assert!((p.bound(10_000_000) - p.mobility_term()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bound_decreases_in_mobility_remark1() {
+        let mut lo = params();
+        lo.p = 0.1;
+        let mut hi = params();
+        hi.p = 0.9;
+        assert!(lo.bound(100) > hi.bound(100), "higher P must tighten the bound");
+        assert!(lo.mobility_derivative() < 0.0);
+        assert!(hi.mobility_derivative() < 0.0);
+        // Derivative magnitude shrinks with P (∝ 1/P²).
+        assert!(lo.mobility_derivative().abs() > hi.mobility_derivative().abs());
+    }
+
+    #[test]
+    fn mobility_term_symmetric_in_alpha() {
+        let mut a = params();
+        a.alpha = 0.3;
+        let mut b = params();
+        b.alpha = 0.7;
+        assert!((a.mobility_term() - b.mobility_term()).abs() < 1e-3);
+        // α = 0.5 minimises the term (α(1−α) maximal).
+        let mut mid = params();
+        mid.alpha = 0.5;
+        assert!(mid.mobility_term() <= a.mobility_term());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        let mut p = params();
+        p.alpha = 1.0;
+        assert!(p.validate().is_err());
+        let mut p = params();
+        p.p = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = params();
+        p.mu = 10.0; // μ > β
+        assert!(p.validate().is_err());
+        assert!(params().validate().is_ok());
+    }
+
+    #[test]
+    fn quadratic_optimum_is_weighted_center() {
+        let q = QuadraticProblem::new(
+            vec![1.0, 1.0],
+            vec![vec![0.0, 0.0], vec![2.0, 4.0]],
+            vec![1.0, 1.0],
+        );
+        assert_eq!(q.optimum(), vec![1.0, 2.0]);
+        assert!(q.gap(&q.optimum()) < 1e-9);
+        assert!(q.gap(&[0.0, 0.0]) > 0.0);
+    }
+
+    #[test]
+    fn quadratic_optimum_respects_curvature() {
+        // Stiffer device pulls the optimum toward its center.
+        let q = QuadraticProblem::new(
+            vec![3.0, 1.0],
+            vec![vec![0.0], vec![4.0]],
+            vec![1.0, 1.0],
+        );
+        let w = q.optimum();
+        assert!(w[0] < 2.0, "{w:?}");
+        assert!((w[0] - 1.0).abs() < 1e-6); // (3·0 + 1·4)/4
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let q = QuadraticProblem::new(
+            vec![2.0],
+            vec![vec![1.0, -1.0]],
+            vec![1.0],
+        );
+        let w = [0.5f32, 0.5];
+        let mut g = [0.0f32; 2];
+        q.device_grad(0, &w, &mut g);
+        let eps = 1e-3;
+        for i in 0..2 {
+            let mut wp = w;
+            wp[i] += eps;
+            let mut wm = w;
+            wm[i] -= eps;
+            let fd = (q.device_loss(0, &wp) - q.device_loss(0, &wm)) / (2.0 * eps);
+            assert!((fd - g[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn beta_mu_are_extreme_curvatures() {
+        let q = QuadraticProblem::new(
+            vec![0.5, 2.0, 1.0],
+            vec![vec![0.0]; 3],
+            vec![1.0; 3],
+        );
+        assert_eq!(q.beta(), 2.0);
+        assert_eq!(q.mu(), 0.5);
+    }
+}

@@ -1,0 +1,25 @@
+use middle_data::synthetic::{train_test, Task};
+use middle_data::batch::BatchIter;
+use middle_data::metrics::accuracy;
+use middle_nn::optim::{MomentumSgd};
+use middle_nn::zoo;
+use middle_tensor::random::rng;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    let task = Task::Mnist;
+    let (train, test) = train_test(task, 1000, 300, 7);
+    let mut model = zoo::model_for_task(task.name(), &task.spec(), &mut rng(1));
+    let mut opt = MomentumSgd::new(0.01, 0.9);
+    let mut r = rng(2);
+    for epoch in 0..6 {
+        let mut last = 0.0;
+        for (x, y) in BatchIter::new(&train, 32, &mut r) {
+            last = model.train_batch(&x, &y, &mut opt);
+        }
+        let preds = model.predict(test.inputs());
+        let acc = accuracy(test.labels(), &preds);
+        println!("epoch {epoch}: loss {last:.3} test acc {acc:.3} elapsed {:?}", t0.elapsed());
+    }
+}

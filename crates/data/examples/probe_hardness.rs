@@ -1,0 +1,26 @@
+use middle_data::synthetic::{SyntheticSource, Task};
+
+fn acc(task: Task, seed: u64) -> f32 {
+    let src = SyntheticSource::new(task, seed);
+    let d = src.generate_balanced(600, 3);
+    let protos = src.prototypes();
+    let flen = d.sample_len();
+    let mut correct = 0usize;
+    for i in 0..d.len() {
+        let x = &d.inputs().data()[i * flen..(i + 1) * flen];
+        let mut best = (0usize, f32::INFINITY);
+        for (c, p) in protos.iter().enumerate() {
+            let dist: f32 = x.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
+            if dist < best.1 { best = (c, dist); }
+        }
+        if best.0 == d.labels()[i] { correct += 1; }
+    }
+    correct as f32 / d.len() as f32
+}
+
+fn main() {
+    for t in Task::ALL {
+        let a: f32 = (0..3).map(|s| acc(t, 100 + s)).sum::<f32>() / 3.0;
+        println!("{}: {:.3}", t.name(), a);
+    }
+}

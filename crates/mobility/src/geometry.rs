@@ -1,0 +1,173 @@
+//! Planar geometry: the service area, edge cells and nearest-edge
+//! attachment.
+//!
+//! The paper's devices "always connect to the nearest edge" (Eq. 3).
+//! Edges are laid out as sites on a rectangular service area; attachment
+//! is nearest-site (a Voronoi partition). A near-square grid layout keeps
+//! cells balanced, matching the base-station picture of Figure 4.
+
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D service area.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate in metres.
+    pub x: f64,
+    /// Vertical coordinate in metres.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// The rectangular service area with edge sites inside it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceArea {
+    /// Area width in metres.
+    pub width: f64,
+    /// Area height in metres.
+    pub height: f64,
+    /// Edge server positions.
+    pub edges: Vec<Point>,
+}
+
+impl ServiceArea {
+    /// Creates a service area with explicit edge sites.
+    ///
+    /// # Panics
+    /// Panics when dimensions are non-positive, no edges are given, or an
+    /// edge lies outside the area.
+    pub fn new(width: f64, height: f64, edges: Vec<Point>) -> Self {
+        assert!(width > 0.0 && height > 0.0, "area must have positive size");
+        assert!(!edges.is_empty(), "need at least one edge");
+        for (i, e) in edges.iter().enumerate() {
+            assert!(
+                (0.0..=width).contains(&e.x) && (0.0..=height).contains(&e.y),
+                "edge {i} at ({}, {}) outside {width}x{height} area",
+                e.x,
+                e.y
+            );
+        }
+        ServiceArea {
+            width,
+            height,
+            edges,
+        }
+    }
+
+    /// Lays `n` edges out on a near-square grid over a `width × height`
+    /// area, each at the centre of its grid cell.
+    pub fn grid(width: f64, height: f64, n: usize) -> Self {
+        assert!(n > 0, "need at least one edge");
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let (cw, ch) = (width / cols as f64, height / rows as f64);
+        let mut edges = Vec::with_capacity(n);
+        'outer: for r in 0..rows {
+            for c in 0..cols {
+                if edges.len() == n {
+                    break 'outer;
+                }
+                edges.push(Point::new((c as f64 + 0.5) * cw, (r as f64 + 0.5) * ch));
+            }
+        }
+        ServiceArea::new(width, height, edges)
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Index of the nearest edge to `p` (ties: lowest index).
+    pub fn nearest_edge(&self, p: &Point) -> usize {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (i, e) in self.edges.iter().enumerate() {
+            let d = e.distance(p);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Clamps a point into the area (used after a movement step).
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+
+    /// True when `p` lies inside the area (inclusive borders).
+    pub fn contains(&self, p: &Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_places_all_edges_inside() {
+        for n in [1usize, 2, 4, 7, 10, 16] {
+            let area = ServiceArea::grid(1000.0, 800.0, n);
+            assert_eq!(area.num_edges(), n);
+            for e in &area.edges {
+                assert!(area.contains(e));
+            }
+        }
+    }
+
+    #[test]
+    fn grid_edges_are_distinct() {
+        let area = ServiceArea::grid(100.0, 100.0, 10);
+        for i in 0..10 {
+            for j in (i + 1)..10 {
+                assert!(area.edges[i].distance(&area.edges[j]) > 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_edge_partition_is_voronoi() {
+        let area = ServiceArea::new(
+            10.0,
+            10.0,
+            vec![Point::new(2.0, 5.0), Point::new(8.0, 5.0)],
+        );
+        assert_eq!(area.nearest_edge(&Point::new(0.0, 5.0)), 0);
+        assert_eq!(area.nearest_edge(&Point::new(9.9, 5.0)), 1);
+        // Exactly on the bisector: lowest index wins.
+        assert_eq!(area.nearest_edge(&Point::new(5.0, 5.0)), 0);
+    }
+
+    #[test]
+    fn clamp_confines_points() {
+        let area = ServiceArea::grid(10.0, 10.0, 1);
+        let p = area.clamp(Point::new(-3.0, 42.0));
+        assert_eq!(p, Point::new(0.0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn edge_outside_area_panics() {
+        ServiceArea::new(10.0, 10.0, vec![Point::new(11.0, 5.0)]);
+    }
+}

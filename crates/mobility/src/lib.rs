@@ -1,0 +1,23 @@
+//! # middle-mobility
+//!
+//! Mobility substrate for the MIDDLE (ICPP 2023) reproduction — a
+//! stand-in for the ONE simulator the paper uses to generate device
+//! traces.
+//!
+//! * [`geometry`]: the rectangular service area, edge sites and
+//!   nearest-edge (Voronoi) attachment — the "device always connects to
+//!   the nearest edge" rule of §3.2, Eq. 3.
+//! * [`models`]: stationary, random-walk and random-waypoint movement.
+//! * [`trace`]: per-step device→edge assignments, the Markov edge-hop
+//!   generator with a controlled global mobility probability `P`
+//!   (the knob of Figure 7), empirical-mobility measurement and
+//!   import/export (JSON and a ONE-style report format).
+
+pub mod geometry;
+pub mod models;
+pub mod stats;
+pub mod trace;
+
+pub use geometry::{Point, ServiceArea};
+pub use models::{MobilityKind, MobilityModel};
+pub use trace::{generate_geometric, generate_markov_hop, generate_markov_hop_homed, Trace};

@@ -1,0 +1,171 @@
+//! Trace statistics: empirical transition matrices, sojourn times,
+//! occupancy distributions and mixing diagnostics.
+//!
+//! These are the quantities a practitioner needs to verify that a
+//! generated (or imported) trace actually realises the mobility regime an
+//! experiment assumes — e.g. that the empirical global mobility matches
+//! the configured `P`, or how quickly edge populations mix.
+
+use crate::trace::Trace;
+
+/// Row-stochastic empirical edge-transition matrix: `m[i][j]` is the
+/// probability of a device being at edge `j` at `t+1` given edge `i` at
+/// `t`, estimated over all device-steps. Rows with no visits are uniform.
+pub fn transition_matrix(trace: &Trace) -> Vec<Vec<f64>> {
+    let n = trace.num_edges();
+    let mut counts = vec![vec![0u64; n]; n];
+    for t in 1..trace.steps() {
+        for m in 0..trace.devices() {
+            counts[trace.edge_of(t - 1, m)][trace.edge_of(t, m)] += 1;
+        }
+    }
+    counts
+        .into_iter()
+        .map(|row| {
+            let total: u64 = row.iter().sum();
+            if total == 0 {
+                vec![1.0 / n as f64; n]
+            } else {
+                row.into_iter().map(|c| c as f64 / total as f64).collect()
+            }
+        })
+        .collect()
+}
+
+/// Mean sojourn time (consecutive steps spent on one edge before
+/// moving), over all completed visits. Returns the trace length when no
+/// device ever moves.
+pub fn mean_sojourn(trace: &Trace) -> f64 {
+    let mut visits = 0u64;
+    let mut total = 0u64;
+    for m in 0..trace.devices() {
+        let mut run = 1u64;
+        for t in 1..trace.steps() {
+            if trace.moved(t, m) {
+                visits += 1;
+                total += run;
+                run = 1;
+            } else {
+                run += 1;
+            }
+        }
+    }
+    if visits == 0 {
+        trace.steps() as f64
+    } else {
+        total as f64 / visits as f64
+    }
+}
+
+/// Time-averaged edge-occupancy distribution (fraction of device-steps
+/// spent at each edge).
+pub fn occupancy_distribution(trace: &Trace) -> Vec<f64> {
+    let n = trace.num_edges();
+    let mut counts = vec![0u64; n];
+    for t in 0..trace.steps() {
+        for (e, c) in trace.occupancy(t).iter().zip(counts.iter_mut()) {
+            *c += *e as u64;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    counts.into_iter().map(|c| c as f64 / total as f64).collect()
+}
+
+/// Fraction of device-steps each device spends at its `homes[m]` edge.
+pub fn at_home_fraction(trace: &Trace, homes: &[usize]) -> f64 {
+    assert_eq!(homes.len(), trace.devices(), "homes per device");
+    let mut at_home = 0u64;
+    let mut total = 0u64;
+    for t in 0..trace.steps() {
+        for (m, &h) in homes.iter().enumerate() {
+            total += 1;
+            at_home += u64::from(trace.edge_of(t, m) == h);
+        }
+    }
+    at_home as f64 / total as f64
+}
+
+/// Total-variation distance of the occupancy distribution from uniform —
+/// 0 for perfectly balanced edges, approaching 1 for full concentration.
+pub fn occupancy_imbalance(trace: &Trace) -> f64 {
+    let occ = occupancy_distribution(trace);
+    let uniform = 1.0 / trace.num_edges() as f64;
+    0.5 * occ.iter().map(|p| (p - uniform).abs()).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{generate_markov_hop, generate_markov_hop_homed};
+
+    #[test]
+    fn transition_matrix_rows_are_stochastic() {
+        let t = generate_markov_hop(4, 30, 100, 0.4, 1);
+        let m = transition_matrix(&t);
+        for row in &m {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row sums to {s}");
+        }
+    }
+
+    #[test]
+    fn transition_diagonal_matches_stay_probability() {
+        // With P = 0.3, devices stay put with probability ≈ 0.7.
+        let t = generate_markov_hop(5, 100, 400, 0.3, 2);
+        let m = transition_matrix(&t);
+        for (i, row) in m.iter().enumerate() {
+            assert!(
+                (row[i] - 0.7).abs() < 0.06,
+                "diagonal {i} = {}",
+                row[i]
+            );
+        }
+    }
+
+    #[test]
+    fn static_trace_has_identity_transitions_and_full_sojourn() {
+        let t = generate_markov_hop(3, 10, 50, 0.0, 3);
+        let m = transition_matrix(&t);
+        for (i, row) in m.iter().enumerate() {
+            if row.iter().sum::<f64>() > 0.0 && t.devices_at(0, i).len() > 0 {
+                assert!((row[i] - 1.0).abs() < 1e-9);
+            }
+        }
+        assert_eq!(mean_sojourn(&t), 50.0);
+    }
+
+    #[test]
+    fn sojourn_shrinks_with_mobility() {
+        let slow = generate_markov_hop(4, 50, 200, 0.1, 4);
+        let fast = generate_markov_hop(4, 50, 200, 0.8, 4);
+        assert!(mean_sojourn(&fast) < mean_sojourn(&slow));
+        // Geometric holding time ⇒ mean ≈ 1/P.
+        assert!((mean_sojourn(&fast) - 1.25).abs() < 0.3);
+    }
+
+    #[test]
+    fn occupancy_distribution_sums_to_one() {
+        let t = generate_markov_hop(6, 40, 80, 0.5, 5);
+        let occ = occupancy_distribution(&t);
+        assert!((occ.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_eq!(occ.len(), 6);
+    }
+
+    #[test]
+    fn uniform_hopping_has_low_imbalance() {
+        let t = generate_markov_hop(4, 200, 300, 0.5, 6);
+        assert!(occupancy_imbalance(&t) < 0.05);
+    }
+
+    #[test]
+    fn homed_trace_reports_elevated_at_home_fraction() {
+        let homes: Vec<usize> = (0..60).map(|m| m % 4).collect();
+        let t = generate_markov_hop_homed(4, &homes, 300, 0.5, 0.6, 7);
+        let frac = at_home_fraction(&t, &homes);
+        assert!(frac > 0.3, "at-home {frac}");
+        // Uniform hopping for comparison sits near 1/4.
+        let u = generate_markov_hop(4, 60, 300, 0.5, 8);
+        let frac_u = at_home_fraction(&u, &homes);
+        assert!(frac - frac_u > 0.08, "homed {frac} vs uniform {frac_u}");
+    }
+}

@@ -1,0 +1,509 @@
+//! Mobility traces: the per-time-step device→edge assignment consumed by
+//! the federated simulation.
+//!
+//! The paper is "orthogonal to the classic mobility models … we do not
+//! need a whole mobile trajectory" (§3.2): only edge membership per step
+//! matters, plus the global mobility probability `P` (the expected
+//! per-step fraction of devices that switch edges). A [`Trace`] can be
+//! generated three ways:
+//!
+//! * geometrically, by running a [`crate::models::MobilityModel`] over a
+//!   [`crate::geometry::ServiceArea`] and attaching each device to its
+//!   nearest edge;
+//! * directly, by a Markov edge-hop process whose per-device move
+//!   probability averages to the requested `P` (the controlled knob of
+//!   the paper's Figure 7); or
+//! * by importing a previously exported trace.
+
+use crate::geometry::ServiceArea;
+use crate::models::MobilityModel;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A complete mobility trace: `assignments[t][m]` is the edge of device
+/// `m` during time step `t`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    num_edges: usize,
+    assignments: Vec<Vec<usize>>,
+}
+
+impl Trace {
+    /// Wraps raw assignments.
+    ///
+    /// # Panics
+    /// Panics when steps have differing device counts or any edge index
+    /// is out of range.
+    pub fn new(num_edges: usize, assignments: Vec<Vec<usize>>) -> Self {
+        assert!(num_edges > 0, "need at least one edge");
+        assert!(!assignments.is_empty(), "trace needs at least one step");
+        let devices = assignments[0].len();
+        for (t, step) in assignments.iter().enumerate() {
+            assert_eq!(step.len(), devices, "step {t} device count mismatch");
+            assert!(
+                step.iter().all(|&e| e < num_edges),
+                "step {t} has an out-of-range edge index"
+            );
+        }
+        Trace {
+            num_edges,
+            assignments,
+        }
+    }
+
+    /// Number of time steps.
+    pub fn steps(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.assignments[0].len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Edge of device `m` at step `t`.
+    pub fn edge_of(&self, t: usize, m: usize) -> usize {
+        self.assignments[t][m]
+    }
+
+    /// All device→edge assignments at step `t`.
+    pub fn at(&self, t: usize) -> &[usize] {
+        &self.assignments[t]
+    }
+
+    /// Devices attached to `edge` at step `t` (the candidate set `M_n^t`).
+    pub fn devices_at(&self, t: usize, edge: usize) -> Vec<usize> {
+        self.assignments[t]
+            .iter()
+            .enumerate()
+            .filter(|(_, &e)| e == edge)
+            .map(|(m, _)| m)
+            .collect()
+    }
+
+    /// True when device `m` entered its step-`t` edge from a different
+    /// edge (the `m ∉ M_n^{t−1}` test of Algorithm 1, line 4). Step 0
+    /// counts as not-moved.
+    pub fn moved(&self, t: usize, m: usize) -> bool {
+        t > 0 && self.assignments[t][m] != self.assignments[t - 1][m]
+    }
+
+    /// Empirical global mobility: the fraction of device-steps (from step
+    /// 1 on) where the device changed edge — the measured counterpart of
+    /// the paper's `P`.
+    pub fn empirical_mobility(&self) -> f64 {
+        if self.steps() < 2 {
+            return 0.0;
+        }
+        let mut moved = 0usize;
+        let mut total = 0usize;
+        for t in 1..self.steps() {
+            for m in 0..self.devices() {
+                total += 1;
+                moved += usize::from(self.moved(t, m));
+            }
+        }
+        moved as f64 / total as f64
+    }
+
+    /// Per-step edge occupancy histogram at step `t`.
+    pub fn occupancy(&self, t: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_edges];
+        for &e in &self.assignments[t] {
+            counts[e] += 1;
+        }
+        counts
+    }
+
+    /// Serialises the trace to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialisation cannot fail")
+    }
+
+    /// Parses a JSON trace.
+    ///
+    /// # Errors
+    /// Returns the parse or validation error message.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let t: Trace = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        if t.assignments.is_empty() {
+            return Err("trace needs at least one step".into());
+        }
+        let devices = t.assignments[0].len();
+        for step in &t.assignments {
+            if step.len() != devices {
+                return Err("step device count mismatch".into());
+            }
+            if step.iter().any(|&e| e >= t.num_edges) {
+                return Err("edge index out of range".into());
+            }
+        }
+        Ok(t)
+    }
+
+    /// Exports in a ONE-simulator-style report format: one
+    /// `time device edge` line per (step, device).
+    pub fn to_one_report(&self) -> String {
+        let mut out = String::with_capacity(self.steps() * self.devices() * 8);
+        for (t, step) in self.assignments.iter().enumerate() {
+            for (m, &e) in step.iter().enumerate() {
+                out.push_str(&format!("{t} {m} {e}\n"));
+            }
+        }
+        out
+    }
+
+    /// Parses the `time device edge` report format.
+    ///
+    /// # Errors
+    /// Returns a message describing the malformed line or inconsistent
+    /// structure.
+    pub fn from_one_report(s: &str, num_edges: usize) -> Result<Self, String> {
+        let mut rows: Vec<(usize, usize, usize)> = Vec::new();
+        for (lineno, line) in s.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut it = line.split_whitespace();
+            let parse = |tok: Option<&str>| -> Result<usize, String> {
+                tok.ok_or_else(|| format!("line {}: missing field", lineno + 1))?
+                    .parse::<usize>()
+                    .map_err(|e| format!("line {}: {e}", lineno + 1))
+            };
+            rows.push((parse(it.next())?, parse(it.next())?, parse(it.next())?));
+        }
+        if rows.is_empty() {
+            return Err("empty report".into());
+        }
+        let steps = rows.iter().map(|r| r.0).max().unwrap() + 1;
+        let devices = rows.iter().map(|r| r.1).max().unwrap() + 1;
+        let mut assignments = vec![vec![usize::MAX; devices]; steps];
+        for (t, m, e) in rows {
+            if e >= num_edges {
+                return Err(format!("edge {e} out of range"));
+            }
+            assignments[t][m] = e;
+        }
+        if assignments
+            .iter()
+            .any(|step| step.iter().any(|&e| e == usize::MAX))
+        {
+            return Err("report has gaps (missing device-step rows)".into());
+        }
+        Ok(Trace::new(num_edges, assignments))
+    }
+}
+
+/// Runs a geometric mobility model and converts positions to a trace via
+/// nearest-edge attachment.
+pub fn generate_geometric(
+    area: &ServiceArea,
+    model: &mut dyn MobilityModel,
+    devices: usize,
+    steps: usize,
+    seed: u64,
+) -> Trace {
+    assert!(steps > 0, "need at least one step");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positions = model.init(area, devices, &mut rng);
+    let mut assignments = Vec::with_capacity(steps);
+    assignments.push(
+        positions
+            .iter()
+            .map(|p| area.nearest_edge(p))
+            .collect::<Vec<_>>(),
+    );
+    for _ in 1..steps {
+        model.step(area, &mut positions, &mut rng);
+        assignments.push(positions.iter().map(|p| area.nearest_edge(p)).collect());
+    }
+    Trace::new(area.num_edges(), assignments)
+}
+
+/// Markov edge-hop trace with controlled global mobility.
+///
+/// Each device `m` has probability `p_m` of switching, at every step, to
+/// a uniformly-random *other* edge; `p_m` is spread around `p_global`
+/// (±50%, clamped to `[0, 1]`) so devices are heterogeneous while the
+/// expectation matches the paper's global mobility `P` (§3.2).
+pub fn generate_markov_hop(
+    num_edges: usize,
+    devices: usize,
+    steps: usize,
+    p_global: f64,
+    seed: u64,
+) -> Trace {
+    assert!(num_edges > 0, "need at least one edge");
+    assert!(steps > 0, "need at least one step");
+    assert!((0.0..=1.0).contains(&p_global), "P must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Heterogeneous per-device probabilities with mean p_global: draw
+    // U(0.5, 1.5)·P and renormalise the sample mean back to P.
+    let mut p: Vec<f64> = (0..devices)
+        .map(|_| (rng.gen_range(0.5..1.5) * p_global).clamp(0.0, 1.0))
+        .collect();
+    if p_global > 0.0 && devices > 0 {
+        let mean: f64 = p.iter().sum::<f64>() / devices as f64;
+        if mean > 0.0 {
+            let k = p_global / mean;
+            for v in &mut p {
+                *v = (*v * k).clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    let mut current: Vec<usize> = (0..devices).map(|_| rng.gen_range(0..num_edges)).collect();
+    let mut assignments = Vec::with_capacity(steps);
+    assignments.push(current.clone());
+    for _ in 1..steps {
+        for (m, e) in current.iter_mut().enumerate() {
+            if num_edges > 1 && rng.gen::<f64>() < p[m] {
+                let mut next = rng.gen_range(0..num_edges - 1);
+                if next >= *e {
+                    next += 1;
+                }
+                *e = next;
+            }
+        }
+        assignments.push(current.clone());
+    }
+    Trace::new(num_edges, assignments)
+}
+
+/// Home-biased Markov edge-hop trace: like [`generate_markov_hop`], but
+/// each device has a *home* edge it starts at and preferentially returns
+/// to — approximating the spatial locality of real (ONE-simulator-style)
+/// movement, which keeps edge-level data distributions persistently
+/// Non-IID while still realising the requested global mobility `P`.
+///
+/// When a device relocates (probability `p_m` per step, mean `p_global`)
+/// and is currently away from home, it returns home with probability
+/// `home_bias`, otherwise it picks a uniformly-random different edge.
+/// The stationary at-home fraction is `home_bias / (1 + home_bias)`.
+pub fn generate_markov_hop_homed(
+    num_edges: usize,
+    homes: &[usize],
+    steps: usize,
+    p_global: f64,
+    home_bias: f64,
+    seed: u64,
+) -> Trace {
+    assert!(num_edges > 0, "need at least one edge");
+    assert!(steps > 0, "need at least one step");
+    assert!((0.0..=1.0).contains(&p_global), "P must be in [0, 1]");
+    assert!((0.0..=1.0).contains(&home_bias), "home_bias must be in [0, 1]");
+    assert!(
+        homes.iter().all(|&h| h < num_edges),
+        "home edge out of range"
+    );
+    let devices = homes.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut p: Vec<f64> = (0..devices)
+        .map(|_| (rng.gen_range(0.5..1.5) * p_global).clamp(0.0, 1.0))
+        .collect();
+    if p_global > 0.0 && devices > 0 {
+        let mean: f64 = p.iter().sum::<f64>() / devices as f64;
+        if mean > 0.0 {
+            let k = p_global / mean;
+            for v in &mut p {
+                *v = (*v * k).clamp(0.0, 1.0);
+            }
+        }
+    }
+
+    let mut current: Vec<usize> = homes.to_vec();
+    let mut assignments = Vec::with_capacity(steps);
+    assignments.push(current.clone());
+    for _ in 1..steps {
+        for (m, e) in current.iter_mut().enumerate() {
+            if num_edges > 1 && rng.gen::<f64>() < p[m] {
+                let home = homes[m];
+                *e = if *e != home && rng.gen::<f64>() < home_bias {
+                    home
+                } else {
+                    // Uniform over the other edges (never a self-loop, so
+                    // every draw is a real move and E[moves] tracks P).
+                    let mut next = rng.gen_range(0..num_edges - 1);
+                    if next >= *e {
+                        next += 1;
+                    }
+                    next
+                };
+            }
+        }
+        assignments.push(current.clone());
+    }
+    Trace::new(num_edges, assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::MobilityKind;
+
+    #[test]
+    fn markov_hop_matches_requested_mobility() {
+        for p in [0.1f64, 0.3, 0.5] {
+            let t = generate_markov_hop(10, 100, 300, p, 42);
+            let emp = t.empirical_mobility();
+            assert!(
+                (emp - p).abs() < 0.05,
+                "requested P={p}, got {emp}"
+            );
+        }
+    }
+
+    #[test]
+    fn markov_hop_zero_p_is_static() {
+        let t = generate_markov_hop(5, 20, 50, 0.0, 1);
+        assert_eq!(t.empirical_mobility(), 0.0);
+    }
+
+    #[test]
+    fn single_edge_never_moves() {
+        let t = generate_markov_hop(1, 10, 20, 0.9, 2);
+        assert_eq!(t.empirical_mobility(), 0.0);
+    }
+
+    #[test]
+    fn devices_at_partitions_all_devices() {
+        let t = generate_markov_hop(4, 30, 10, 0.4, 3);
+        for step in 0..t.steps() {
+            let total: usize = (0..4).map(|e| t.devices_at(step, e).len()).sum();
+            assert_eq!(total, 30);
+        }
+    }
+
+    #[test]
+    fn moved_detects_transitions() {
+        let t = Trace::new(3, vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        assert!(!t.moved(0, 0));
+        assert!(!t.moved(1, 0));
+        assert!(t.moved(1, 1));
+        assert!(t.moved(2, 0));
+        assert!(!t.moved(2, 1));
+        assert!((t.empirical_mobility() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_trace_covers_edges() {
+        let area = ServiceArea::grid(1000.0, 1000.0, 4);
+        let mut model = MobilityKind::RandomWaypoint {
+            min_speed: 50.0,
+            max_speed: 150.0,
+        }
+        .build();
+        let t = generate_geometric(&area, model.as_mut(), 40, 50, 7);
+        assert_eq!(t.devices(), 40);
+        assert_eq!(t.steps(), 50);
+        // Over 50 steps of brisk movement, every edge should host someone
+        // at some point.
+        let mut visited = vec![false; 4];
+        for step in 0..t.steps() {
+            for (e, v) in t.occupancy(step).iter().zip(visited.iter_mut()) {
+                if *e > 0 {
+                    *v = true;
+                }
+            }
+        }
+        assert!(visited.iter().all(|&v| v));
+        assert!(t.empirical_mobility() > 0.0);
+    }
+
+    #[test]
+    fn stationary_geometric_trace_has_zero_mobility() {
+        let area = ServiceArea::grid(100.0, 100.0, 4);
+        let mut model = MobilityKind::Stationary.build();
+        let t = generate_geometric(&area, model.as_mut(), 10, 20, 8);
+        assert_eq!(t.empirical_mobility(), 0.0);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let t = generate_markov_hop(3, 5, 8, 0.3, 9);
+        let t2 = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn one_report_roundtrip() {
+        let t = generate_markov_hop(4, 6, 5, 0.5, 10);
+        let rep = t.to_one_report();
+        let t2 = Trace::from_one_report(&rep, 4).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn one_report_rejects_gaps() {
+        let rep = "0 0 1\n0 1 2\n1 0 1\n"; // missing (1, 1)
+        assert!(Trace::from_one_report(rep, 3).is_err());
+    }
+
+    #[test]
+    fn one_report_skips_comments_and_blanks() {
+        let rep = "# header\n\n0 0 1\n0 1 0\n";
+        let t = Trace::from_one_report(rep, 2).unwrap();
+        assert_eq!(t.devices(), 2);
+        assert_eq!(t.steps(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn new_rejects_bad_edge_index() {
+        Trace::new(2, vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn homed_hop_matches_requested_mobility() {
+        let homes: Vec<usize> = (0..100).map(|m| m % 5).collect();
+        for p in [0.1f64, 0.5] {
+            let t = generate_markov_hop_homed(5, &homes, 300, p, 0.6, 17);
+            let emp = t.empirical_mobility();
+            assert!((emp - p).abs() < 0.06, "requested P={p}, got {emp}");
+        }
+    }
+
+    #[test]
+    fn homed_hop_keeps_devices_near_home() {
+        let homes: Vec<usize> = (0..100).map(|m| m % 5).collect();
+        let t = generate_markov_hop_homed(5, &homes, 400, 0.5, 0.6, 23);
+        // Count at-home device-steps over the tail (past mixing).
+        let mut at_home = 0usize;
+        let mut total = 0usize;
+        for step in 200..t.steps() {
+            for (m, &home) in homes.iter().enumerate() {
+                total += 1;
+                at_home += usize::from(t.edge_of(step, m) == home);
+            }
+        }
+        let frac = at_home as f64 / total as f64;
+        // Stationary at-home fraction ≈ hb/(1+hb) = 0.375 >> uniform 0.2.
+        assert!(frac > 0.3, "at-home fraction {frac}");
+        assert!(frac < 0.55, "at-home fraction {frac}");
+    }
+
+    #[test]
+    fn homed_hop_starts_at_home() {
+        let homes = vec![2usize, 0, 1];
+        let t = generate_markov_hop_homed(3, &homes, 5, 0.9, 0.5, 3);
+        assert_eq!(t.at(0), &homes[..]);
+    }
+
+    #[test]
+    fn traces_are_seed_deterministic() {
+        let a = generate_markov_hop(5, 10, 30, 0.4, 11);
+        let b = generate_markov_hop(5, 10, 30, 0.4, 11);
+        assert_eq!(a, b);
+        let c = generate_markov_hop(5, 10, 30, 0.4, 12);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,94 @@
+//! The [`Layer`] trait and trainable [`Param`] storage.
+
+use middle_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// A trainable parameter tensor paired with its gradient accumulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Gradient of the loss w.r.t. `value`, accumulated by `backward`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// True when the parameter holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.data_mut().fill(0.0);
+    }
+}
+
+/// One differentiable stage of a [`crate::model::Sequential`] network.
+///
+/// The forward pass may cache whatever it needs for the backward pass
+/// (inputs, masks, argmax tables); `backward` must be called after the
+/// matching `forward`, with the upstream gradient of the forward output,
+/// and returns the gradient w.r.t. the forward input while accumulating
+/// parameter gradients into [`Param::grad`].
+pub trait Layer: Send + Sync {
+    /// Human-readable layer name for summaries and error messages.
+    fn name(&self) -> &'static str;
+
+    /// Forward pass. `train` enables training-only behaviour (dropout).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backward pass: upstream gradient in, input gradient out.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to this layer's trainable parameters (possibly none).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to this layer's trainable parameters (possibly none).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Clones the layer behind the trait object (models are cloned per
+    /// federated device).
+    fn clone_box(&self) -> Box<dyn Layer>;
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_starts_with_zero_grad() {
+        let p = Param::new(Tensor::ones([3]));
+        assert_eq!(p.grad.data(), &[0., 0., 0.]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones([2]));
+        p.grad.data_mut().copy_from_slice(&[5., 6.]);
+        p.zero_grad();
+        assert_eq!(p.grad.data(), &[0., 0.]);
+    }
+}

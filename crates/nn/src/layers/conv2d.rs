@@ -1,0 +1,130 @@
+//! 2-D convolution layer over NCHW activations.
+
+use crate::layer::{Layer, Param};
+use middle_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeometry};
+use middle_tensor::random::he_normal;
+use middle_tensor::{ops, Tensor};
+use rand::rngs::StdRng;
+
+/// Convolution layer with square kernels, He-normal initialisation.
+pub struct Conv2d {
+    geometry: ConvGeometry,
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a convolution layer for the given geometry.
+    pub fn new(geometry: ConvGeometry, rng: &mut StdRng) -> Self {
+        let fan_in = geometry.patch_len();
+        let weight = he_normal([geometry.out_c, fan_in], fan_in, rng);
+        Conv2d {
+            geometry,
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros([geometry.out_c])),
+            cached_input: None,
+        }
+    }
+
+    /// The layer's static geometry.
+    pub fn geometry(&self) -> &ConvGeometry {
+        &self.geometry
+    }
+}
+
+impl Clone for Conv2d {
+    fn clone(&self) -> Self {
+        Conv2d {
+            geometry: self.geometry,
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        self.cached_input = Some(input.clone());
+        conv2d_forward(input, &self.weight.value, &self.bias.value, &self.geometry)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        let (dx, dw, db) = conv2d_backward(input, &self.weight.value, grad_out, &self.geometry);
+        ops::add_inplace(&mut self.weight.grad, &dw);
+        ops::add_inplace(&mut self.bias.grad, &db);
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use middle_tensor::random::rng;
+
+    fn geom() -> ConvGeometry {
+        ConvGeometry {
+            in_c: 1,
+            out_c: 2,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 4,
+            in_w: 4,
+        }
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut c = Conv2d::new(geom(), &mut rng(1));
+        let x = Tensor::zeros([3, 1, 4, 4]);
+        let y = c.forward(&x, true);
+        assert_eq!(y.shape().dims(), &[3, 2, 4, 4]);
+    }
+
+    #[test]
+    fn backward_accumulates_param_grads() {
+        let mut c = Conv2d::new(geom(), &mut rng(2));
+        let x = Tensor::ones([1, 1, 4, 4]);
+        let y = c.forward(&x, true);
+        let dx = c.backward(&Tensor::ones(y.shape().clone()));
+        assert_eq!(dx.shape(), x.shape());
+        let bias_grad = &c.params()[1].grad;
+        // dL/db for sum loss is out_h*out_w per channel.
+        assert_eq!(bias_grad.data(), &[16.0, 16.0]);
+    }
+
+    #[test]
+    fn two_forwards_then_backward_uses_latest_input() {
+        let mut c = Conv2d::new(geom(), &mut rng(3));
+        let x1 = Tensor::zeros([1, 1, 4, 4]);
+        let x2 = Tensor::ones([1, 1, 4, 4]);
+        c.forward(&x1, true);
+        let y = c.forward(&x2, true);
+        // Backward with the cached x2: weight grads equal sum of windows of x2,
+        // which is nonzero — would be all zero if x1 were cached.
+        c.backward(&Tensor::ones(y.shape().clone()));
+        assert!(c.params()[0].grad.data().iter().any(|&g| g != 0.0));
+    }
+}

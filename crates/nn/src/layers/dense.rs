@@ -1,0 +1,168 @@
+//! Fully connected (affine) layer.
+
+use crate::layer::{Layer, Param};
+use middle_tensor::matmul::{matmul_at, matmul_bt};
+use middle_tensor::random::xavier_uniform;
+use middle_tensor::reduce::sum_axis0;
+use middle_tensor::{ops, Tensor};
+use rand::rngs::StdRng;
+
+/// Affine layer `y = x · Wᵀ + b` over `[N, in]` activations.
+///
+/// Weights are stored `[out, in]` so the forward pass is a fused
+/// `matmul_bt` and the backward weight gradient is `dyᵀ · x`.
+pub struct Dense {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Dense {
+    /// Creates a dense layer with Xavier-uniform weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let weight = xavier_uniform([out_features, in_features], in_features, out_features, rng);
+        Dense {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros([out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Clone for Dense {
+    fn clone(&self) -> Self {
+        Dense {
+            weight: self.weight.clone(),
+            bias: self.bias.clone(),
+            in_features: self.in_features,
+            out_features: self.out_features,
+            cached_input: None,
+        }
+    }
+}
+
+impl Layer for Dense {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "dense input must be [N, in]");
+        assert_eq!(
+            input.shape().dim(1),
+            self.in_features,
+            "dense input features mismatch"
+        );
+        self.cached_input = Some(input.clone());
+        let mut out = matmul_bt(input, &self.weight.value);
+        ops::add_inplace(&mut out, &self.bias.value);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = dyᵀ · x  ([out, N]·[N, in] = [out, in]), via matmul_at(dy, x).
+        let dw = matmul_at(grad_out, input);
+        ops::add_inplace(&mut self.weight.grad, &dw);
+        ops::add_inplace(&mut self.bias.grad, &sum_axis0(grad_out));
+        // dx = dy · W  ([N, out]·[out, in]).
+        middle_tensor::matmul::matmul(grad_out, &self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use middle_tensor::random::rng;
+
+    #[test]
+    fn forward_matches_manual_affine() {
+        let mut d = Dense::new(2, 3, &mut rng(1));
+        // Overwrite with known weights.
+        d.weight.value = Tensor::from_vec([3, 2], vec![1., 0., 0., 1., 1., 1.]);
+        d.bias.value = Tensor::from_vec([3], vec![0.5, -0.5, 0.0]);
+        let x = Tensor::from_vec([1, 2], vec![2., 3.]);
+        let y = d.forward(&x, true);
+        assert_eq!(y.data(), &[2.5, 2.5, 5.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut d = Dense::new(3, 2, &mut rng(7));
+        let x = Tensor::from_vec([2, 3], vec![0.1, -0.2, 0.3, 0.4, 0.5, -0.6]);
+        let y = d.forward(&x, true);
+        let dout = Tensor::ones(y.shape().clone());
+        let dx = d.backward(&dout);
+
+        let eps = 1e-3;
+        let loss = |d: &mut Dense, x: &Tensor| d.forward(x, true).sum();
+
+        // Input gradient.
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&mut d, &xp) - loss(&mut d, &xm)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 1e-2, "dx[{i}]");
+        }
+        // Weight gradient (spot check).
+        let wg = d.params()[0].grad.clone();
+        for i in [0usize, 3, 5] {
+            let orig = d.weight.value.data()[i];
+            d.weight.value.data_mut()[i] = orig + eps;
+            let lp = loss(&mut d, &x);
+            d.weight.value.data_mut()[i] = orig - eps;
+            let lm = loss(&mut d, &x);
+            d.weight.value.data_mut()[i] = orig;
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - wg.data()[i]).abs() < 1e-2, "dw[{i}]");
+        }
+    }
+
+    #[test]
+    fn clone_resets_cache_but_keeps_params() {
+        let mut d = Dense::new(2, 2, &mut rng(3));
+        let x = Tensor::from_vec([1, 2], vec![1., 2.]);
+        d.forward(&x, true);
+        let c = d.clone();
+        assert_eq!(c.params()[0].value, d.params()[0].value);
+        assert!(c.cached_input.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "features mismatch")]
+    fn wrong_input_width_panics() {
+        let mut d = Dense::new(4, 2, &mut rng(1));
+        d.forward(&Tensor::zeros([1, 3]), true);
+    }
+}

@@ -1,0 +1,222 @@
+//! Flat parameter-vector view of a model.
+//!
+//! Federated aggregation treats a whole model as one vector `w ∈ R^d`:
+//! cosine similarity (paper Eq. 8), convex blends (Eq. 9), accumulated
+//! updates `Δw = w_m − w_c` (Eq. 10) and FedAvg means (Eqs. 6–7) all
+//! operate on this view. Functions here copy between a [`Sequential`] and
+//! a `Vec<f32>` in canonical parameter order.
+
+use crate::model::Sequential;
+use middle_tensor::ops::{cosine_similarity_slices, dot_slices};
+
+/// Copies all parameters of `model` into a new flat vector.
+pub fn flatten(model: &Sequential) -> Vec<f32> {
+    let mut out = Vec::with_capacity(model.param_count());
+    for p in model.params() {
+        out.extend_from_slice(p.value.data());
+    }
+    out
+}
+
+/// Copies all parameters of `model` into `buf`, reusing its allocation.
+pub fn flatten_into(model: &Sequential, buf: &mut Vec<f32>) {
+    buf.clear();
+    buf.reserve(model.param_count());
+    for p in model.params() {
+        buf.extend_from_slice(p.value.data());
+    }
+}
+
+/// Writes a flat vector back into `model`'s parameters.
+///
+/// # Panics
+/// Panics when `flat.len() != model.param_count()`.
+pub fn unflatten(model: &mut Sequential, flat: &[f32]) {
+    assert_eq!(
+        flat.len(),
+        model.param_count(),
+        "flat parameter vector length mismatch"
+    );
+    let mut off = 0usize;
+    for p in model.params_mut() {
+        let n = p.len();
+        p.value.data_mut().copy_from_slice(&flat[off..off + n]);
+        off += n;
+    }
+}
+
+/// Cosine similarity between two models' flat parameter vectors.
+///
+/// # Panics
+/// Panics when the models have different parameter counts.
+pub fn model_cosine(a: &Sequential, b: &Sequential) -> f32 {
+    let (fa, fb) = (flatten(a), flatten(b));
+    assert_eq!(fa.len(), fb.len(), "model architecture mismatch");
+    cosine_similarity_slices(&fa, &fb)
+}
+
+/// Squared L2 distance between two models' parameters.
+pub fn model_distance2(a: &Sequential, b: &Sequential) -> f32 {
+    let (fa, fb) = (flatten(a), flatten(b));
+    assert_eq!(fa.len(), fb.len(), "model architecture mismatch");
+    fa.iter().zip(&fb).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// L2 norm of the model's flat parameter vector.
+pub fn model_norm(model: &Sequential) -> f32 {
+    let f = flatten(model);
+    dot_slices(&f, &f).sqrt()
+}
+
+/// Convex blend `alpha * a + (1 - alpha) * b` written into a fresh clone
+/// of `a` (on-device model aggregation's arithmetic core).
+///
+/// # Panics
+/// Panics when the architectures differ or `alpha` is outside `[0, 1]`.
+pub fn blend(a: &Sequential, b: &Sequential, alpha: f32) -> Sequential {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let (fa, fb) = (flatten(a), flatten(b));
+    assert_eq!(fa.len(), fb.len(), "model architecture mismatch");
+    let blended: Vec<f32> = fa
+        .iter()
+        .zip(&fb)
+        .map(|(&x, &y)| alpha * x + (1.0 - alpha) * y)
+        .collect();
+    let mut out = a.clone();
+    unflatten(&mut out, &blended);
+    out
+}
+
+/// Weighted FedAvg of several models' parameters (weights are raw sample
+/// counts; normalised internally), written into a clone of the first.
+///
+/// # Panics
+/// Panics when `models` is empty, architectures differ, or weights are not
+/// positive-summing non-negative finite values.
+pub fn weighted_average(models: &[&Sequential], weights: &[f32]) -> Sequential {
+    assert!(!models.is_empty(), "weighted_average of no models");
+    assert_eq!(models.len(), weights.len(), "weights length mismatch");
+    let total: f32 = weights.iter().sum();
+    assert!(
+        total > 0.0 && weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be non-negative with positive sum"
+    );
+    let d = models[0].param_count();
+    let mut acc = vec![0.0f32; d];
+    let mut buf = Vec::with_capacity(d);
+    for (m, &w) in models.iter().zip(weights) {
+        flatten_into(m, &mut buf);
+        assert_eq!(buf.len(), d, "model architecture mismatch");
+        let s = w / total;
+        for (a, &x) in acc.iter_mut().zip(&buf) {
+            *a += s * x;
+        }
+    }
+    let mut out = models[0].clone();
+    unflatten(&mut out, &acc);
+    out
+}
+
+/// Elementwise difference `a − b` of two models' flat parameters
+/// (the accumulated update `Δw_m = w_m − w_c` of Eq. 10).
+pub fn delta(a: &Sequential, b: &Sequential) -> Vec<f32> {
+    let (fa, fb) = (flatten(a), flatten(b));
+    assert_eq!(fa.len(), fb.len(), "model architecture mismatch");
+    fa.iter().zip(&fb).map(|(x, y)| x - y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Dense, Relu};
+    use middle_tensor::random::rng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut r = rng(seed);
+        Sequential::new()
+            .push(Dense::new(3, 4, &mut r))
+            .push(Relu::new())
+            .push(Dense::new(4, 2, &mut r))
+    }
+
+    #[test]
+    fn flatten_unflatten_roundtrip() {
+        let mut m = model(1);
+        let flat = flatten(&m);
+        assert_eq!(flat.len(), m.param_count());
+        let mut doubled = flat.clone();
+        for x in &mut doubled {
+            *x *= 2.0;
+        }
+        unflatten(&mut m, &doubled);
+        assert_eq!(flatten(&m), doubled);
+    }
+
+    #[test]
+    fn model_cosine_self_is_one() {
+        let m = model(2);
+        assert!((model_cosine(&m, &m) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn blend_endpoints() {
+        let a = model(3);
+        let b = model(4);
+        assert_eq!(flatten(&blend(&a, &b, 1.0)), flatten(&a));
+        assert_eq!(flatten(&blend(&a, &b, 0.0)), flatten(&b));
+        let half = blend(&a, &b, 0.5);
+        let (fa, fb, fh) = (flatten(&a), flatten(&b), flatten(&half));
+        for ((x, y), z) in fa.iter().zip(&fb).zip(&fh) {
+            assert!((0.5 * (x + y) - z).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_average_of_clones_is_identity() {
+        let a = model(5);
+        let avg = weighted_average(&[&a, &a, &a], &[1.0, 2.0, 3.0]);
+        let (fa, fv) = (flatten(&a), flatten(&avg));
+        for (x, y) in fa.iter().zip(&fv) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_average_respects_weights() {
+        let mut a = model(6);
+        let mut b = model(6);
+        let d = a.param_count();
+        unflatten(&mut a, &vec![0.0; d]);
+        unflatten(&mut b, &vec![4.0; d]);
+        let avg = weighted_average(&[&a, &b], &[3.0, 1.0]);
+        for &x in &flatten(&avg) {
+            assert!((x - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn delta_is_antisymmetric() {
+        let a = model(7);
+        let b = model(8);
+        let dab = delta(&a, &b);
+        let dba = delta(&b, &a);
+        for (x, y) in dab.iter().zip(&dba) {
+            assert!((x + y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn model_distance_zero_iff_same_params() {
+        let a = model(9);
+        assert_eq!(model_distance2(&a, &a), 0.0);
+        let b = model(10);
+        assert!(model_distance2(&a, &b) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn unflatten_wrong_length_panics() {
+        let mut m = model(11);
+        unflatten(&mut m, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Learning-rate schedules.
+//!
+//! The paper trains with a constant rate (0.01 momentum / 0.001 Adam),
+//! but its Theorem 1 assumes the decaying schedule
+//! `η_t = 2/(μ(γ + t))`; both are provided here, together with the
+//! common step- and exponential-decay schedules used in ablations.
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule: maps a 0-based step index to a rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Constant rate.
+    Constant {
+        /// The rate.
+        lr: f32,
+    },
+    /// Step decay: `lr · factor^(t / every)`.
+    StepDecay {
+        /// Initial rate.
+        lr: f32,
+        /// Multiplicative factor per decay event (in `(0, 1]`).
+        factor: f32,
+        /// Steps between decay events.
+        every: usize,
+    },
+    /// Exponential decay `lr · exp(−rate · t)`.
+    Exponential {
+        /// Initial rate.
+        lr: f32,
+        /// Decay rate per step.
+        rate: f32,
+    },
+    /// The Theorem 1 schedule `η_t = 2/(μ(γ + t))`.
+    Theorem1 {
+        /// Strong-convexity constant `μ`.
+        mu: f32,
+        /// Offset `γ = max(8β/μ, I)`.
+        gamma: f32,
+    },
+}
+
+impl Schedule {
+    /// The learning rate at step `t`.
+    pub fn at(&self, t: usize) -> f32 {
+        match *self {
+            Schedule::Constant { lr } => lr,
+            Schedule::StepDecay { lr, factor, every } => {
+                assert!(every > 0, "decay interval must be positive");
+                lr * factor.powi((t / every) as i32)
+            }
+            Schedule::Exponential { lr, rate } => lr * (-rate * t as f32).exp(),
+            Schedule::Theorem1 { mu, gamma } => 2.0 / (mu * (gamma + t as f32)),
+        }
+    }
+
+    /// Validates the schedule's parameters.
+    ///
+    /// # Errors
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        let ok = |lr: f32| lr > 0.0 && lr.is_finite();
+        match *self {
+            Schedule::Constant { lr } => ok(lr).then_some(()).ok_or("lr must be positive".into()),
+            Schedule::StepDecay { lr, factor, every } => {
+                if !ok(lr) {
+                    Err("lr must be positive".into())
+                } else if !(0.0 < factor && factor <= 1.0) {
+                    Err("factor must be in (0, 1]".into())
+                } else if every == 0 {
+                    Err("every must be positive".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Schedule::Exponential { lr, rate } => {
+                if !ok(lr) {
+                    Err("lr must be positive".into())
+                } else if rate < 0.0 {
+                    Err("rate must be non-negative".into())
+                } else {
+                    Ok(())
+                }
+            }
+            Schedule::Theorem1 { mu, gamma } => {
+                if mu <= 0.0 || gamma <= 0.0 {
+                    Err("mu and gamma must be positive".into())
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Applies the step-`t` rate to an optimizer.
+    pub fn apply(&self, t: usize, optimizer: &mut dyn crate::optim::Optimizer) {
+        optimizer.set_learning_rate(self.at(t));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+
+    #[test]
+    fn constant_is_constant() {
+        let s = Schedule::Constant { lr: 0.1 };
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(10_000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let s = Schedule::StepDecay { lr: 1.0, factor: 0.5, every: 10 };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn exponential_decays_monotonically() {
+        let s = Schedule::Exponential { lr: 0.5, rate: 0.01 };
+        assert!(s.at(0) > s.at(1));
+        assert!(s.at(100) > 0.0);
+        assert!((s.at(0) - 0.5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn theorem1_matches_closed_form() {
+        let s = Schedule::Theorem1 { mu: 1.0, gamma: 32.0 };
+        assert!((s.at(0) - 2.0 / 32.0).abs() < 1e-7);
+        assert!((s.at(68) - 0.02).abs() < 1e-7);
+    }
+
+    #[test]
+    fn apply_updates_optimizer() {
+        let s = Schedule::StepDecay { lr: 0.2, factor: 0.1, every: 5 };
+        let mut opt = Sgd::new(1.0);
+        s.apply(7, &mut opt);
+        assert!((opt.learning_rate() - 0.02).abs() < 1e-7);
+    }
+
+    #[test]
+    fn validation_catches_bad_params() {
+        assert!(Schedule::Constant { lr: 0.0 }.validate().is_err());
+        assert!(Schedule::StepDecay { lr: 0.1, factor: 1.5, every: 1 }.validate().is_err());
+        assert!(Schedule::StepDecay { lr: 0.1, factor: 0.5, every: 0 }.validate().is_err());
+        assert!(Schedule::Exponential { lr: 0.1, rate: -1.0 }.validate().is_err());
+        assert!(Schedule::Theorem1 { mu: 0.0, gamma: 1.0 }.validate().is_err());
+        assert!(Schedule::Theorem1 { mu: 1.0, gamma: 8.0 }.validate().is_ok());
+    }
+}

@@ -1,0 +1,104 @@
+//! Checkpoint (de)serialisation of model parameters.
+//!
+//! Architectures are code; only the flat parameter vector and a
+//! fingerprint are persisted. Loading verifies the fingerprint so a
+//! checkpoint cannot be silently applied to the wrong architecture.
+
+use crate::model::Sequential;
+use crate::params::{flatten, unflatten};
+use serde::{Deserialize, Serialize};
+
+/// A serialisable snapshot of a model's parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Per-parameter tensor lengths, in canonical order — the
+    /// architecture fingerprint.
+    pub layout: Vec<usize>,
+    /// Flat parameter values.
+    pub values: Vec<f32>,
+}
+
+impl Checkpoint {
+    /// Captures the current parameters of `model`.
+    pub fn capture(model: &Sequential) -> Self {
+        Checkpoint {
+            layout: model.params().iter().map(|p| p.len()).collect(),
+            values: flatten(model),
+        }
+    }
+
+    /// Restores the snapshot into `model`.
+    ///
+    /// # Errors
+    /// Returns an error when the architecture fingerprint does not match.
+    pub fn restore(&self, model: &mut Sequential) -> Result<(), String> {
+        let layout: Vec<usize> = model.params().iter().map(|p| p.len()).collect();
+        if layout != self.layout {
+            return Err(format!(
+                "checkpoint layout {:?} does not match model layout {:?}",
+                self.layout, layout
+            ));
+        }
+        if self.values.len() != layout.iter().sum::<usize>() {
+            return Err("checkpoint value count does not match its own layout".into());
+        }
+        unflatten(model, &self.values);
+        Ok(())
+    }
+
+    /// Serialises to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialisation cannot fail")
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    /// Returns the JSON parse error message.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::Dense;
+    use middle_tensor::random::rng;
+
+    fn model(seed: u64) -> Sequential {
+        Sequential::new().push(Dense::new(3, 2, &mut rng(seed)))
+    }
+
+    #[test]
+    fn capture_restore_roundtrip() {
+        let a = model(1);
+        let ck = Checkpoint::capture(&a);
+        let mut b = model(2);
+        assert_ne!(flatten(&a), flatten(&b));
+        ck.restore(&mut b).unwrap();
+        assert_eq!(flatten(&a), flatten(&b));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let a = model(3);
+        let ck = Checkpoint::capture(&a);
+        let ck2 = Checkpoint::from_json(&ck.to_json()).unwrap();
+        assert_eq!(ck.values, ck2.values);
+        assert_eq!(ck.layout, ck2.layout);
+    }
+
+    #[test]
+    fn wrong_architecture_is_rejected() {
+        let a = model(4);
+        let ck = Checkpoint::capture(&a);
+        let mut wrong = Sequential::new().push(Dense::new(4, 2, &mut rng(5)));
+        assert!(ck.restore(&mut wrong).is_err());
+    }
+
+    #[test]
+    fn corrupt_json_is_rejected() {
+        assert!(Checkpoint::from_json("{not json").is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the NN stack: gradient correctness on random
+//! inputs and algebraic invariants of the parameter-vector view.
+
+use middle_nn::layers::{Dense, Relu, Tanh};
+use middle_nn::loss::softmax_cross_entropy;
+use middle_nn::params::{blend, delta, flatten, model_cosine, unflatten, weighted_average};
+use middle_nn::{Layer, Sequential};
+use middle_tensor::random::rng;
+use middle_tensor::Tensor;
+use proptest::prelude::*;
+
+fn mk_model(seed: u64) -> Sequential {
+    // Tanh, not ReLU: the finite-difference gradient check needs a smooth
+    // network (ReLU kinks make FD estimates invalid near zero
+    // pre-activations; ReLU itself is FD-checked in its unit tests).
+    let mut r = rng(seed);
+    Sequential::new()
+        .push(Dense::new(4, 6, &mut r))
+        .push(Tanh::new())
+        .push(Dense::new(6, 3, &mut r))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The full model gradient w.r.t. the input matches finite differences
+    /// for random inputs and labels.
+    #[test]
+    fn model_input_gradient_matches_fd(
+        seed in 0u64..1000,
+        vals in prop::collection::vec(-1.0f32..1.0, 8),
+        l0 in 0usize..3,
+        l1 in 0usize..3,
+    ) {
+        let mut m = mk_model(seed);
+        let x = Tensor::from_vec([2, 4], vals.clone());
+        let labels = [l0, l1];
+        let logits = m.forward(&x, true);
+        let (_, dlogits) = softmax_cross_entropy(&logits, &labels);
+        let dx = m.backward(&dlogits);
+
+        let eps = 1e-2;
+        let mut loss_at = |x: &Tensor| {
+            let logits = m.forward(x, true);
+            softmax_cross_entropy(&logits, &labels).0
+        };
+        for i in [0usize, 3, 7] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss_at(&xp) - loss_at(&xm)) / (2.0 * eps);
+            prop_assert!(
+                (fd - dx.data()[i]).abs() < 2e-2 + 0.1 * fd.abs(),
+                "dx[{}]: fd={} analytic={}", i, fd, dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn blend_interpolates_cosine(seed_a in 0u64..100, seed_b in 100u64..200) {
+        let a = mk_model(seed_a);
+        let b = mk_model(seed_b);
+        let mid = blend(&a, &b, 0.5);
+        // The midpoint can't be *less* similar to a than b is (triangle-ish
+        // sanity, holds for random init vectors with high probability).
+        let ca = model_cosine(&mid, &a);
+        let cb = model_cosine(&a, &b);
+        prop_assert!(ca >= cb - 1e-4, "cos(mid,a)={} cos(a,b)={}", ca, cb);
+    }
+
+    #[test]
+    fn weighted_average_is_permutation_invariant(
+        sa in 0u64..50, sb in 50u64..100, sc in 100u64..150,
+        w1 in 0.1f32..5.0, w2 in 0.1f32..5.0, w3 in 0.1f32..5.0,
+    ) {
+        let (a, b, c) = (mk_model(sa), mk_model(sb), mk_model(sc));
+        let m1 = weighted_average(&[&a, &b, &c], &[w1, w2, w3]);
+        let m2 = weighted_average(&[&c, &a, &b], &[w3, w1, w2]);
+        for (x, y) in flatten(&m1).iter().zip(flatten(&m2)) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn delta_plus_base_recovers_model(sa in 0u64..50, sb in 50u64..100) {
+        let a = mk_model(sa);
+        let b = mk_model(sb);
+        let d = delta(&a, &b);
+        let fb = flatten(&b);
+        let rebuilt: Vec<f32> = fb.iter().zip(&d).map(|(x, y)| x + y).collect();
+        let mut back = b.clone();
+        unflatten(&mut back, &rebuilt);
+        for (x, y) in flatten(&a).iter().zip(flatten(&back)) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    /// Training on a batch reduces that batch's loss for a small enough
+    /// learning rate (descent property).
+    #[test]
+    fn sgd_step_descends(seed in 0u64..200) {
+        let mut m = mk_model(seed);
+        let mut r = rng(seed ^ 0xABCD);
+        let x = middle_tensor::random::uniform([6, 4], -1.0, 1.0, &mut r);
+        let labels = [0usize, 1, 2, 0, 1, 2];
+        let before = m.eval_loss(&x, &labels);
+        let mut opt = middle_nn::optim::Sgd::new(0.01);
+        m.train_batch(&x, &labels, &mut opt);
+        let after = m.eval_loss(&x, &labels);
+        prop_assert!(after <= before + 1e-4, "loss rose: {} -> {}", before, after);
+    }
+
+    /// Relu backward never amplifies a gradient elementwise.
+    #[test]
+    fn relu_backward_is_contraction(vals in prop::collection::vec(-2.0f32..2.0, 16)) {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec([16], vals);
+        relu.forward(&x, true);
+        let g = Tensor::ones([16]);
+        let dx = relu.backward(&g);
+        for (d, u) in dx.data().iter().zip(g.data()) {
+            prop_assert!(d.abs() <= u.abs() + 1e-6);
+        }
+    }
+}

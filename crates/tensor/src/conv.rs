@@ -1,0 +1,438 @@
+//! 2-D convolution and pooling kernels via im2col lowering.
+//!
+//! Activations are NCHW (`[batch, channels, height, width]`). Convolution
+//! lowers each input window into a column of a patch matrix, so the
+//! convolution itself becomes a single call into the blocked parallel
+//! [`crate::matmul`] kernel — forward, input-gradient and weight-gradient
+//! passes all reuse the same machinery.
+
+use crate::matmul::matmul_into;
+use crate::tensor::Tensor;
+
+/// Static geometry of a convolution: shapes, stride and padding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_c: usize,
+    /// Output channels.
+    pub out_c: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride in both spatial dimensions.
+    pub stride: usize,
+    /// Zero padding on every border.
+    pub pad: usize,
+    /// Input spatial height.
+    pub in_h: usize,
+    /// Input spatial width.
+    pub in_w: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial height.
+    pub fn out_h(&self) -> usize {
+        (self.in_h + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    pub fn out_w(&self) -> usize {
+        (self.in_w + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of the im2col patch matrix (= patch size).
+    pub fn patch_len(&self) -> usize {
+        self.in_c * self.kernel * self.kernel
+    }
+
+    /// Columns of the im2col patch matrix (= output positions).
+    pub fn out_positions(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Validates the geometry against an input shape `[N, C, H, W]`.
+    pub fn check_input(&self, t: &Tensor) {
+        assert_eq!(t.shape().rank(), 4, "conv input must be NCHW");
+        assert_eq!(t.shape().dim(1), self.in_c, "conv input channel mismatch");
+        assert_eq!(t.shape().dim(2), self.in_h, "conv input height mismatch");
+        assert_eq!(t.shape().dim(3), self.in_w, "conv input width mismatch");
+        assert!(
+            self.in_h + 2 * self.pad >= self.kernel && self.in_w + 2 * self.pad >= self.kernel,
+            "kernel larger than padded input"
+        );
+    }
+}
+
+/// Lowers one image `[C, H, W]` (a slice of `C*H*W` floats) into the patch
+/// matrix `cols` of shape `[patch_len, out_positions]` (row-major slice).
+pub fn im2col(img: &[f32], g: &ConvGeometry, cols: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
+    debug_assert_eq!(cols.len(), g.patch_len() * oh * ow);
+    let n_pos = oh * ow;
+    let mut row = 0usize;
+    for c in 0..g.in_c {
+        let plane = &img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let out_row = &mut cols[row * n_pos..(row + 1) * n_pos];
+                let mut p = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        out_row[p] = if iy >= 0
+                            && (iy as usize) < g.in_h
+                            && ix >= 0
+                            && (ix as usize) < g.in_w
+                        {
+                            plane[iy as usize * g.in_w + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        p += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-adds a patch matrix back into an image — the adjoint of
+/// [`im2col`], used for the input gradient.
+pub fn col2im(cols: &[f32], g: &ConvGeometry, img: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
+    debug_assert_eq!(cols.len(), g.patch_len() * oh * ow);
+    img.fill(0.0);
+    let n_pos = oh * ow;
+    let mut row = 0usize;
+    for c in 0..g.in_c {
+        let plane = &mut img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let col_row = &cols[row * n_pos..(row + 1) * n_pos];
+                let mut p = 0usize;
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    for ox in 0..ow {
+                        let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                        if iy >= 0 && (iy as usize) < g.in_h && ix >= 0 && (ix as usize) < g.in_w {
+                            plane[iy as usize * g.in_w + ix as usize] += col_row[p];
+                        }
+                        p += 1;
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Forward convolution.
+///
+/// * `input`: `[N, in_c, in_h, in_w]`
+/// * `weight`: `[out_c, in_c * kernel * kernel]` (pre-flattened filters)
+/// * `bias`: `[out_c]`
+///
+/// Returns `[N, out_c, out_h, out_w]`.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, g: &ConvGeometry) -> Tensor {
+    g.check_input(input);
+    assert_eq!(weight.shape().dims(), &[g.out_c, g.patch_len()], "weight shape");
+    assert_eq!(bias.shape().dims(), &[g.out_c], "bias shape");
+
+    let n = input.shape().dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n_pos = oh * ow;
+    let img_len = g.in_c * g.in_h * g.in_w;
+    let out_img_len = g.out_c * n_pos;
+
+    let mut out = Tensor::zeros([n, g.out_c, oh, ow]);
+    let mut cols = vec![0.0f32; g.patch_len() * n_pos];
+    for b in 0..n {
+        let img = &input.data()[b * img_len..(b + 1) * img_len];
+        im2col(img, g, &mut cols);
+        let dst = &mut out.data_mut()[b * out_img_len..(b + 1) * out_img_len];
+        matmul_into(weight.data(), &cols, dst, g.out_c, g.patch_len(), n_pos);
+        for (oc, chunk) in dst.chunks_mut(n_pos).enumerate() {
+            let bv = bias.data()[oc];
+            for v in chunk {
+                *v += bv;
+            }
+        }
+    }
+    out
+}
+
+/// Backward convolution.
+///
+/// Given upstream gradient `dout` (`[N, out_c, out_h, out_w]`), returns
+/// `(dinput, dweight, dbias)` matching the forward argument shapes.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    g: &ConvGeometry,
+) -> (Tensor, Tensor, Tensor) {
+    g.check_input(input);
+    let n = input.shape().dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    assert_eq!(
+        dout.shape().dims(),
+        &[n, g.out_c, oh, ow],
+        "dout shape mismatch"
+    );
+    let n_pos = oh * ow;
+    let img_len = g.in_c * g.in_h * g.in_w;
+    let out_img_len = g.out_c * n_pos;
+    let plen = g.patch_len();
+
+    let mut dinput = Tensor::zeros(input.shape().clone());
+    let mut dweight = Tensor::zeros(weight.shape().clone());
+    let mut dbias = Tensor::zeros([g.out_c]);
+
+    let mut cols = vec![0.0f32; plen * n_pos];
+    let mut dcols = vec![0.0f32; plen * n_pos];
+    let mut dw_local = vec![0.0f32; g.out_c * plen];
+
+    for b in 0..n {
+        let img = &input.data()[b * img_len..(b + 1) * img_len];
+        let dy = &dout.data()[b * out_img_len..(b + 1) * out_img_len];
+
+        // dbias: sum over spatial positions.
+        for (oc, chunk) in dy.chunks(n_pos).enumerate() {
+            dbias.data_mut()[oc] += chunk.iter().sum::<f32>();
+        }
+
+        // dweight += dy (out_c×n_pos) · colsᵀ (n_pos×plen)
+        im2col(img, g, &mut cols);
+        for oc in 0..g.out_c {
+            let dyrow = &dy[oc * n_pos..(oc + 1) * n_pos];
+            let dwrow = &mut dw_local[oc * plen..(oc + 1) * plen];
+            for (r, dwv) in dwrow.iter_mut().enumerate() {
+                *dwv = crate::ops::dot_slices(dyrow, &cols[r * n_pos..(r + 1) * n_pos]);
+            }
+        }
+        for (acc, &v) in dweight.data_mut().iter_mut().zip(dw_local.iter()) {
+            *acc += v;
+        }
+
+        // dcols = weightᵀ (plen×out_c) · dy (out_c×n_pos)
+        dcols.fill(0.0);
+        for oc in 0..g.out_c {
+            let wrow = &weight.data()[oc * plen..(oc + 1) * plen];
+            let dyrow = &dy[oc * n_pos..(oc + 1) * n_pos];
+            for (r, &wv) in wrow.iter().enumerate() {
+                if wv != 0.0 {
+                    let drow = &mut dcols[r * n_pos..(r + 1) * n_pos];
+                    for (dv, &dyv) in drow.iter_mut().zip(dyrow) {
+                        *dv += wv * dyv;
+                    }
+                }
+            }
+        }
+        let dimg = &mut dinput.data_mut()[b * img_len..(b + 1) * img_len];
+        col2im(&dcols, g, dimg);
+    }
+    (dinput, dweight, dbias)
+}
+
+/// Forward 2×2-style max pooling with stride = window.
+///
+/// Returns the pooled tensor and the flat argmax indices (into each input
+/// image) used by [`maxpool2d_backward`].
+pub fn maxpool2d_forward(input: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
+    assert_eq!(input.shape().rank(), 4, "pool input must be NCHW");
+    let (n, c, h, w) = (
+        input.shape().dim(0),
+        input.shape().dim(1),
+        input.shape().dim(2),
+        input.shape().dim(3),
+    );
+    assert!(window > 0 && h >= window && w >= window, "bad pool window");
+    let (oh, ow) = (h / window, w / window);
+    let mut out = Tensor::zeros([n, c, oh, ow]);
+    let mut arg = vec![0u32; n * c * oh * ow];
+    let id = input.data();
+    let od = out.data_mut();
+    let mut o = 0usize;
+    for b in 0..n {
+        for ch in 0..c {
+            let base = (b * c + ch) * h * w;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for dy in 0..window {
+                        for dx in 0..window {
+                            let idx = base + (oy * window + dy) * w + (ox * window + dx);
+                            if id[idx] > best {
+                                best = id[idx];
+                                best_i = idx;
+                            }
+                        }
+                    }
+                    od[o] = best;
+                    arg[o] = best_i as u32;
+                    o += 1;
+                }
+            }
+        }
+    }
+    (out, arg)
+}
+
+/// Backward max pooling: routes each upstream gradient to the argmax cell.
+pub fn maxpool2d_backward(input_shape: &crate::shape::Shape, dout: &Tensor, arg: &[u32]) -> Tensor {
+    assert_eq!(dout.len(), arg.len(), "argmax table length mismatch");
+    let mut dinput = Tensor::zeros(input_shape.clone());
+    let dd = dinput.data_mut();
+    for (g, &i) in dout.data().iter().zip(arg) {
+        dd[i as usize] += g;
+    }
+    dinput
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom(in_c: usize, out_c: usize, k: usize, s: usize, p: usize, h: usize, w: usize) -> ConvGeometry {
+        ConvGeometry {
+            in_c,
+            out_c,
+            kernel: k,
+            stride: s,
+            pad: p,
+            in_h: h,
+            in_w: w,
+        }
+    }
+
+    #[test]
+    fn output_dims() {
+        let g = geom(1, 4, 3, 1, 1, 8, 8);
+        assert_eq!((g.out_h(), g.out_w()), (8, 8));
+        let g2 = geom(1, 4, 3, 2, 0, 9, 9);
+        assert_eq!((g2.out_h(), g2.out_w()), (4, 4));
+    }
+
+    #[test]
+    fn identity_kernel_reproduces_input() {
+        // 1x1 kernel with weight 1, bias 0 => output == input.
+        let g = geom(1, 1, 1, 1, 0, 4, 4);
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|i| i as f32).collect());
+        let w = Tensor::ones([1, 1]);
+        let b = Tensor::zeros([1]);
+        let y = conv2d_forward(&x, &w, &b, &g);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_sum_kernel() {
+        // All-ones 3x3 kernel on an all-ones 3x3 input without padding: 9.
+        let g = geom(1, 1, 3, 1, 0, 3, 3);
+        let x = Tensor::ones([1, 1, 3, 3]);
+        let w = Tensor::ones([1, 9]);
+        let b = Tensor::zeros([1]);
+        let y = conv2d_forward(&x, &w, &b, &g);
+        assert_eq!(y.shape().dims(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 9.0);
+    }
+
+    #[test]
+    fn bias_is_added_per_channel() {
+        let g = geom(1, 2, 1, 1, 0, 2, 2);
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let w = Tensor::zeros([2, 1]);
+        let b = Tensor::from_vec([2], vec![1.5, -2.0]);
+        let y = conv2d_forward(&x, &w, &b, &g);
+        assert_eq!(&y.data()[..4], &[1.5; 4]);
+        assert_eq!(&y.data()[4..], &[-2.0; 4]);
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let g = geom(2, 1, 3, 1, 1, 5, 5);
+        let x: Vec<f32> = (0..50).map(|i| ((i * 7 % 11) as f32) - 5.0).collect();
+        let ylen = g.patch_len() * g.out_positions();
+        let y: Vec<f32> = (0..ylen).map(|i| ((i * 5 % 13) as f32) - 6.0).collect();
+        let mut cols = vec![0.0; ylen];
+        im2col(&x, &g, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0; 50];
+        col2im(&y, &g, &mut back);
+        let rhs: f32 = x.iter().zip(&back).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+
+    /// Finite-difference check of the full conv backward pass.
+    #[test]
+    fn conv_gradients_match_finite_differences() {
+        let g = geom(1, 2, 3, 1, 1, 4, 4);
+        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|i| (i as f32 * 0.37).sin()).collect());
+        let w = Tensor::from_vec([2, 9], (0..18).map(|i| (i as f32 * 0.21).cos() * 0.5).collect());
+        let b = Tensor::from_vec([2], vec![0.1, -0.2]);
+
+        // Loss = sum(conv(x)) so dout = ones.
+        let y = conv2d_forward(&x, &w, &b, &g);
+        let dout = Tensor::ones(y.shape().clone());
+        let (dx, dw, db) = conv2d_backward(&x, &w, &dout, &g);
+
+        let eps = 1e-3;
+        let loss = |x: &Tensor, w: &Tensor, b: &Tensor| conv2d_forward(x, w, b, &g).sum();
+
+        for i in [0usize, 5, 12] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
+            assert!((fd - dx.data()[i]).abs() < 1e-2, "dx[{i}]: fd={fd} an={}", dx.data()[i]);
+        }
+        for i in [0usize, 7, 17] {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
+            assert!((fd - dw.data()[i]).abs() < 1e-1, "dw[{i}]: fd={fd} an={}", dw.data()[i]);
+        }
+        for i in 0..2 {
+            let mut bp = b.clone();
+            bp.data_mut()[i] += eps;
+            let mut bm = b.clone();
+            bm.data_mut()[i] -= eps;
+            let fd = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
+            assert!((fd - db.data()[i]).abs() < 1e-1, "db[{i}]: fd={fd} an={}", db.data()[i]);
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_picks_max() {
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            vec![
+                1., 2., 5., 4., //
+                3., 0., 1., 1., //
+                0., 0., 9., 8., //
+                0., 7., 6., 5.,
+            ],
+        );
+        let (y, arg) = maxpool2d_forward(&x, 2);
+        assert_eq!(y.shape().dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[3., 5., 7., 9.]);
+        assert_eq!(arg, vec![4, 2, 13, 10]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let x = Tensor::from_vec([1, 1, 2, 2], vec![1., 9., 3., 2.]);
+        let (y, arg) = maxpool2d_forward(&x, 2);
+        assert_eq!(y.data(), &[9.]);
+        let dout = Tensor::from_vec([1, 1, 1, 1], vec![5.0]);
+        let dx = maxpool2d_backward(x.shape(), &dout, &arg);
+        assert_eq!(dx.data(), &[0., 5., 0., 0.]);
+    }
+}

@@ -1,0 +1,231 @@
+//! Blocked, Rayon-parallel matrix multiplication.
+//!
+//! The kernel at the heart of both dense layers and im2col convolution.
+//! `C = A (m×k) · B (k×n)` with row-major storage. The inner loops use the
+//! `ikj` ordering so the innermost loop streams contiguously over a row of
+//! `B` and a row of `C`, which vectorises well; the work is split across
+//! threads by row blocks of `C` with `par_chunks_mut`, so each thread owns a
+//! disjoint output slice (data-race freedom by construction).
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Rows-per-task granularity for the parallel split. Small enough to load
+/// balance 100-device simulations, large enough to amortise task overhead.
+const ROW_BLOCK: usize = 16;
+
+/// Below this many multiply-adds the parallel split costs more than it
+/// saves; run single-threaded.
+const PAR_THRESHOLD: usize = 64 * 64 * 64;
+
+/// Matrix product `a · b` for rank-2 tensors.
+///
+/// # Panics
+/// Panics when either operand is not rank 2 or the inner dimensions differ.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul rhs must be rank 2");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = Tensor::zeros([m, n]);
+    matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+    out
+}
+
+/// `a · bᵀ` without materialising the transpose (used by dense backward).
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_bt lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul_bt rhs must be rank 2");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    let (n, k2) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_bt inner dimension mismatch: {k} vs {k2}");
+
+    let mut out = Tensor::zeros([m, n]);
+    let (ad, bd) = (a.data(), b.data());
+    let run = |rows: &mut [f32], row0: usize| {
+        for (ri, out_row) in rows.chunks_mut(n).enumerate() {
+            let i = row0 + ri;
+            let arow = &ad[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = crate::ops::dot_slices(arow, &bd[j * k..(j + 1) * k]);
+            }
+        }
+    };
+    if m * n * k >= PAR_THRESHOLD {
+        out.data_mut()
+            .par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, rows)| run(rows, blk * ROW_BLOCK));
+    } else {
+        run(out.data_mut(), 0);
+    }
+    out
+}
+
+/// `aᵀ · b` without materialising the transpose (used by dense backward
+/// for weight gradients: `xᵀ · dy`).
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matmul_at lhs must be rank 2");
+    assert_eq!(b.shape().rank(), 2, "matmul_at rhs must be rank 2");
+    let (k, m) = (a.shape().dim(0), a.shape().dim(1));
+    let (k2, n) = (b.shape().dim(0), b.shape().dim(1));
+    assert_eq!(k, k2, "matmul_at inner dimension mismatch: {k} vs {k2}");
+
+    // out[i][j] = sum_l a[l][i] * b[l][j]; accumulate row-by-row of a/b so
+    // all traffic is sequential.
+    let mut out = Tensor::zeros([m, n]);
+    let od = out.data_mut();
+    let (ad, bd) = (a.data(), b.data());
+    for l in 0..k {
+        let arow = &ad[l * m..(l + 1) * m];
+        let brow = &bd[l * n..(l + 1) * n];
+        for (i, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                let orow = &mut od[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Raw kernel: `c (m×n) = a (m×k) · b (k×n)`, all row-major slices.
+///
+/// `c` is fully overwritten. Parallel over row blocks of `c` when the
+/// problem is large enough.
+pub fn matmul_into(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "lhs buffer size");
+    assert_eq!(b.len(), k * n, "rhs buffer size");
+    assert_eq!(c.len(), m * n, "out buffer size");
+    c.fill(0.0);
+
+    let kernel = |rows: &mut [f32], row0: usize| {
+        for (ri, crow) in rows.chunks_mut(n).enumerate() {
+            let i = row0 + ri;
+            let arow = &a[i * k..(i + 1) * k];
+            for (l, &av) in arow.iter().enumerate() {
+                if av != 0.0 {
+                    let brow = &b[l * n..(l + 1) * n];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        *cv += av * bv;
+                    }
+                }
+            }
+        }
+    };
+
+    if m * k * n >= PAR_THRESHOLD && m > 1 {
+        c.par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, rows)| kernel(rows, blk * ROW_BLOCK));
+    } else {
+        kernel(c, 0);
+    }
+}
+
+/// Matrix–vector product `a (m×k) · x (k)`.
+pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
+    assert_eq!(a.shape().rank(), 2, "matvec lhs must be rank 2");
+    assert_eq!(x.shape().rank(), 1, "matvec rhs must be rank 1");
+    let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+    assert_eq!(k, x.shape().dim(0), "matvec dimension mismatch");
+    let mut out = Tensor::zeros([m]);
+    for i in 0..m {
+        out.data_mut()[i] = crate::ops::dot_slices(a.row(i), x.data());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape().dim(0), a.shape().dim(1));
+        let n = b.shape().dim(1);
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for l in 0..k {
+                    s += a.at(&[i, l]) * b.at(&[l, j]);
+                }
+                c.set(&[i, j], s);
+            }
+        }
+        c
+    }
+
+    fn approx_eq(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn small_known_product() {
+        let a = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = Tensor::from_vec([3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let mut eye = Tensor::zeros([4, 4]);
+        for i in 0..4 {
+            eye.set(&[i, i], 1.0);
+        }
+        let a = Tensor::from_vec([4, 4], (0..16).map(|i| i as f32).collect());
+        approx_eq(&matmul(&a, &eye), &a, 0.0);
+        approx_eq(&matmul(&eye, &a), &a, 0.0);
+    }
+
+    #[test]
+    fn matches_naive_on_odd_sizes() {
+        let a = Tensor::from_vec([5, 7], (0..35).map(|i| (i as f32).sin()).collect());
+        let b = Tensor::from_vec([7, 3], (0..21).map(|i| (i as f32).cos()).collect());
+        approx_eq(&matmul(&a, &b), &naive(&a, &b), 1e-5);
+    }
+
+    #[test]
+    fn large_enough_to_parallelise() {
+        let a = Tensor::from_vec([80, 70], (0..5600).map(|i| (i % 13) as f32 * 0.1).collect());
+        let b = Tensor::from_vec([70, 90], (0..6300).map(|i| (i % 7) as f32 * 0.2).collect());
+        approx_eq(&matmul(&a, &b), &naive(&a, &b), 1e-2);
+    }
+
+    #[test]
+    fn bt_matches_explicit_transpose() {
+        let a = Tensor::from_vec([4, 5], (0..20).map(|i| i as f32 * 0.3).collect());
+        let b = Tensor::from_vec([6, 5], (0..30).map(|i| (i as f32).sqrt()).collect());
+        approx_eq(&matmul_bt(&a, &b), &matmul(&a, &b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn at_matches_explicit_transpose() {
+        let a = Tensor::from_vec([5, 4], (0..20).map(|i| i as f32 * 0.3).collect());
+        let b = Tensor::from_vec([5, 6], (0..30).map(|i| (i as f32).sqrt()).collect());
+        approx_eq(&matmul_at(&a, &b), &matmul(&a.transpose(), &b), 1e-4);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let a = Tensor::from_vec([3, 4], (0..12).map(|i| i as f32).collect());
+        let x = Tensor::from_vec([4], vec![1., 0., -1., 2.]);
+        let via_mm = matmul(&a, &x.reshaped([4, 1]));
+        let mv = matvec(&a, &x);
+        assert_eq!(mv.data(), via_mm.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+}

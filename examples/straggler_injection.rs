@@ -1,0 +1,35 @@
+//! Failure injection: how device unavailability (stragglers/dropouts)
+//! affects convergence, and what it costs in communication.
+//!
+//! ```sh
+//! cargo run --release --example straggler_injection
+//! ```
+
+use middle::prelude::*;
+
+fn main() {
+    println!("MIDDLE under device dropout (synthetic MNIST, 4 edges, 24 devices)\n");
+    println!("{:>13} {:>10} {:>12} {:>12} {:>8}", "availability", "final", "wireless tx", "WAN tx", "syncs");
+    for availability in [1.0, 0.7, 0.4, 0.1] {
+        let mut cfg = SimConfig::paper_default(Task::Mnist, Algorithm::middle());
+        cfg.num_edges = 4;
+        cfg.num_devices = 24;
+        cfg.devices_per_edge = 3;
+        cfg.samples_per_device = 30;
+        cfg.steps = 30;
+        cfg.test_samples = 200;
+        cfg.availability = availability;
+        let record = Simulation::new(cfg).run();
+        println!(
+            "{:>13.1} {:>10.3} {:>12} {:>12} {:>8}",
+            availability,
+            record.final_accuracy(),
+            record.comm.wireless_total(),
+            record.comm.wan_total(),
+            record.syncs,
+        );
+    }
+    println!("\nLower availability shrinks each step's training cohort (and its");
+    println!("communication), slowing but not breaking convergence — selection");
+    println!("simply works with whoever is reachable, as in the paper's setting.");
+}

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates every table and figure of the MIDDLE reproduction.
+# Usage: ./run_all_figures.sh            (full scale)
+#        MIDDLE_SCALE=0.1 ./run_all_figures.sh   (smoke run)
+set -e
+mkdir -p results/logs
+for bin in fig1_motivation fig2_ondevice_case fig3_param_space \
+           theorem1_bound fig6_time_to_accuracy fig7_mobility_sweep \
+           fig8_tc_sweep ablation_report; do
+  echo "== $bin =="
+  cargo run -p middle-bench --release --bin "$bin" 2>&1 | tee "results/logs/$bin.log"
+done

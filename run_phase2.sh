@@ -1,0 +1,11 @@
+#!/bin/sh
+set -e
+mkdir -p results/logs
+for bin in fig1_motivation fig2_ondevice_case theorem1_bound ablation_report; do
+  echo "== $bin =="
+  cargo run -p middle-bench --release --bin "$bin" 2>&1 | tee "results/logs/$bin.log"
+done
+for bin in fig7_mobility_sweep fig8_tc_sweep; do
+  echo "== $bin =="
+  MIDDLE_SCALE=0.5 cargo run -p middle-bench --release --bin "$bin" 2>&1 | tee "results/logs/$bin.log"
+done

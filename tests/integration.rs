@@ -1,0 +1,219 @@
+//! Cross-crate integration tests: the full pipeline from synthetic data
+//! through mobility traces to federated training, exercised through the
+//! `middle` facade exactly as a downstream user would.
+
+use middle::core::quadratic_sim::{simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig};
+use middle::core::{OnDevicePolicy, SelectionPolicy};
+use middle::data::partition::{partition, Scheme};
+use middle::data::synthetic::SyntheticSource;
+use middle::mobility::{generate_markov_hop, Trace};
+use middle::nn::params::flatten;
+use middle::prelude::*;
+
+fn small_cfg(task: Task, algorithm: Algorithm) -> SimConfig {
+    let mut cfg = SimConfig::tiny(task, algorithm);
+    cfg.steps = 6;
+    cfg.eval_interval = 3;
+    cfg
+}
+
+#[test]
+fn full_pipeline_all_tasks() {
+    for task in Task::ALL {
+        let record = Simulation::new(small_cfg(task, Algorithm::middle())).run();
+        assert_eq!(record.task, task.name());
+        assert!(!record.points.is_empty());
+        assert!(record.points.iter().all(|p| p.global_accuracy.is_finite()));
+        assert!(record.points.iter().all(|p| p.global_loss.is_finite()));
+    }
+}
+
+#[test]
+fn all_algorithms_run_on_all_selection_aggregation_combos() {
+    // Every (selection, on-device) combination must execute.
+    let selections = [
+        SelectionPolicy::Random,
+        SelectionPolicy::LeastSimilarUpdate,
+        SelectionPolicy::MostSimilarUpdate,
+        SelectionPolicy::OortUtility,
+    ];
+    let on_devices = [
+        OnDevicePolicy::EdgeModel,
+        OnDevicePolicy::SimilarityWeighted,
+        OnDevicePolicy::UnclippedSimilarity,
+        OnDevicePolicy::Average,
+        OnDevicePolicy::KeepLocal,
+        OnDevicePolicy::FixedAlpha { alpha: 0.3 },
+    ];
+    for sel in selections {
+        for od in on_devices {
+            let algo = Algorithm::custom("combo", sel, od);
+            let mut cfg = SimConfig::tiny(Task::Mnist, algo);
+            cfg.steps = 3;
+            cfg.eval_interval = 3;
+            let record = Simulation::new(cfg).run();
+            assert!(
+                record.final_accuracy().is_finite(),
+                "combo {sel:?} + {od:?} produced NaN"
+            );
+        }
+    }
+}
+
+#[test]
+fn training_beats_random_guessing() {
+    // After a real (if short) training run, the global model must beat
+    // the 10% random-guess floor with margin.
+    let mut cfg = SimConfig::paper_default(Task::Mnist, Algorithm::middle());
+    cfg.num_edges = 2;
+    cfg.num_devices = 10;
+    cfg.devices_per_edge = 3;
+    cfg.samples_per_device = 20;
+    cfg.steps = 20;
+    cfg.eval_interval = 20;
+    cfg.test_samples = 150;
+    let record = Simulation::new(cfg).run();
+    assert!(
+        record.final_accuracy() > 0.2,
+        "final accuracy {} not above chance",
+        record.final_accuracy()
+    );
+}
+
+#[test]
+fn custom_trace_scripts_device_movement() {
+    // A hand-written trace drives exactly the expected moved() pattern.
+    let assignments = vec![vec![0, 0, 1, 1]; 3]
+        .into_iter()
+        .enumerate()
+        .map(|(t, mut row)| {
+            if t >= 1 {
+                row[0] = 1; // device 0 moves to edge 1 at step 1
+            }
+            row
+        })
+        .collect();
+    let trace = Trace::new(2, assignments);
+    assert!(trace.moved(1, 0));
+    assert!(!trace.moved(2, 0));
+
+    let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+    cfg.num_devices = 4;
+    cfg.num_edges = 2;
+    cfg.devices_per_edge = 2;
+    cfg.steps = 3;
+    let mut sim = Simulation::with_trace(cfg, trace);
+    for t in 0..3 {
+        sim.step(t);
+    }
+}
+
+#[test]
+#[should_panic(expected = "trace device count")]
+fn mismatched_trace_is_rejected() {
+    let trace = generate_markov_hop(2, 99, 8, 0.5, 1);
+    let cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+    Simulation::with_trace(cfg, trace);
+}
+
+#[test]
+fn broadcast_resets_all_models_to_cloud() {
+    let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::fedmes());
+    cfg.cloud_interval = 3;
+    cfg.steps = 3;
+    let mut sim = Simulation::new(cfg);
+    for t in 0..3 {
+        sim.step(t);
+    }
+    let cloud = flatten(sim.cloud_model());
+    for e in sim.edges() {
+        assert_eq!(flatten(&e.model), cloud);
+    }
+    for d in sim.devices() {
+        assert_eq!(flatten(&d.model), cloud);
+    }
+}
+
+#[test]
+fn partition_feeds_devices_with_correct_skew() {
+    let src = SyntheticSource::new(Task::Mnist, 9);
+    let base = src.generate_balanced(600, 1);
+    let p = partition(&base, 12, 30, Scheme::MajorClass { major_frac: 0.8 }, 3);
+    for m in 0..12 {
+        let counts = p.device_class_counts(m, &base);
+        let major = p.major_class[m].expect("major class set");
+        assert!(counts[major] as f32 >= 0.8 * 30.0 - 1.0);
+    }
+}
+
+#[test]
+fn mobility_probability_flows_through_config() {
+    let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+    cfg.num_devices = 40;
+    cfg.steps = 40;
+    cfg.devices_per_edge = 2;
+    for p in [0.1f64, 0.6] {
+        cfg.mobility = MobilitySource::MarkovHop { p };
+        let sim = Simulation::new(cfg.clone());
+        let emp = sim.trace().empirical_mobility();
+        assert!(
+            (emp - p).abs() < 0.12,
+            "requested P={p}, trace has {emp}"
+        );
+    }
+}
+
+#[test]
+fn quadratic_theory_end_to_end() {
+    let q = two_cluster_problem(8, 2, 2.0);
+    let res = simulate_quadratic_hfl(
+        &q,
+        &QuadraticHflConfig {
+            steps: 120,
+            ..Default::default()
+        },
+    );
+    assert_eq!(res.gap_trajectory.len(), 120);
+    // The gap collapses quickly then sits at the noise floor; compare the
+    // final value against the very first post-step gap.
+    assert!(
+        res.final_gap < res.gap_trajectory[0] || res.final_gap < 0.05,
+        "no convergence: first {} final {}",
+        res.gap_trajectory[0],
+        res.final_gap
+    );
+}
+
+#[test]
+fn run_record_serialises_end_to_end() {
+    let record = Simulation::new(small_cfg(Task::Mnist, Algorithm::oort())).run();
+    let json = serde_json::to_string(&record).unwrap();
+    let back: RunRecord = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.algorithm, record.algorithm);
+    assert_eq!(back.points.len(), record.points.len());
+    let csv = record.to_csv();
+    assert!(csv.lines().count() == record.points.len() + 1);
+}
+
+#[test]
+fn moved_devices_actually_blend_models_under_middle() {
+    // Force a move and verify the on-device init differs from the pure
+    // edge model under MIDDLE but equals it under HierFAVG/General.
+    use middle::core::aggregation::on_device_init;
+    use middle::nn::zoo;
+    use middle::tensor::random::rng;
+
+    let spec = Task::Mnist.spec();
+    let edge = zoo::logistic(&spec, &mut rng(1));
+    // A local model positively correlated with the edge model: blend ≠ edge.
+    let mut local = edge.clone();
+    for p in local.params_mut() {
+        for v in p.value.data_mut() {
+            *v *= 1.5;
+        }
+    }
+    let middle_init = on_device_init(OnDevicePolicy::SimilarityWeighted, &edge, &local);
+    let general_init = on_device_init(OnDevicePolicy::EdgeModel, &edge, &local);
+    assert_eq!(flatten(&general_init), flatten(&edge));
+    assert_ne!(flatten(&middle_init), flatten(&edge));
+}
