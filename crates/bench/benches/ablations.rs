@@ -29,9 +29,18 @@ fn cfg_with(selection: SelectionPolicy, on_device: OnDevicePolicy) -> SimConfig 
 
 fn bench_alpha_variants(c: &mut Criterion) {
     for (name, od) in [
-        ("ablate_alpha_sim_weighted", OnDevicePolicy::SimilarityWeighted),
-        ("ablate_alpha_fixed_05", OnDevicePolicy::FixedAlpha { alpha: 0.5 }),
-        ("ablate_alpha_unclipped", OnDevicePolicy::UnclippedSimilarity),
+        (
+            "ablate_alpha_sim_weighted",
+            OnDevicePolicy::SimilarityWeighted,
+        ),
+        (
+            "ablate_alpha_fixed_05",
+            OnDevicePolicy::FixedAlpha { alpha: 0.5 },
+        ),
+        (
+            "ablate_alpha_unclipped",
+            OnDevicePolicy::UnclippedSimilarity,
+        ),
     ] {
         c.bench_function(name, |bch| {
             bch.iter_batched(
@@ -45,8 +54,14 @@ fn bench_alpha_variants(c: &mut Criterion) {
 
 fn bench_selection_variants(c: &mut Criterion) {
     for (name, sel) in [
-        ("ablate_sel_least_similar", SelectionPolicy::LeastSimilarUpdate),
-        ("ablate_sel_most_similar", SelectionPolicy::MostSimilarUpdate),
+        (
+            "ablate_sel_least_similar",
+            SelectionPolicy::LeastSimilarUpdate,
+        ),
+        (
+            "ablate_sel_most_similar",
+            SelectionPolicy::MostSimilarUpdate,
+        ),
         ("ablate_sel_random", SelectionPolicy::Random),
     ] {
         c.bench_function(name, |bch| {
@@ -61,7 +76,10 @@ fn bench_selection_variants(c: &mut Criterion) {
 
 fn bench_quadratic_theory(c: &mut Criterion) {
     let problem = two_cluster_problem(10, 2, 2.0);
-    for (name, theorem_lr) in [("quadratic_theorem_lr", true), ("quadratic_fixed_lr", false)] {
+    for (name, theorem_lr) in [
+        ("quadratic_theorem_lr", true),
+        ("quadratic_fixed_lr", false),
+    ] {
         c.bench_function(name, |bch| {
             bch.iter(|| {
                 let cfg = QuadraticHflConfig {

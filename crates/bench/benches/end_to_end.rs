@@ -27,10 +27,39 @@ fn bench_single_step(c: &mut Criterion) {
             criterion::BatchSize::LargeInput,
         )
     });
+    // Before/after pair: the clone-based reference step against the
+    // zero-copy step, on identical warmed-up simulations (step 1, after
+    // one step has populated edge/device state).
+    c.bench_function("sim_step_reference_middle", |bch| {
+        bch.iter_batched(
+            || {
+                let mut sim = Simulation::new(small_config(Algorithm::middle()));
+                sim.step(0);
+                sim
+            },
+            |mut sim| sim.step_reference(1),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("sim_step_zero_copy_middle", |bch| {
+        bch.iter_batched(
+            || {
+                let mut sim = Simulation::new(small_config(Algorithm::middle()));
+                sim.step(0);
+                sim
+            },
+            |mut sim| sim.step(1),
+            criterion::BatchSize::LargeInput,
+        )
+    });
 }
 
 fn bench_short_runs(c: &mut Criterion) {
-    for algorithm in [Algorithm::middle(), Algorithm::oort(), Algorithm::hierfavg()] {
+    for algorithm in [
+        Algorithm::middle(),
+        Algorithm::oort(),
+        Algorithm::hierfavg(),
+    ] {
         let name = format!("sim_run6_{}", algorithm.name.to_ascii_lowercase());
         c.bench_function(&name, |bch| {
             bch.iter_batched(

@@ -3,8 +3,8 @@
 //! mobility-trace generation and Non-IID partitioning.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use middle_core::aggregation::on_device_init;
-use middle_core::selection::select_devices;
+use middle_core::aggregation::{edge_aggregate, edge_aggregate_into, on_device_init};
+use middle_core::selection::{select_devices, select_devices_reference};
 use middle_core::{model_similarity_utility, OnDevicePolicy, SelectionPolicy};
 use middle_data::partition::{partition, Scheme};
 use middle_data::synthetic::{SyntheticSource, Task};
@@ -12,6 +12,22 @@ use middle_mobility::generate_markov_hop;
 use middle_nn::params::flatten;
 use middle_nn::zoo;
 use middle_tensor::random::rng;
+
+/// Builds `n` logistic-model devices with distinct parameters.
+fn mk_devices(n: usize) -> Vec<middle_core::Device> {
+    let src = SyntheticSource::new(Task::Mnist, 5);
+    let spec = Task::Mnist.spec();
+    (0..n)
+        .map(|id| {
+            middle_core::Device::new(
+                id,
+                src.generate_balanced(10, id as u64),
+                zoo::logistic(&spec, &mut rng(id as u64)),
+                900 + id as u64,
+            )
+        })
+        .collect()
+}
 
 fn bench_similarity(c: &mut Criterion) {
     let spec = Task::Mnist.spec();
@@ -27,7 +43,10 @@ fn bench_on_device(c: &mut Criterion) {
     let edge = zoo::cnn2(&spec, &mut rng(3));
     let local = zoo::cnn2(&spec, &mut rng(4));
     for (name, policy) in [
-        ("ondevice_similarity_weighted", OnDevicePolicy::SimilarityWeighted),
+        (
+            "ondevice_similarity_weighted",
+            OnDevicePolicy::SimilarityWeighted,
+        ),
         ("ondevice_average", OnDevicePolicy::Average),
         ("ondevice_edge_model", OnDevicePolicy::EdgeModel),
     ] {
@@ -38,29 +57,81 @@ fn bench_on_device(c: &mut Criterion) {
 }
 
 fn bench_selection(c: &mut Criterion) {
-    let src = SyntheticSource::new(Task::Mnist, 5);
-    let spec = Task::Mnist.spec();
-    let devices: Vec<middle_core::Device> = (0..20)
-        .map(|id| {
-            middle_core::Device::new(
-                id,
-                src.generate_balanced(10, id as u64),
-                zoo::logistic(&spec, &mut rng(id as u64)),
-                900 + id as u64,
-            )
-        })
-        .collect();
+    let devices = mk_devices(20);
     let cloud = flatten(&devices[0].model);
     let candidates: Vec<usize> = (0..20).collect();
     for (name, policy) in [
-        ("select_least_similar_k5_of20", SelectionPolicy::LeastSimilarUpdate),
+        (
+            "select_least_similar_k5_of20",
+            SelectionPolicy::LeastSimilarUpdate,
+        ),
         ("select_oort_k5_of20", SelectionPolicy::OortUtility),
         ("select_random_k5_of20", SelectionPolicy::Random),
     ] {
         c.bench_function(name, |bch| {
             let mut r = rng(7);
+            bch.iter(|| select_devices(black_box(policy), 5, &candidates, &devices, &cloud, &mut r))
+        });
+    }
+}
+
+/// Before/after comparison of selection scoring: the reference
+/// (per-candidate flatten + Δw materialisation + full sort) against the
+/// fused cached-flat-view kernel, at 100 and 1000 candidates.
+fn bench_selection_scaling(c: &mut Criterion) {
+    for n in [100usize, 1000] {
+        let devices = mk_devices(n);
+        let cloud = flatten(&devices[0].model);
+        let candidates: Vec<usize> = (0..n).collect();
+        c.bench_function(&format!("select_scoring_reference_{n}"), |bch| {
+            let mut r = rng(7);
             bch.iter(|| {
-                select_devices(black_box(policy), 5, &candidates, &devices, &cloud, &mut r)
+                select_devices_reference(
+                    black_box(SelectionPolicy::LeastSimilarUpdate),
+                    5,
+                    &candidates,
+                    &devices,
+                    &cloud,
+                    &mut r,
+                )
+            })
+        });
+        c.bench_function(&format!("select_scoring_fused_{n}"), |bch| {
+            let mut r = rng(7);
+            bch.iter(|| {
+                select_devices(
+                    black_box(SelectionPolicy::LeastSimilarUpdate),
+                    5,
+                    &candidates,
+                    &devices,
+                    &cloud,
+                    &mut r,
+                )
+            })
+        });
+    }
+}
+
+/// Before/after comparison of edge aggregation at 10 and 100 uploaded
+/// models: allocating `weighted_average` against the in-place axpy form.
+fn bench_edge_aggregation(c: &mut Criterion) {
+    let spec = Task::Mnist.spec();
+    for n in [10usize, 100] {
+        let models: Vec<_> = (0..n)
+            .map(|i| zoo::logistic(&spec, &mut rng(i as u64)))
+            .collect();
+        let refs: Vec<&middle_nn::Sequential> = models.iter().collect();
+        let counts: Vec<usize> = (0..n).map(|i| 10 + i % 7).collect();
+        c.bench_function(&format!("edge_aggregate_reference_{n}"), |bch| {
+            bch.iter(|| edge_aggregate(black_box(&refs), &counts))
+        });
+        let mut dst = zoo::logistic(&spec, &mut rng(999));
+        c.bench_function(&format!("edge_aggregate_into_{n}"), |bch| {
+            bch.iter(|| {
+                edge_aggregate_into(
+                    black_box(&mut dst),
+                    refs.iter().copied().zip(counts.iter().copied()),
+                )
             })
         });
     }
@@ -90,6 +161,6 @@ fn bench_partition(c: &mut Criterion) {
 criterion_group! {
     name = fl_components;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_similarity, bench_on_device, bench_selection, bench_trace, bench_partition
+    targets = bench_similarity, bench_on_device, bench_selection, bench_selection_scaling, bench_edge_aggregation, bench_trace, bench_partition
 }
 criterion_main!(fl_components);

@@ -24,7 +24,13 @@ fn bench_matmul(c: &mut Criterion) {
 
 fn bench_conv(c: &mut Criterion) {
     let g = ConvGeometry {
-        in_c: 1, out_c: 8, kernel: 3, stride: 1, pad: 1, in_h: 16, in_w: 16,
+        in_c: 1,
+        out_c: 8,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+        in_h: 16,
+        in_w: 16,
     };
     let mut r = rng(2);
     let x = uniform([8, 1, 16, 16], -1.0, 1.0, &mut r);
@@ -46,7 +52,9 @@ fn bench_cosine(c: &mut Criterion) {
 
 fn bench_weighted_mean(c: &mut Criterion) {
     let mut r = rng(4);
-    let tensors: Vec<Tensor> = (0..5).map(|_| uniform([20_000], -1.0, 1.0, &mut r)).collect();
+    let tensors: Vec<Tensor> = (0..5)
+        .map(|_| uniform([20_000], -1.0, 1.0, &mut r))
+        .collect();
     let refs: Vec<&Tensor> = tensors.iter().collect();
     let weights = [1.0f32, 2.0, 3.0, 4.0, 5.0];
     c.bench_function("weighted_mean_5x20k", |bch| {

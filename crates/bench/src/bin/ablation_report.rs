@@ -36,7 +36,11 @@ fn main() {
         );
         cfg.steps = (cfg.steps * 2) / 3;
         let r = run_logged(cfg);
-        println!("  {name:<18} final {:.3}  tail {:.3}", r.final_accuracy(), r.tail_accuracy(4));
+        println!(
+            "  {name:<18} final {:.3}  tail {:.3}",
+            r.final_accuracy(),
+            r.tail_accuracy(4)
+        );
         csv.push_str(&format!(
             "on_device,{name},{:.4},{:.4}\n",
             r.final_accuracy(),
@@ -58,7 +62,11 @@ fn main() {
         );
         cfg.steps = (cfg.steps * 2) / 3;
         let r = run_logged(cfg);
-        println!("  {name:<18} final {:.3}  tail {:.3}", r.final_accuracy(), r.tail_accuracy(4));
+        println!(
+            "  {name:<18} final {:.3}  tail {:.3}",
+            r.final_accuracy(),
+            r.tail_accuracy(4)
+        );
         csv.push_str(&format!(
             "selection,{name},{:.4},{:.4}\n",
             r.final_accuracy(),

@@ -1,0 +1,251 @@
+//! Hot-path before/after microbenchmarks, emitting machine-readable
+//! medians to `BENCH_hotpath.json`.
+//!
+//! Each component is measured in its original allocating form
+//! ("before") and its zero-copy form ("after"):
+//!
+//! * selection scoring (LeastSimilarUpdate) at 100 and 1000 candidates —
+//!   per-candidate flatten + Δw materialisation + full sort vs the fused
+//!   cached-flat-view kernel with an O(n) partial sort;
+//! * edge aggregation at 10 and 100 uploaded models —
+//!   `weighted_average` (flat scratch + clone + unflatten) vs in-place
+//!   zero + axpy accumulation;
+//! * cloud aggregation at 10 edges — same pair through the
+//!   window-weighted path;
+//! * one full simulation step — the clone-based reference step vs the
+//!   zero-copy step.
+//!
+//! ```sh
+//! cargo run -p middle-bench --release --bin bench_baseline [out.json]
+//! ```
+
+use middle_core::aggregation::{
+    cloud_aggregate, cloud_aggregate_into, edge_aggregate, edge_aggregate_into,
+};
+use middle_core::selection::{select_devices, select_devices_reference};
+use middle_core::{Algorithm, Device, SelectionPolicy, SimConfig, Simulation};
+use middle_data::synthetic::{SyntheticSource, Task};
+use middle_data::Task as DataTask;
+use middle_nn::params::flatten;
+use middle_nn::{zoo, Sequential};
+use middle_tensor::random::rng;
+use std::time::Instant;
+
+/// Interleaved before/after medians (ns per iteration). Each sample
+/// times the "before" routine and then the "after" routine back to
+/// back, so slow drift in machine load hits both sides equally instead
+/// of skewing the ratio.
+fn measure_pair<B: FnMut(), A: FnMut()>(
+    samples: usize,
+    iters_per_sample: usize,
+    mut before: B,
+    mut after: A,
+) -> (f64, f64) {
+    // Warm-up.
+    for _ in 0..iters_per_sample.max(1) {
+        before();
+        after();
+    }
+    let mut before_times = Vec::with_capacity(samples);
+    let mut after_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            before();
+        }
+        before_times.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            after();
+        }
+        after_times.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    (median(before_times), median(after_times))
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+fn mk_devices(n: usize) -> Vec<Device> {
+    let src = SyntheticSource::new(Task::Mnist, 5);
+    let spec = Task::Mnist.spec();
+    (0..n)
+        .map(|id| {
+            Device::new(
+                id,
+                src.generate_balanced(10, id as u64),
+                zoo::logistic(&spec, &mut rng(id as u64)),
+                900 + id as u64,
+            )
+        })
+        .collect()
+}
+
+fn sim_config() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(DataTask::Mnist, Algorithm::middle());
+    cfg.num_edges = 3;
+    cfg.num_devices = 12;
+    cfg.devices_per_edge = 2;
+    cfg.samples_per_device = 16;
+    cfg.local_steps = 3;
+    cfg.batch_size = 8;
+    cfg.steps = 6;
+    cfg.test_samples = 60;
+    cfg.eval_interval = 6;
+    cfg
+}
+
+struct Entry {
+    component: String,
+    before_ns: f64,
+    after_ns: f64,
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_hotpath.json".into());
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // --- Selection scoring at 100 and 1000 candidates. ---
+    for n in [100usize, 1000] {
+        let devices = mk_devices(n);
+        let cloud = flatten(&devices[0].model);
+        let candidates: Vec<usize> = (0..n).collect();
+        let iters = if n >= 1000 { 20 } else { 100 };
+        let mut rb = rng(7);
+        let mut ra = rng(7);
+        let (before, after) = measure_pair(
+            21,
+            iters,
+            || {
+                std::hint::black_box(select_devices_reference(
+                    SelectionPolicy::LeastSimilarUpdate,
+                    5,
+                    &candidates,
+                    &devices,
+                    &cloud,
+                    &mut rb,
+                ));
+            },
+            || {
+                std::hint::black_box(select_devices(
+                    SelectionPolicy::LeastSimilarUpdate,
+                    5,
+                    &candidates,
+                    &devices,
+                    &cloud,
+                    &mut ra,
+                ));
+            },
+        );
+        entries.push(Entry {
+            component: format!("selection_scoring_{n}_candidates"),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // --- Edge aggregation at 10 and 100 models. ---
+    let spec = Task::Mnist.spec();
+    for n in [10usize, 100] {
+        let models: Vec<Sequential> = (0..n)
+            .map(|i| zoo::logistic(&spec, &mut rng(i as u64)))
+            .collect();
+        let refs: Vec<&Sequential> = models.iter().collect();
+        let counts: Vec<usize> = (0..n).map(|i| 10 + i % 7).collect();
+        let iters = if n >= 100 { 50 } else { 300 };
+        let mut dst = zoo::logistic(&spec, &mut rng(999));
+        let (before, after) = measure_pair(
+            21,
+            iters,
+            || {
+                std::hint::black_box(edge_aggregate(&refs, &counts));
+            },
+            || {
+                edge_aggregate_into(&mut dst, refs.iter().copied().zip(counts.iter().copied()));
+                std::hint::black_box(&dst);
+            },
+        );
+        entries.push(Entry {
+            component: format!("edge_aggregation_{n}_models"),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // --- Cloud aggregation at 10 edges. ---
+    {
+        let models: Vec<Sequential> = (0..10)
+            .map(|i| zoo::logistic(&spec, &mut rng(50 + i as u64)))
+            .collect();
+        let refs: Vec<&Sequential> = models.iter().collect();
+        let windows: Vec<f32> = (0..10).map(|i| 5.0 + i as f32).collect();
+        let mut dst = zoo::logistic(&spec, &mut rng(998));
+        let (before, after) = measure_pair(
+            21,
+            300,
+            || {
+                std::hint::black_box(cloud_aggregate(&refs, &windows));
+            },
+            || {
+                cloud_aggregate_into(&mut dst, refs.iter().copied().zip(windows.iter().copied()));
+                std::hint::black_box(&dst);
+            },
+        );
+        entries.push(Entry {
+            component: "cloud_aggregation_10_edges".into(),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // --- One full simulation step (warmed up past step 0; construction
+    // and warm-up excluded from the timing). ---
+    {
+        let mut before_times = Vec::new();
+        let mut after_times = Vec::new();
+        for _ in 0..21 {
+            let mut sim = Simulation::new(sim_config());
+            sim.step(0);
+            let t = Instant::now();
+            sim.step_reference(1);
+            before_times.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(&sim);
+
+            let mut sim = Simulation::new(sim_config());
+            sim.step(0);
+            let t = Instant::now();
+            sim.step(1);
+            after_times.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(&sim);
+        }
+        entries.push(Entry {
+            component: "full_sim_step".into(),
+            before_ns: median(before_times),
+            after_ns: median(after_times),
+        });
+    }
+
+    let mut json = String::from("{\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = e.before_ns / e.after_ns;
+        println!(
+            "{:<34} before {:>12.0} ns   after {:>12.0} ns   speedup {:>5.2}x",
+            e.component, e.before_ns, e.after_ns, speedup
+        );
+        json.push_str(&format!(
+            "  \"{}\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            e.component,
+            e.before_ns,
+            e.after_ns,
+            speedup,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+}

@@ -26,7 +26,13 @@ fn scripted_trace(warmup: usize, total: usize) -> Trace {
     after[8] = 0;
     after[9] = 0;
     let assignments: Vec<Vec<usize>> = (0..total)
-        .map(|t| if t < warmup { before.clone() } else { after.clone() })
+        .map(|t| {
+            if t < warmup {
+                before.clone()
+            } else {
+                after.clone()
+            }
+        })
         .collect();
     Trace::new(2, assignments)
 }
@@ -55,21 +61,31 @@ fn base_config(on_device: OnDevicePolicy, name: &str, steps: usize) -> SimConfig
 
 fn report(label: &str, rec: &RunRecord) -> (Vec<f32>, Vec<f32>) {
     let p = rec.points.last().expect("final eval");
-    let fmt = |v: &[Option<f32>]| -> Vec<f32> {
-        v.iter().map(|x| x.unwrap_or(f32::NAN)).collect()
-    };
+    let fmt = |v: &[Option<f32>]| -> Vec<f32> { v.iter().map(|x| x.unwrap_or(f32::NAN)).collect() };
     let global = fmt(&p.global_per_class);
     let edge1 = fmt(&p.edge0_per_class);
     println!("\n{label}:");
-    println!("  overall global {:.3}, edge1 {:.3}", p.global_accuracy, p.edge_accuracy[0]);
-    println!("  class:        {}", (0..10).map(|c| format!("{c:>6}")).collect::<String>());
+    println!(
+        "  overall global {:.3}, edge1 {:.3}",
+        p.global_accuracy, p.edge_accuracy[0]
+    );
+    println!(
+        "  class:        {}",
+        (0..10).map(|c| format!("{c:>6}")).collect::<String>()
+    );
     println!(
         "  global/class: {}",
-        global.iter().map(|a| format!("{a:>6.2}")).collect::<String>()
+        global
+            .iter()
+            .map(|a| format!("{a:>6.2}"))
+            .collect::<String>()
     );
     println!(
         "  edge1/class:  {}",
-        edge1.iter().map(|a| format!("{a:>6.2}")).collect::<String>()
+        edge1
+            .iter()
+            .map(|a| format!("{a:>6.2}"))
+            .collect::<String>()
     );
     (global, edge1)
 }
@@ -85,9 +101,7 @@ fn main() {
     let general = base_config(OnDevicePolicy::EdgeModel, "General", total);
     let ondevice = base_config(OnDevicePolicy::Average, "OnDeviceAvg", total);
 
-    println!(
-        "warm-up {warmup} steps, then swap devices {{3,4}} <-> {{8,9}}, {post} more steps\n"
-    );
+    println!("warm-up {warmup} steps, then swap devices {{3,4}} <-> {{8,9}}, {post} more steps\n");
     let rec_general = {
         let trace = trace.clone();
         let mut sim = middle_core::Simulation::with_trace(general, trace);
@@ -107,7 +121,8 @@ fn main() {
     let (g_gen, e_gen) = report("General (download edge model)", &rec_general);
     let (g_ond, e_ond) = report("On-Device Model Aggregation (plain average)", &rec_ondevice);
 
-    let mut csv = String::from("class,global_general,global_ondevice,edge1_general,edge1_ondevice\n");
+    let mut csv =
+        String::from("class,global_general,global_ondevice,edge1_general,edge1_ondevice\n");
     for c in 0..10 {
         csv.push_str(&format!(
             "{c},{:.4},{:.4},{:.4},{:.4}\n",
@@ -126,9 +141,13 @@ fn main() {
     println!("  exchanged arriving classes 8-9: {lift89:+.3} (carried models dominate here)");
     println!("  inherited classes 5-7:          {lift57:+.3}");
     println!("  departed classes 3-4:           {dip34:+.3} (negative = the paper's dip)");
-    println!("  overall edge 1:                 {:+.3}", 
+    println!(
+        "  overall edge 1:                 {:+.3}",
         rec_ondevice.points.last().unwrap().edge_accuracy[0]
-            - rec_general.points.last().unwrap().edge_accuracy[0]);
-    println!("  overall global:                 {:+.3}",
-        rec_ondevice.final_accuracy() - rec_general.final_accuracy());
+            - rec_general.points.last().unwrap().edge_accuracy[0]
+    );
+    println!(
+        "  overall global:                 {:+.3}",
+        rec_ondevice.final_accuracy() - rec_general.final_accuracy()
+    );
 }

@@ -15,7 +15,13 @@ use middle_bench::write_csv;
 use middle_core::theory::QuadraticProblem;
 
 /// One local-SGD trajectory from `start` on device `m`'s quadratic.
-fn descend(q: &QuadraticProblem, m: usize, start: [f32; 2], steps: usize, eta: f32) -> Vec<[f32; 2]> {
+fn descend(
+    q: &QuadraticProblem,
+    m: usize,
+    start: [f32; 2],
+    steps: usize,
+    eta: f32,
+) -> Vec<[f32; 2]> {
     let mut w = start.to_vec();
     let mut grad = vec![0.0f32; 2];
     let mut path = vec![start];
@@ -71,11 +77,26 @@ fn main() {
     let dist = |a: &[f32; 2], b: &[f32]| ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2)).sqrt();
 
     println!("=== Figure 3 — edge-model parameter space ===\n");
-    println!("edge model w^t          : ({:.2}, {:.2})", edge_model[0], edge_model[1]);
-    println!("device 1 carried model  : ({:.2}, {:.2})", carried[0], carried[1]);
-    println!("device 1 blended start  : ({:.2}, {:.2})", blended[0], blended[1]);
-    println!("edge optimum            : ({:.2}, {:.2})", edge_opt[0], edge_opt[1]);
-    println!("global optimum          : ({:.2}, {:.2})\n", global_opt[0], global_opt[1]);
+    println!(
+        "edge model w^t          : ({:.2}, {:.2})",
+        edge_model[0], edge_model[1]
+    );
+    println!(
+        "device 1 carried model  : ({:.2}, {:.2})",
+        carried[0], carried[1]
+    );
+    println!(
+        "device 1 blended start  : ({:.2}, {:.2})",
+        blended[0], blended[1]
+    );
+    println!(
+        "edge optimum            : ({:.2}, {:.2})",
+        edge_opt[0], edge_opt[1]
+    );
+    println!(
+        "global optimum          : ({:.2}, {:.2})\n",
+        global_opt[0], global_opt[1]
+    );
     println!(
         "aggregated edge model, General  : ({:.2}, {:.2})  d(edge opt) {:.2}  d(global opt) {:.2}",
         edge_general[0],
@@ -91,11 +112,18 @@ fn main() {
         dist(&edge_ondevice, &global_opt)
     );
 
-    let mut csv = String::from("step,dev0_x,dev0_y,dev1_general_x,dev1_general_y,dev1_ondevice_x,dev1_ondevice_y\n");
+    let mut csv = String::from(
+        "step,dev0_x,dev0_y,dev1_general_x,dev1_general_y,dev1_ondevice_x,dev1_ondevice_y\n",
+    );
     for t in 0..=steps {
         csv.push_str(&format!(
             "{t},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}\n",
-            dev0[t][0], dev0[t][1], dev1_general[t][0], dev1_general[t][1], dev1_ondevice[t][0], dev1_ondevice[t][1]
+            dev0[t][0],
+            dev0[t][1],
+            dev1_general[t][0],
+            dev1_general[t][1],
+            dev1_ondevice[t][0],
+            dev1_ondevice[t][1]
         ));
     }
     write_csv("fig3_param_space", &csv);

@@ -18,7 +18,11 @@ fn average_records(records: Vec<RunRecord>) -> RunRecord {
     let mut out = records[0].clone();
     let n = records.len() as f32;
     for (i, p) in out.points.iter_mut().enumerate() {
-        p.global_accuracy = records.iter().map(|r| r.points[i].global_accuracy).sum::<f32>() / n;
+        p.global_accuracy = records
+            .iter()
+            .map(|r| r.points[i].global_accuracy)
+            .sum::<f32>()
+            / n;
         p.global_loss = records.iter().map(|r| r.points[i].global_loss).sum::<f32>() / n;
     }
     out.wall_seconds = records.iter().map(|r| r.wall_seconds).sum();
@@ -90,7 +94,10 @@ fn main() {
                         baseline.time_to_accuracy(target),
                     ) {
                         (Some(s), Some(tb)) => {
-                            format!("vs {:<9} {s:>5.2}x (baseline step {tb})", baseline.algorithm)
+                            format!(
+                                "vs {:<9} {s:>5.2}x (baseline step {tb})",
+                                baseline.algorithm
+                            )
                         }
                         (Some(s), None) => format!(
                             "vs {:<9} ≥{s:>4.2}x (baseline never reached target)",

@@ -21,8 +21,14 @@ fn main() {
 
     let mut csv = String::from("task,algorithm,p,final_accuracy,tail_accuracy\n");
     for task in tasks {
-        println!("\n=== Figure 7 ({}) — final accuracy vs global mobility P ===", task.name());
-        println!("{:<10} {:>8} {:>8} {:>8}", "algorithm", "P=0.1", "P=0.3", "P=0.5");
+        println!(
+            "\n=== Figure 7 ({}) — final accuracy vs global mobility P ===",
+            task.name()
+        );
+        println!(
+            "{:<10} {:>8} {:>8} {:>8}",
+            "algorithm", "P=0.1", "P=0.3", "P=0.5"
+        );
         for algorithm in Algorithm::figure6() {
             let mut row = format!("{:<10}", algorithm.name);
             for p in PS {

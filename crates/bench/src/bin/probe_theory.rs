@@ -8,15 +8,27 @@ fn main() {
             let (mut gap, mut sdisp) = (0.0f32, 0.0f32);
             for s in 0..10 {
                 let cfg = QuadraticHflConfig {
-                    edges: 4, steps: 120, local_steps: 10, cloud_interval: 30,
-                    alpha: 0.5, p, noise_std: 0.1, theorem_lr: false, seed: 500 + s, homed,
+                    edges: 4,
+                    steps: 120,
+                    local_steps: 10,
+                    cloud_interval: 30,
+                    alpha: 0.5,
+                    p,
+                    noise_std: 0.1,
+                    theorem_lr: false,
+                    seed: 500 + s,
+                    homed,
                     download_each_step: false,
                 };
                 let r = simulate_quadratic_hfl(&q, &cfg);
                 gap += r.gap_trajectory[20..].iter().sum::<f32>() / 100.0;
                 sdisp += r.start_dispersion[20..].iter().sum::<f32>() / 100.0;
             }
-            println!("  P={p:.2}: mean gap {:.4}  start divergence {:.4}", gap / 10.0, sdisp / 10.0);
+            println!(
+                "  P={p:.2}: mean gap {:.4}  start divergence {:.4}",
+                gap / 10.0,
+                sdisp / 10.0
+            );
         }
     }
 }

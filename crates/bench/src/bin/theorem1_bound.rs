@@ -7,9 +7,7 @@
 //! ```
 
 use middle_bench::write_csv;
-use middle_core::quadratic_sim::{
-    simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig,
-};
+use middle_core::quadratic_sim::{simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig};
 use middle_core::theory::BoundParams;
 
 fn main() {
@@ -41,7 +39,10 @@ fn main() {
 
     println!("=== Theorem 1 — analytic bound vs measured gap over time (P = 0.5) ===\n");
     let res = simulate_quadratic_hfl(&problem, &base);
-    println!("{:>6} {:>14} {:>14}", "step", "measured gap", "analytic bound");
+    println!(
+        "{:>6} {:>14} {:>14}",
+        "step", "measured gap", "analytic bound"
+    );
     let mut csv_t = String::from("step,measured_gap,bound\n");
     for (t, &gap) in res.gap_trajectory.iter().enumerate() {
         if t % 20 == 0 || t + 1 == res.gap_trajectory.len() {
@@ -58,8 +59,7 @@ fn main() {
         "{:>6} {:>18} {:>14} {:>16} {:>14}",
         "P", "start divergence", "measured gap", "mobility term", "d(bound)/dP"
     );
-    let mut csv_p =
-        String::from("p,start_divergence,measured_gap,mobility_term,derivative\n");
+    let mut csv_p = String::from("p,start_divergence,measured_gap,mobility_term,derivative\n");
     for p in [0.05f64, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9] {
         // Average over seeds so the trend is visible through SGD noise.
         let (mut divergence, mut gap) = (0.0f32, 0.0f32);

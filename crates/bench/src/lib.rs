@@ -122,29 +122,6 @@ pub fn print_curves(title: &str, curves: &[(String, Vec<(usize, f32)>)]) {
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scaled_steps_has_floor() {
-        assert!(scaled_steps(100) >= 4);
-        assert_eq!(scaled_steps(0), 4);
-    }
-
-    #[test]
-    fn curves_csv_merges_steps() {
-        let csv = curves_to_csv(&[
-            ("a".into(), vec![(1, 0.5), (2, 0.6)]),
-            ("b".into(), vec![(2, 0.7)]),
-        ]);
-        let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "step,a,b");
-        assert_eq!(lines[1], "1,0.5000,");
-        assert_eq!(lines[2], "2,0.6000,0.7000");
-    }
-}
-
 /// The shared scaled-down Figure 6–8 configuration for `task`:
 /// the paper's §6.1.2 setting reduced to 5 edges / 40 devices / K = 3
 /// so the full figure suite regenerates on a single-core laptop
@@ -182,5 +159,28 @@ pub fn scaled_target(task: middle_data::Task) -> f32 {
         Task::Emnist => 0.45,
         Task::Cifar10 => 0.22,
         Task::Speech => 0.70,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_steps_has_floor() {
+        assert!(scaled_steps(100) >= 4);
+        assert_eq!(scaled_steps(0), 4);
+    }
+
+    #[test]
+    fn curves_csv_merges_steps() {
+        let csv = curves_to_csv(&[
+            ("a".into(), vec![(1, 0.5), (2, 0.6)]),
+            ("b".into(), vec![(2, 0.7)]),
+        ]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "step,a,b");
+        assert_eq!(lines[1], "1,0.5000,");
+        assert_eq!(lines[2], "2,0.6000,0.7000");
     }
 }

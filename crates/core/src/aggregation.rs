@@ -1,9 +1,21 @@
 //! On-device model aggregation (paper §4.2, Eq. 9, plus baselines) and
 //! the edge/cloud FedAvg aggregations (Eqs. 6–7).
+//!
+//! Each aggregation exists in two forms: the original allocating
+//! functions returning fresh models (kept as the numerical oracle and
+//! used by the reference step), and `_into` variants built on the
+//! in-place primitives in [`middle_nn::params`] that write directly into
+//! an existing model. The `_into` forms are element-for-element
+//! identical to their references: same weight normalisation, same
+//! accumulation order.
 
 use crate::algorithms::OnDevicePolicy;
-use crate::similarity::{aggregation_weights, raw_cosine, similarity_utility};
-use middle_nn::params::{blend, flatten, weighted_average};
+use crate::device::Device;
+use crate::similarity::{
+    aggregation_weights, raw_cosine, raw_cosine_cached, similarity_utility,
+    similarity_utility_cached,
+};
+use middle_nn::params::{axpy, axpy2, blend, blend_into, flatten, weighted_average, zero_params};
 use middle_nn::Sequential;
 
 /// Computes the new initial local model `ŵ_m^t` for a device that just
@@ -52,6 +64,75 @@ pub fn on_device_init(
     }
 }
 
+/// In-place form of [`on_device_init`]: rewrites the device's carried
+/// model into `ŵ_m^t` directly, using the device's and edge's cached
+/// flat views for the similarity so no per-device flatten or model
+/// allocation happens.
+///
+/// The device's flat cache is left *stale* for every policy that changes
+/// the model (all but `KeepLocal`): in the simulation step each
+/// initialised device immediately trains, and training refreshes the
+/// cache. Callers that need the flat view before a train must call
+/// [`Device::refresh_flat`] themselves.
+pub fn on_device_init_into(
+    policy: OnDevicePolicy,
+    device: &mut Device,
+    edge_model: &Sequential,
+    edge_flat: &[f32],
+    edge_norm_sq: f32,
+) {
+    match policy {
+        OnDevicePolicy::EdgeModel => device.load_flat(edge_flat, edge_norm_sq),
+        OnDevicePolicy::KeepLocal => {}
+        OnDevicePolicy::Average => {
+            blend_into(&mut device.model, edge_model, 0.5);
+            device.invalidate_flat();
+        }
+        OnDevicePolicy::FixedAlpha { alpha } => {
+            assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+            blend_into(&mut device.model, edge_model, alpha);
+            device.invalidate_flat();
+        }
+        OnDevicePolicy::SimilarityWeighted => {
+            let u = similarity_utility_cached(
+                device.flat(),
+                device.flat_norm_sq(),
+                edge_flat,
+                edge_norm_sq,
+            );
+            let (edge_w, _local_w) = aggregation_weights(u);
+            blend_into(&mut device.model, edge_model, edge_w);
+            device.invalidate_flat();
+        }
+        OnDevicePolicy::UnclippedSimilarity => {
+            // Ablation: use the raw cosine in the Eq. 9 weights. The raw
+            // value can be negative; we clamp at −0.5 so the 1/(1+c)
+            // weight stays bounded, which still permits the noisy
+            // extrapolation the clipping of Eq. 8 is designed to prevent.
+            let c = raw_cosine_cached(
+                device.flat(),
+                device.flat_norm_sq(),
+                edge_flat,
+                edge_norm_sq,
+            )
+            .max(-0.5);
+            let edge_w = (1.0 / (1.0 + c)).min(2.0);
+            let local_w = 1.0 - edge_w;
+            for (d, e) in device
+                .model
+                .params_mut()
+                .into_iter()
+                .zip(edge_model.params())
+            {
+                for (dv, &ev) in d.value.data_mut().iter_mut().zip(e.value.data()) {
+                    *dv = edge_w * ev + local_w * *dv;
+                }
+            }
+            device.invalidate_flat();
+        }
+    }
+}
+
 /// Edge aggregation (Eq. 6): FedAvg of uploaded local models, weighted by
 /// per-device sample counts `d_m`.
 pub fn edge_aggregate(models: &[&Sequential], sample_counts: &[usize]) -> Sequential {
@@ -71,6 +152,58 @@ pub fn cloud_aggregate(edge_models: &[&Sequential], window_samples: &[f32]) -> S
     } else {
         let uniform = vec![1.0f32; edge_models.len()];
         weighted_average(edge_models, &uniform)
+    }
+}
+
+/// In-place form of [`edge_aggregate`] over `(model, sample_count)`
+/// pairs; `dst` is overwritten with the weighted average. The clonable
+/// iterator is walked twice (weight total, then accumulation), exactly
+/// mirroring the reference's normalisation and per-model order.
+pub fn edge_aggregate_into<'a, I>(dst: &mut Sequential, parts: I)
+where
+    I: Iterator<Item = (&'a Sequential, usize)> + Clone,
+{
+    let total: f32 = parts.clone().map(|(_, d)| d as f32).sum();
+    assert!(total > 0.0, "edge aggregation needs samples");
+    accumulate_pairs(dst, parts.map(|(m, d)| (m, d as f32 / total)));
+}
+
+/// `dst ← Σ wᵢ · mᵢ` with pairwise-fused accumulation: the per-element
+/// add order is exactly the sequential [`axpy`] order (so results stay
+/// bit-identical to the allocating references), but models are consumed
+/// two at a time through [`axpy2`] to halve the traffic over `dst`.
+fn accumulate_pairs<'a, I>(dst: &mut Sequential, mut scaled: I)
+where
+    I: Iterator<Item = (&'a Sequential, f32)>,
+{
+    zero_params(dst);
+    loop {
+        match (scaled.next(), scaled.next()) {
+            (Some((m0, w0)), Some((m1, w1))) => axpy2(dst, w0, m0, w1, m1),
+            (Some((m0, w0)), None) => {
+                axpy(dst, w0, m0);
+                break;
+            }
+            (None, _) => break,
+        }
+    }
+}
+
+/// In-place form of [`cloud_aggregate`] over `(model, window_samples)`
+/// pairs, with the same uniform fallback when every window is empty.
+pub fn cloud_aggregate_into<'a, I>(dst: &mut Sequential, parts: I)
+where
+    I: Iterator<Item = (&'a Sequential, f32)> + Clone,
+{
+    let total: f32 = parts.clone().map(|(_, w)| w).sum();
+    if total > 0.0 {
+        accumulate_pairs(dst, parts.map(|(m, w)| (m, w / total)));
+    } else {
+        // Mirror the reference's uniform path bitwise: the total is the
+        // same iterated sum of ones that `weighted_average` computes.
+        let uniform_total: f32 = parts.clone().map(|_| 1.0f32).sum();
+        assert!(uniform_total > 0.0, "cloud aggregation needs edges");
+        accumulate_pairs(dst, parts.map(|(m, _)| (m, 1.0 / uniform_total)));
     }
 }
 
@@ -156,7 +289,7 @@ mod tests {
             }
         }
         let alpha = alpha_est.expect("some coordinate differs");
-        assert!(alpha >= 0.5 - 1e-4 && alpha <= 1.0 + 1e-4, "alpha {alpha}");
+        assert!((0.5 - 1e-4..=1.0 + 1e-4).contains(&alpha), "alpha {alpha}");
     }
 
     #[test]
@@ -175,6 +308,69 @@ mod tests {
         let init = on_device_init(OnDevicePolicy::UnclippedSimilarity, &e, &l);
         // cos = −1 clamped to −0.5 ⇒ edge_w = 2, local_w = −1 ⇒ value 3.
         assert!(flatten(&init).iter().all(|&v| (v - 3.0).abs() < 1e-5));
+    }
+
+    fn mk_device_with(id: usize, flat_vals: &[f32]) -> Device {
+        use middle_data::synthetic::{SyntheticSource, Task};
+        let src = SyntheticSource::new(Task::Mnist, 3);
+        let data = src.generate_balanced(10, id as u64);
+        let mut m = middle_nn::zoo::logistic(&Task::Mnist.spec(), &mut rng(id as u64));
+        unflatten(&mut m, flat_vals);
+        Device::new(id, data, m, 50 + id as u64)
+    }
+
+    #[test]
+    fn in_place_on_device_init_matches_reference_bitwise() {
+        use middle_data::synthetic::Task;
+        use middle_tensor::ops::dot_slices;
+        let spec = Task::Mnist.spec();
+        let mut edge = middle_nn::zoo::logistic(&spec, &mut rng(70));
+        let d = edge.param_count();
+        let edge_vals: Vec<f32> = (0..d).map(|i| ((i * 13 + 1) as f32).sin()).collect();
+        unflatten(&mut edge, &edge_vals);
+        let edge_flat = flatten(&edge);
+        let edge_norm = dot_slices(&edge_flat, &edge_flat);
+        let local_vals: Vec<f32> = (0..d).map(|i| ((i * 7 + 3) as f32).cos()).collect();
+        for policy in [
+            OnDevicePolicy::EdgeModel,
+            OnDevicePolicy::KeepLocal,
+            OnDevicePolicy::Average,
+            OnDevicePolicy::FixedAlpha { alpha: 0.3 },
+            OnDevicePolicy::SimilarityWeighted,
+            OnDevicePolicy::UnclippedSimilarity,
+        ] {
+            let mut device = mk_device_with(0, &local_vals);
+            let reference = on_device_init(policy, &edge, &device.model);
+            on_device_init_into(policy, &mut device, &edge, &edge_flat, edge_norm);
+            let (fr, fd) = (flatten(&reference), flatten(&device.model));
+            for (i, (x, y)) in fr.iter().zip(&fd).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "{policy:?} param {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_edge_and_cloud_aggregates_match_reference_bitwise() {
+        let a = model_with(0.5);
+        let b = model_with(-3.0);
+        let c = model_with(7.25);
+        let refs = [&a, &b, &c];
+
+        let reference = edge_aggregate(&refs, &[30, 10, 5]);
+        let mut dst = model_with(99.0);
+        edge_aggregate_into(&mut dst, refs.iter().copied().zip([30usize, 10, 5]));
+        assert_eq!(flatten(&reference), flatten(&dst));
+
+        let reference = cloud_aggregate(&refs, &[4.0, 0.0, 12.0]);
+        let mut dst = model_with(99.0);
+        cloud_aggregate_into(&mut dst, refs.iter().copied().zip([4.0f32, 0.0, 12.0]));
+        assert_eq!(flatten(&reference), flatten(&dst));
+
+        // Uniform fallback when no window saw participation.
+        let reference = cloud_aggregate(&refs, &[0.0, 0.0, 0.0]);
+        let mut dst = model_with(99.0);
+        cloud_aggregate_into(&mut dst, refs.iter().copied().zip([0.0f32, 0.0, 0.0]));
+        assert_eq!(flatten(&reference), flatten(&dst));
     }
 
     #[test]

@@ -70,8 +70,16 @@ pub struct Algorithm {
 
 impl Algorithm {
     /// Builds a custom algorithm from its two components.
-    pub fn custom(name: impl Into<String>, selection: SelectionPolicy, on_device: OnDevicePolicy) -> Algorithm {
-        Algorithm { name: name.into(), selection, on_device }
+    pub fn custom(
+        name: impl Into<String>,
+        selection: SelectionPolicy,
+        on_device: OnDevicePolicy,
+    ) -> Algorithm {
+        Algorithm {
+            name: name.into(),
+            selection,
+            on_device,
+        }
     }
 
     /// MIDDLE (the paper's contribution).
@@ -85,7 +93,11 @@ impl Algorithm {
 
     /// OORT baseline [Lai et al., OSDI'21] adapted per §6.1.3.
     pub fn oort() -> Algorithm {
-        Algorithm::custom("OORT", SelectionPolicy::OortUtility, OnDevicePolicy::EdgeModel)
+        Algorithm::custom(
+            "OORT",
+            SelectionPolicy::OortUtility,
+            OnDevicePolicy::EdgeModel,
+        )
     }
 
     /// FedMes baseline [Han et al., JSAC'21] adapted per §6.1.3.
@@ -95,18 +107,30 @@ impl Algorithm {
 
     /// Greedy baseline (§6.1.3): keep the carried model, Oort selection.
     pub fn greedy() -> Algorithm {
-        Algorithm::custom("Greedy", SelectionPolicy::OortUtility, OnDevicePolicy::KeepLocal)
+        Algorithm::custom(
+            "Greedy",
+            SelectionPolicy::OortUtility,
+            OnDevicePolicy::KeepLocal,
+        )
     }
 
     /// Ensemble baseline (§6.1.3): OORT selection + FedMes aggregation.
     pub fn ensemble() -> Algorithm {
-        Algorithm::custom("Ensemble", SelectionPolicy::OortUtility, OnDevicePolicy::Average)
+        Algorithm::custom(
+            "Ensemble",
+            SelectionPolicy::OortUtility,
+            OnDevicePolicy::Average,
+        )
     }
 
     /// Classical hierarchical FedAvg ("General" in §2) — random
     /// selection, no on-device aggregation.
     pub fn hierfavg() -> Algorithm {
-        Algorithm::custom("HierFAVG", SelectionPolicy::Random, OnDevicePolicy::EdgeModel)
+        Algorithm::custom(
+            "HierFAVG",
+            SelectionPolicy::Random,
+            OnDevicePolicy::EdgeModel,
+        )
     }
 
     /// The five algorithms plotted in Figures 6–7, in the paper's order.
@@ -154,7 +178,10 @@ mod tests {
         assert_eq!(Algorithm::fedmes().on_device, OnDevicePolicy::Average);
         assert_eq!(Algorithm::greedy().on_device, OnDevicePolicy::KeepLocal);
         assert_eq!(Algorithm::greedy().selection, SelectionPolicy::OortUtility);
-        assert_eq!(Algorithm::ensemble().selection, SelectionPolicy::OortUtility);
+        assert_eq!(
+            Algorithm::ensemble().selection,
+            SelectionPolicy::OortUtility
+        );
         assert_eq!(Algorithm::ensemble().on_device, OnDevicePolicy::Average);
     }
 

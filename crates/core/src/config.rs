@@ -104,7 +104,10 @@ impl SimConfig {
     pub fn paper_default(task: Task, algorithm: Algorithm) -> Self {
         let optimizer = match task {
             Task::Speech => OptimizerKind::Adam { lr: 0.001 },
-            _ => OptimizerKind::Momentum { lr: 0.01, momentum: 0.9 },
+            _ => OptimizerKind::Momentum {
+                lr: 0.01,
+                momentum: 0.9,
+            },
         };
         SimConfig {
             task,
@@ -118,7 +121,10 @@ impl SimConfig {
             batch_size: 16,
             cloud_interval: 10,
             steps: 120,
-            mobility: MobilitySource::HomedMarkovHop { p: 0.5, home_bias: 0.6 },
+            mobility: MobilitySource::HomedMarkovHop {
+                p: 0.5,
+                home_bias: 0.6,
+            },
             optimizer,
             test_samples: 400,
             eval_interval: 2,
@@ -191,21 +197,21 @@ impl SimConfig {
             return Err("test_samples must be positive".into());
         }
         if !(0.0..=1.0).contains(&self.availability) {
-            return Err(format!("availability = {} outside [0, 1]", self.availability));
+            return Err(format!(
+                "availability = {} outside [0, 1]",
+                self.availability
+            ));
         }
         match self.mobility {
-            MobilitySource::MarkovHop { p } => {
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("mobility P = {p} outside [0, 1]"));
-                }
+            MobilitySource::MarkovHop { p } | MobilitySource::HomedMarkovHop { p, .. }
+                if !(0.0..=1.0).contains(&p) =>
+            {
+                return Err(format!("mobility P = {p} outside [0, 1]"));
             }
-            MobilitySource::HomedMarkovHop { p, home_bias } => {
-                if !(0.0..=1.0).contains(&p) {
-                    return Err(format!("mobility P = {p} outside [0, 1]"));
-                }
-                if !(0.0..=1.0).contains(&home_bias) {
-                    return Err(format!("home_bias = {home_bias} outside [0, 1]"));
-                }
+            MobilitySource::HomedMarkovHop { home_bias, .. }
+                if !(0.0..=1.0).contains(&home_bias) =>
+            {
+                return Err(format!("home_bias = {home_bias} outside [0, 1]"));
             }
             _ => {}
         }
@@ -227,7 +233,10 @@ mod tests {
         assert_eq!(c.cloud_interval, 10);
         assert_eq!(
             c.mobility,
-            MobilitySource::HomedMarkovHop { p: 0.5, home_bias: 0.6 }
+            MobilitySource::HomedMarkovHop {
+                p: 0.5,
+                home_bias: 0.6
+            }
         );
         assert!(matches!(c.optimizer, OptimizerKind::Momentum { .. }));
         assert!(c.validate().is_ok());
@@ -241,7 +250,9 @@ mod tests {
 
     #[test]
     fn tiny_config_validates() {
-        assert!(SimConfig::tiny(Task::Mnist, Algorithm::middle()).validate().is_ok());
+        assert!(SimConfig::tiny(Task::Mnist, Algorithm::middle())
+            .validate()
+            .is_ok());
     }
 
     #[test]

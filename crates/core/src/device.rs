@@ -4,6 +4,7 @@
 use middle_data::batch::random_batch;
 use middle_data::Dataset;
 use middle_nn::loss::per_sample_cross_entropy;
+use middle_nn::params::{unflatten, FlatView};
 use middle_nn::{OptimizerKind, Sequential};
 use middle_tensor::random::{derive_seed, rng};
 use rand::rngs::StdRng;
@@ -13,6 +14,12 @@ use rand::rngs::StdRng;
 /// The device persistently carries its local model `w_m` between time
 /// steps — the crux of MIDDLE: after moving to a new edge, this carried
 /// model transports the previous edge's "knowledge".
+///
+/// Alongside the structured model the device maintains a [`FlatView`]
+/// cache (flat parameter vector + squared norm) so the selection and
+/// on-device aggregation hot paths never flatten per candidate. Code
+/// that mutates `model` directly must call [`Device::invalidate_flat`]
+/// (or [`Device::refresh_flat`]); the built-in mutators do so already.
 pub struct Device {
     /// Stable device identifier (index into the simulation's device set).
     pub id: usize,
@@ -25,12 +32,14 @@ pub struct Device {
     pub last_participation: Option<usize>,
     data: Dataset,
     rng: StdRng,
+    flat: FlatView,
 }
 
 impl Device {
     /// Creates a device with its local dataset and initial model.
     pub fn new(id: usize, data: Dataset, initial_model: Sequential, seed: u64) -> Self {
         assert!(!data.is_empty(), "device {id} has no data");
+        let flat = FlatView::of(&initial_model);
         Device {
             id,
             model: initial_model,
@@ -38,6 +47,7 @@ impl Device {
             last_participation: None,
             data,
             rng: rng(derive_seed(seed, 0xD0_0000 + id as u64)),
+            flat,
         }
     }
 
@@ -51,19 +61,50 @@ impl Device {
         &self.data
     }
 
-    /// Runs `I` local SGD steps (Eq. 5) starting from `init`, replacing
-    /// the carried model with the result, and refreshes the Oort
-    /// statistical utility. Returns the final mini-batch training loss.
+    /// Cached flat parameter vector of the carried model.
+    ///
+    /// # Panics
+    /// Panics when the cache is dirty (model mutated without a refresh).
+    pub fn flat(&self) -> &[f32] {
+        self.flat.flat()
+    }
+
+    /// Cached squared L2 norm of the carried model's parameters.
+    pub fn flat_norm_sq(&self) -> f32 {
+        self.flat.norm_sq()
+    }
+
+    /// Marks the flat cache stale after a direct mutation of `model`.
+    pub fn invalidate_flat(&mut self) {
+        self.flat.invalidate();
+    }
+
+    /// Recomputes the flat cache from the current carried model.
+    pub fn refresh_flat(&mut self) {
+        self.flat.refresh(&self.model);
+    }
+
+    /// Overwrites the carried model's parameters from a flat vector whose
+    /// squared norm is already known (the broadcast fast path: the cache
+    /// is filled by copying, with no re-flatten and no re-norm).
+    pub fn load_flat(&mut self, flat: &[f32], norm_sq: f32) {
+        unflatten(&mut self.model, flat);
+        self.flat.set_from_slice(flat, norm_sq);
+    }
+
+    /// Runs `I` local SGD steps (Eq. 5) on the carried model in place
+    /// (the caller positions `w_m` first, e.g. via [`Device::load_flat`]
+    /// or on-device aggregation), and refreshes the Oort statistical
+    /// utility and the flat cache. Returns the final mini-batch training
+    /// loss.
     pub fn local_train(
         &mut self,
-        init: Sequential,
         local_steps: usize,
         batch_size: usize,
         optimizer: &OptimizerKind,
         time_step: usize,
     ) -> f32 {
         assert!(local_steps > 0, "need at least one local step");
-        self.model = init;
         // Fresh optimizer per participation: momentum/Adam state cannot
         // meaningfully persist across model replacement by aggregation.
         let mut opt = optimizer.build();
@@ -75,6 +116,7 @@ impl Device {
         }
         self.refresh_oort_utility();
         self.last_participation = Some(time_step);
+        self.flat.refresh(&self.model);
         loss
     }
 
@@ -82,7 +124,7 @@ impl Device {
     /// `|B_m| · sqrt(mean(loss_i²))` over the device's local samples with
     /// the current carried model.
     pub fn refresh_oort_utility(&mut self) {
-        let logits = self.model.forward(self.data.inputs(), false);
+        let logits = self.model.infer(self.data.inputs());
         let losses = per_sample_cross_entropy(&logits, self.data.labels());
         let mean_sq = losses.iter().map(|l| l * l).sum::<f32>() / losses.len() as f32;
         self.oort_utility = Some(self.data.len() as f32 * mean_sq.sqrt());
@@ -98,7 +140,9 @@ impl Device {
 mod tests {
     use super::*;
     use middle_data::synthetic::{SyntheticSource, Task};
+    use middle_nn::params::flatten;
     use middle_nn::zoo;
+    use middle_tensor::ops::dot_slices;
     use middle_tensor::random::rng as seed_rng;
 
     fn mk_device(id: usize, seed: u64) -> Device {
@@ -112,11 +156,10 @@ mod tests {
     #[test]
     fn local_training_reduces_loss() {
         let mut d = mk_device(0, 42);
-        let init = d.model.clone();
         let (inputs, labels) = (d.data().inputs().clone(), d.data().labels().to_vec());
         let before = d.model.eval_loss(&inputs, &labels);
         let kind = OptimizerKind::Sgd { lr: 0.1 };
-        d.local_train(init, 20, 10, &kind, 3);
+        d.local_train(20, 10, &kind, 3);
         let after = d.model.eval_loss(&inputs, &labels);
         assert!(after < before, "{before} -> {after}");
         assert_eq!(d.last_participation, Some(3));
@@ -126,8 +169,7 @@ mod tests {
     fn oort_utility_set_after_training() {
         let mut d = mk_device(1, 43);
         assert!(d.oort_utility.is_none());
-        let init = d.model.clone();
-        d.local_train(init, 1, 5, &OptimizerKind::Sgd { lr: 0.01 }, 0);
+        d.local_train(1, 5, &OptimizerKind::Sgd { lr: 0.01 }, 0);
         let u = d.oort_utility.unwrap();
         assert!(u > 0.0 && u.is_finite());
     }
@@ -135,11 +177,9 @@ mod tests {
     #[test]
     fn oort_utility_falls_as_model_fits() {
         let mut d = mk_device(2, 44);
-        let init = d.model.clone();
-        d.local_train(init, 1, 10, &OptimizerKind::Sgd { lr: 0.05 }, 0);
+        d.local_train(1, 10, &OptimizerKind::Sgd { lr: 0.05 }, 0);
         let early = d.oort_utility.unwrap();
-        let carried = d.model.clone();
-        d.local_train(carried, 40, 10, &OptimizerKind::Sgd { lr: 0.05 }, 1);
+        d.local_train(40, 10, &OptimizerKind::Sgd { lr: 0.05 }, 1);
         let late = d.oort_utility.unwrap();
         assert!(late < early, "{early} -> {late}");
     }
@@ -148,8 +188,7 @@ mod tests {
     fn staleness_counts_from_last_participation() {
         let mut d = mk_device(3, 45);
         assert_eq!(d.staleness(10), None);
-        let init = d.model.clone();
-        d.local_train(init, 1, 5, &OptimizerKind::Sgd { lr: 0.01 }, 4);
+        d.local_train(1, 5, &OptimizerKind::Sgd { lr: 0.01 }, 4);
         assert_eq!(d.staleness(10), Some(6));
     }
 
@@ -157,11 +196,35 @@ mod tests {
     fn training_is_deterministic_per_seed() {
         let run = |seed: u64| {
             let mut d = mk_device(0, seed);
-            let init = d.model.clone();
-            d.local_train(init, 3, 8, &OptimizerKind::Sgd { lr: 0.05 }, 0);
+            d.local_train(3, 8, &OptimizerKind::Sgd { lr: 0.05 }, 0);
             middle_nn::params::flatten(&d.model)
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn flat_cache_tracks_model_through_train_and_load() {
+        let mut d = mk_device(4, 46);
+        assert_eq!(d.flat(), flatten(&d.model).as_slice());
+        d.local_train(2, 8, &OptimizerKind::Sgd { lr: 0.05 }, 0);
+        let f = flatten(&d.model);
+        assert_eq!(d.flat(), f.as_slice());
+        assert_eq!(d.flat_norm_sq().to_bits(), dot_slices(&f, &f).to_bits());
+        // Broadcast path: load a different flat vector.
+        let other = vec![0.25f32; f.len()];
+        let norm = dot_slices(&other, &other);
+        d.load_flat(&other, norm);
+        assert_eq!(d.flat(), other.as_slice());
+        assert_eq!(flatten(&d.model), other);
+        assert_eq!(d.flat_norm_sq().to_bits(), norm.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty")]
+    fn direct_mutation_without_refresh_is_caught() {
+        let mut d = mk_device(5, 47);
+        d.invalidate_flat();
+        d.flat();
     }
 }

@@ -35,8 +35,8 @@
 //!   numerical validation on strongly-convex quadratics.
 
 pub mod aggregation;
-pub mod comm;
 pub mod algorithms;
+pub mod comm;
 pub mod config;
 pub mod device;
 pub mod metrics;
@@ -47,10 +47,11 @@ pub mod similarity;
 pub mod theory;
 
 pub use algorithms::{Algorithm, OnDevicePolicy, SelectionPolicy};
-pub use config::{MobilitySource, SimConfig};
 pub use comm::CommStats;
+pub use config::{MobilitySource, SimConfig};
 pub use device::Device;
 pub use metrics::{speedup, EvalPoint, RunRecord};
+pub use selection::{select_devices, SelectionScratch};
 pub use sim::{EdgeState, Simulation};
 pub use similarity::{model_similarity_utility, similarity_utility};
 pub use theory::{BoundParams, QuadraticProblem};

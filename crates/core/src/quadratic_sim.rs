@@ -143,18 +143,18 @@ pub fn simulate_quadratic_hfl(
 
         // Full participation: every device trains within its edge.
         let mut start_points: Vec<Vec<f32>> = Vec::with_capacity(devices);
-        for m in 0..devices {
+        for (m, lm) in local_models.iter_mut().enumerate() {
             let n = trace.edge_of(t, m);
             let mut w: Vec<f32> = if trace.moved(t, m) {
                 edge_models[n]
                     .iter()
-                    .zip(&local_models[m])
+                    .zip(lm.iter())
                     .map(|(e, l)| cfg.alpha * e + (1.0 - cfg.alpha) * l)
                     .collect()
             } else if cfg.download_each_step {
                 edge_models[n].clone()
             } else {
-                local_models[m].clone()
+                lm.clone()
             };
             start_points.push(w.clone());
             for _ in 0..cfg.local_steps {
@@ -163,7 +163,7 @@ pub fn simulate_quadratic_hfl(
                     *x -= eta * (g + noise.sample(&mut rng));
                 }
             }
-            local_models[m] = w;
+            *lm = w;
         }
 
         // Start-point divergence around the mean start point (Eq. 19).
@@ -223,8 +223,8 @@ pub fn simulate_quadratic_hfl(
 
         // Virtual global = weighted mean of all locals (Eq. 13).
         let mut vg = vec![0.0f32; dim];
-        for m in 0..devices {
-            for (a, x) in vg.iter_mut().zip(&local_models[m]) {
+        for (m, lm) in local_models.iter().enumerate() {
+            for (a, x) in vg.iter_mut().zip(lm) {
                 *a += problem.weights[m] * x;
             }
         }
@@ -314,10 +314,7 @@ mod tests {
         };
         let lo = mean_gap(0.05);
         let hi = mean_gap(0.8);
-        assert!(
-            hi < lo,
-            "P=0.8 gap {hi} should beat P=0.05 gap {lo}"
-        );
+        assert!(hi < lo, "P=0.8 gap {hi} should beat P=0.05 gap {lo}");
     }
 
     #[test]
@@ -339,7 +336,7 @@ mod tests {
             local_steps: cfg.local_steps,
             alpha: cfg.alpha,
             p: cfg.p as f32,
-            initial_gap: q.gap(&vec![0.0; 2]) * 2.0 / q.mu(),
+            initial_gap: q.gap(&[0.0; 2]) * 2.0 / q.mu(),
         };
         for (t, &gap) in res.gap_trajectory.iter().enumerate().skip(20) {
             assert!(

@@ -1,11 +1,35 @@
 //! In-edge device selection (paper §4.3, Eqs. 10–12, plus baselines).
+//!
+//! The hot path is allocation-free: candidate scores come from the
+//! devices' cached flat views ([`crate::device::Device::flat`]) through a
+//! fused identity-based kernel, candidates are scored in parallel into a
+//! caller-owned [`SelectionScratch`], and the top-k cut uses an O(n)
+//! partial partition instead of a full sort. The `*_reference` functions
+//! keep the original allocating implementations as the numerical oracle
+//! for the equivalence tests.
 
 use crate::algorithms::SelectionPolicy;
 use crate::device::Device;
 use crate::similarity::similarity_utility;
 use middle_nn::params::flatten;
+use middle_tensor::ops::{combine_cosine, dot_slices};
 use rand::rngs::StdRng;
 use rand::Rng;
+use rayon::prelude::*;
+
+/// Reusable buffers for [`select_devices_into`]; create once and pass to
+/// every call so steady-state selection performs no heap allocation.
+#[derive(Default)]
+pub struct SelectionScratch {
+    scored: Vec<(f32, u32, usize)>,
+}
+
+impl SelectionScratch {
+    /// Creates an empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Selects up to `k` devices from `candidates` (indices into `devices`)
 /// under `policy`.
@@ -13,7 +37,125 @@ use rand::Rng;
 /// When fewer than `k` candidates are present, all of them are selected —
 /// the edge trains with whatever it has (devices can cluster on one edge
 /// under high mobility).
+///
+/// Convenience wrapper over [`select_devices_into`] that allocates its
+/// own scratch and output; the simulation loop calls the `_into` variant
+/// directly with persistent buffers.
 pub fn select_devices(
+    policy: SelectionPolicy,
+    k: usize,
+    candidates: &[usize],
+    devices: &[Device],
+    cloud_flat: &[f32],
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let cloud_norm_sq = dot_slices(cloud_flat, cloud_flat);
+    let mut scratch = SelectionScratch::new();
+    let mut out = Vec::new();
+    select_devices_into(
+        policy,
+        k,
+        candidates,
+        devices,
+        cloud_flat,
+        cloud_norm_sq,
+        rng,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// Allocation-free core of [`select_devices`]: scores land in `scratch`,
+/// winners in `out` (cleared first). `cloud_norm_sq` must be
+/// `dot_slices(cloud_flat, cloud_flat)` — the caller caches it alongside
+/// the flat vector.
+#[allow(clippy::too_many_arguments)]
+pub fn select_devices_into(
+    policy: SelectionPolicy,
+    k: usize,
+    candidates: &[usize],
+    devices: &[Device],
+    cloud_flat: &[f32],
+    cloud_norm_sq: f32,
+    rng: &mut StdRng,
+    scratch: &mut SelectionScratch,
+    out: &mut Vec<usize>,
+) {
+    assert!(k > 0, "K must be positive");
+    out.clear();
+    if candidates.len() <= k {
+        out.extend_from_slice(candidates);
+        return;
+    }
+    if matches!(policy, SelectionPolicy::Random) {
+        sample_without_replacement_into(candidates, k, rng, out);
+        return;
+    }
+    // Tie-break keys are drawn serially in candidate order so the rng
+    // stream matches the reference implementation exactly; scores are
+    // then filled in parallel (score functions consume no randomness).
+    let scored = &mut scratch.scored;
+    scored.clear();
+    scored.extend(candidates.iter().map(|&m| (0.0f32, rng.gen::<u32>(), m)));
+    match policy {
+        SelectionPolicy::Random => unreachable!("handled above"),
+        SelectionPolicy::LeastSimilarUpdate => {
+            scored.par_iter_mut().for_each(|slot| {
+                slot.0 = -update_similarity(&devices[slot.2], cloud_flat, cloud_norm_sq);
+            });
+        }
+        SelectionPolicy::MostSimilarUpdate => {
+            scored.par_iter_mut().for_each(|slot| {
+                slot.0 = update_similarity(&devices[slot.2], cloud_flat, cloud_norm_sq);
+            });
+        }
+        SelectionPolicy::OortUtility => {
+            // Never-trained devices get +inf utility: Oort-style
+            // exploration of fresh clients, required here because moved
+            // devices have no history at the new edge.
+            scored.par_iter_mut().for_each(|slot| {
+                slot.0 = devices[slot.2].oort_utility.unwrap_or(f32::INFINITY);
+            });
+        }
+    }
+    top_k_into(scored, k, out);
+}
+
+/// The MIDDLE selection criterion `U(w_c, Δw_m)` with `Δw_m = w_m − w_c`
+/// (Eqs. 10–11): how aligned the device's accumulated update is with the
+/// current cloud model.
+///
+/// Fused, allocation-free form: instead of materialising `Δw_m`, the
+/// three quadratic forms of the cosine are recovered from one streaming
+/// dot product and the cached squared norms via
+/// `dot(c, l−c) = dot(c,l) − ‖c‖²` and
+/// `‖l−c‖² = ‖l‖² − 2·dot(c,l) + ‖c‖²`.
+/// The subtraction can catastrophically cancel when `l ≈ c`, so the
+/// squared delta norm is clamped at zero; exact ties (`l == c` bitwise,
+/// i.e. freshly synced devices) still evaluate to exactly 0 utility, the
+/// same as the reference path.
+pub fn update_similarity(device: &Device, cloud_flat: &[f32], cloud_norm_sq: f32) -> f32 {
+    let local = device.flat();
+    assert_eq!(local.len(), cloud_flat.len(), "architecture mismatch");
+    let cl = dot_slices(cloud_flat, local);
+    let dot_c_delta = cl - cloud_norm_sq;
+    let delta_norm_sq = (device.flat_norm_sq() - 2.0 * cl + cloud_norm_sq).max(0.0);
+    combine_cosine(dot_c_delta, cloud_norm_sq, delta_norm_sq).max(0.0)
+}
+
+/// Original allocating form of [`update_similarity`] (flatten + explicit
+/// `Δw` vector) — the numerical oracle for the fused kernel.
+pub fn update_similarity_reference(device: &Device, cloud_flat: &[f32]) -> f32 {
+    let local = flatten(&device.model);
+    assert_eq!(local.len(), cloud_flat.len(), "architecture mismatch");
+    let delta: Vec<f32> = local.iter().zip(cloud_flat).map(|(l, c)| l - c).collect();
+    similarity_utility(cloud_flat, &delta)
+}
+
+/// Original full-sort selection — the oracle for
+/// [`select_devices_into`], consuming the rng stream identically.
+pub fn select_devices_reference(
     policy: SelectionPolicy,
     k: usize,
     candidates: &[usize],
@@ -25,70 +167,69 @@ pub fn select_devices(
     if candidates.len() <= k {
         return candidates.to_vec();
     }
+    let top_k_by = |score: &dyn Fn(usize) -> f32, rng: &mut StdRng| -> Vec<usize> {
+        let mut scored: Vec<(f32, u32, usize)> = candidates
+            .iter()
+            .map(|&m| (score(m), rng.gen::<u32>(), m))
+            .collect();
+        // Descending score, random key on ties; NaN sorts last.
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.into_iter().take(k).map(|(_, _, m)| m).collect()
+    };
     match policy {
-        SelectionPolicy::Random => sample_without_replacement(candidates, k, rng),
+        SelectionPolicy::Random => {
+            let mut out = Vec::new();
+            sample_without_replacement_into(candidates, k, rng, &mut out);
+            out
+        }
         SelectionPolicy::LeastSimilarUpdate => top_k_by(
-            candidates,
-            k,
-            |m| -update_similarity(&devices[m], cloud_flat),
+            &|m| -update_similarity_reference(&devices[m], cloud_flat),
             rng,
         ),
         SelectionPolicy::MostSimilarUpdate => top_k_by(
-            candidates,
-            k,
-            |m| update_similarity(&devices[m], cloud_flat),
+            &|m| update_similarity_reference(&devices[m], cloud_flat),
             rng,
         ),
-        SelectionPolicy::OortUtility => top_k_by(
-            candidates,
-            k,
-            // Never-trained devices get +inf utility: Oort-style
-            // exploration of fresh clients, required here because moved
-            // devices have no history at the new edge.
-            |m| devices[m].oort_utility.unwrap_or(f32::INFINITY),
-            rng,
-        ),
+        SelectionPolicy::OortUtility => {
+            top_k_by(&|m| devices[m].oort_utility.unwrap_or(f32::INFINITY), rng)
+        }
     }
 }
 
-/// The MIDDLE selection criterion `U(w_c, Δw_m)` with `Δw_m = w_m − w_c`
-/// (Eqs. 10–11): how aligned the device's accumulated update is with the
-/// current cloud model.
-pub fn update_similarity(device: &Device, cloud_flat: &[f32]) -> f32 {
-    let local = flatten(&device.model);
-    assert_eq!(local.len(), cloud_flat.len(), "architecture mismatch");
-    let delta: Vec<f32> = local.iter().zip(cloud_flat).map(|(l, c)| l - c).collect();
-    similarity_utility(cloud_flat, &delta)
+/// Top-`k` cut over pre-scored candidates in O(n): partition with
+/// `select_nth_unstable_by`, then order only the winning prefix.
+///
+/// Ties are broken *randomly* via the pre-drawn `u32` keys: exact ties
+/// are common (e.g. every freshly-synced device has `Δw = 0` and hence
+/// utility 0), and a deterministic id tie-break would starve high-id
+/// devices of participation. The candidate index is a final tie-break so
+/// the (vanishingly rare) equal-key case stays deterministic and matches
+/// the reference's stable sort over ascending candidate lists.
+fn top_k_into(scored: &mut [(f32, u32, usize)], k: usize, out: &mut Vec<usize>) {
+    debug_assert!(k < scored.len(), "caller handles the select-all case");
+    let cmp = |a: &(f32, u32, usize), b: &(f32, u32, usize)| {
+        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+    };
+    scored.select_nth_unstable_by(k - 1, cmp);
+    let winners = &mut scored[..k];
+    winners.sort_unstable_by(cmp);
+    out.extend(winners.iter().map(|&(_, _, m)| m));
 }
 
-/// Top-`k` candidates by a score function. Ties are broken *randomly*:
-/// exact ties are common (e.g. every freshly-synced device has `Δw = 0`
-/// and hence utility 0), and a deterministic id tie-break would starve
-/// high-id devices of participation.
-fn top_k_by(
-    candidates: &[usize],
+/// Uniform sample of `k` distinct items (partial Fisher–Yates) appended
+/// to `out`.
+fn sample_without_replacement_into(
+    items: &[usize],
     k: usize,
-    score: impl Fn(usize) -> f32,
     rng: &mut StdRng,
-) -> Vec<usize> {
-    let mut scored: Vec<(f32, u32, usize)> = candidates
-        .iter()
-        .map(|&m| (score(m), rng.gen::<u32>(), m))
-        .collect();
-    // Descending score, random key on ties; NaN sorts last.
-    scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-    scored.into_iter().take(k).map(|(_, _, m)| m).collect()
-}
-
-/// Uniform sample of `k` distinct items (partial Fisher–Yates).
-fn sample_without_replacement(items: &[usize], k: usize, rng: &mut StdRng) -> Vec<usize> {
-    let mut pool = items.to_vec();
+    out: &mut Vec<usize>,
+) {
+    out.extend_from_slice(items);
     for i in 0..k {
-        let j = rng.gen_range(i..pool.len());
-        pool.swap(i, j);
+        let j = rng.gen_range(i..out.len());
+        out.swap(i, j);
     }
-    pool.truncate(k);
-    pool
+    out.truncate(k);
 }
 
 #[cfg(test)]
@@ -108,6 +249,11 @@ mod tests {
                 Device::new(id, data, model, 100 + id as u64)
             })
             .collect()
+    }
+
+    fn set_params(device: &mut Device, flat: &[f32]) {
+        unflatten(&mut device.model, flat);
+        device.refresh_flat();
     }
 
     #[test]
@@ -178,9 +324,9 @@ mod tests {
             *v += if i % 2 == 0 { 0.5 } else { -0.5 }; // Δ alternating ⇒ U ≈ 0
         }
         let w2 = vec![0.0f32; d]; // Δ = −1 ⇒ clipped U = 0
-        unflatten(&mut devices[0].model, &w0);
-        unflatten(&mut devices[1].model, &w1);
-        unflatten(&mut devices[2].model, &w2);
+        set_params(&mut devices[0], &w0);
+        set_params(&mut devices[1], &w1);
+        set_params(&mut devices[2], &w2);
         w0.clear();
 
         let sel = select_devices(
@@ -201,8 +347,8 @@ mod tests {
         let mut devices = mk_devices(2);
         let d = devices[0].model.param_count();
         let cloud = vec![1.0f32; d];
-        unflatten(&mut devices[0].model, &vec![2.0; d]); // aligned
-        unflatten(&mut devices[1].model, &vec![0.0; d]); // anti-aligned
+        set_params(&mut devices[0], &vec![2.0; d]); // aligned
+        set_params(&mut devices[1], &vec![0.0; d]); // anti-aligned
         let least = select_devices(
             SelectionPolicy::LeastSimilarUpdate,
             1,
@@ -228,8 +374,53 @@ mod tests {
         let mut devices = mk_devices(1);
         let d = devices[0].model.param_count();
         let cloud = vec![1.0f32; d];
-        unflatten(&mut devices[0].model, &vec![0.0; d]); // Δ = −cloud
-        assert_eq!(update_similarity(&devices[0], &cloud), 0.0);
+        set_params(&mut devices[0], &vec![0.0; d]); // Δ = −cloud
+        let norm = dot_slices(&cloud, &cloud);
+        assert_eq!(update_similarity(&devices[0], &cloud, norm), 0.0);
+        assert_eq!(update_similarity_reference(&devices[0], &cloud), 0.0);
+    }
+
+    #[test]
+    fn fused_update_similarity_tracks_reference() {
+        let mut devices = mk_devices(5);
+        let d = devices[0].model.param_count();
+        // Independent pseudo-random cloud vector: deltas are far from
+        // zero, keeping the identity-based form well conditioned.
+        let cloud: Vec<f32> = (0..d).map(|i| ((i * 31 + 7) as f32).sin()).collect();
+        let norm = dot_slices(&cloud, &cloud);
+        for dev in &devices {
+            let fused = update_similarity(dev, &cloud, norm);
+            let naive = update_similarity_reference(dev, &cloud);
+            assert!((fused - naive).abs() <= 1e-5, "{fused} vs {naive}");
+        }
+        // Exact tie: a freshly synced device scores exactly zero on both
+        // paths (the identity form cancels to ±0 exactly).
+        set_params(&mut devices[0], &cloud);
+        let norm0 = devices[0].flat_norm_sq();
+        assert_eq!(update_similarity(&devices[0], &cloud, norm0), 0.0);
+        assert_eq!(update_similarity_reference(&devices[0], &cloud), 0.0);
+    }
+
+    #[test]
+    fn fast_selection_matches_reference_for_all_policies() {
+        let mut devices = mk_devices(12);
+        devices[3].oort_utility = Some(2.5);
+        devices[7].oort_utility = Some(0.25);
+        let cloud = flatten(&devices[0].model);
+        let cands: Vec<usize> = (0..12).collect();
+        for policy in [
+            SelectionPolicy::Random,
+            SelectionPolicy::LeastSimilarUpdate,
+            SelectionPolicy::MostSimilarUpdate,
+            SelectionPolicy::OortUtility,
+        ] {
+            for k in [1, 4, 11] {
+                let fast = select_devices(policy, k, &cands, &devices, &cloud, &mut rng(9));
+                let slow =
+                    select_devices_reference(policy, k, &cands, &devices, &cloud, &mut rng(9));
+                assert_eq!(fast, slow, "{policy:?} k={k}");
+            }
+        }
     }
 
     #[test]
@@ -281,6 +472,38 @@ mod tests {
                 seen[m] = true;
             }
         }
-        assert!(seen.iter().all(|&s| s), "tie-break starved a device: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "tie-break starved a device: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn reusing_scratch_keeps_results_stable() {
+        let devices = mk_devices(9);
+        let cloud = flatten(&devices[0].model);
+        let norm = dot_slices(&cloud, &cloud);
+        let cands: Vec<usize> = (0..9).collect();
+        let mut scratch = SelectionScratch::new();
+        let mut out = Vec::new();
+        let mut first = Vec::new();
+        for round in 0..3 {
+            select_devices_into(
+                SelectionPolicy::MostSimilarUpdate,
+                3,
+                &cands,
+                &devices,
+                &cloud,
+                norm,
+                &mut rng(11),
+                &mut scratch,
+                &mut out,
+            );
+            if round == 0 {
+                first = out.clone();
+            } else {
+                assert_eq!(out, first);
+            }
+        }
     }
 }

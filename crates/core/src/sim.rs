@@ -13,20 +13,23 @@
 //!    the participating-sample totals `d̂_n` (Eq. 7) and broadcasts the
 //!    result back to all edges and devices.
 
-use crate::aggregation::{cloud_aggregate, edge_aggregate, on_device_init};
+use crate::aggregation::{
+    cloud_aggregate, cloud_aggregate_into, edge_aggregate, edge_aggregate_into, on_device_init,
+    on_device_init_into,
+};
 use crate::comm::CommStats;
 use crate::config::{MobilitySource, SimConfig};
 use crate::device::Device;
 use crate::metrics::{EvalPoint, RunRecord};
-use crate::selection::select_devices;
+use crate::selection::{select_devices_into, select_devices_reference, SelectionScratch};
 use middle_data::partition::{partition, Partition};
 use middle_data::synthetic::SyntheticSource;
 use middle_data::{Confusion, Dataset};
 use middle_mobility::{
-    generate_geometric, generate_markov_hop, generate_markov_hop_homed, MobilityKind,
-    ServiceArea, Trace,
+    generate_geometric, generate_markov_hop, generate_markov_hop_homed, MobilityKind, ServiceArea,
+    Trace,
 };
-use middle_nn::params::flatten;
+use middle_nn::params::{flatten, FlatView};
 use middle_nn::{zoo, Sequential};
 use middle_tensor::random::{derive_seed, rng};
 use rand::rngs::StdRng;
@@ -35,11 +38,52 @@ use rayon::prelude::*;
 use std::time::Instant;
 
 /// State of one edge server.
+///
+/// Alongside the model the edge carries a [`FlatView`] cache mirroring
+/// the device-side cache: selection and on-device aggregation read the
+/// edge's flat parameters every step, and recomputing them per candidate
+/// would dominate the hot path. Code that mutates `model` directly must
+/// call [`EdgeState::refresh_flat`] afterwards.
 pub struct EdgeState {
     /// The edge model `w_n^t`.
     pub model: Sequential,
     /// Participating samples since the last cloud sync (`d̂_n`, Eq. 7).
     pub window_samples: f32,
+    flat: FlatView,
+}
+
+impl EdgeState {
+    /// Creates an edge state with a fresh flat cache.
+    pub fn new(model: Sequential) -> Self {
+        let flat = FlatView::of(&model);
+        EdgeState {
+            model,
+            window_samples: 0.0,
+            flat,
+        }
+    }
+
+    /// Cached flat parameter vector of the edge model.
+    pub fn flat(&self) -> &[f32] {
+        self.flat.flat()
+    }
+
+    /// Cached squared L2 norm of the edge model's parameters.
+    pub fn flat_norm_sq(&self) -> f32 {
+        self.flat.norm_sq()
+    }
+
+    /// Recomputes the flat cache from the current edge model.
+    pub fn refresh_flat(&mut self) {
+        self.flat.refresh(&self.model);
+    }
+
+    /// Overwrites the edge model from a flat vector with known squared
+    /// norm (the cloud-broadcast fast path).
+    pub fn load_flat(&mut self, flat: &[f32], norm_sq: f32) {
+        middle_nn::params::unflatten(&mut self.model, flat);
+        self.flat.set_from_slice(flat, norm_sq);
+    }
 }
 
 /// A fully-constructed hierarchical-FL simulation.
@@ -55,6 +99,14 @@ pub struct Simulation {
     availability_rng: StdRng,
     comm: CommStats,
     syncs: u64,
+    // Hot-path state: the cloud's cached flat view (refreshed only when
+    // the cloud model actually changes) and per-step scratch buffers that
+    // persist across steps so the steady-state loop never allocates.
+    cloud_flat: FlatView,
+    selection_scratch: SelectionScratch,
+    candidates: Vec<usize>,
+    selected_per_edge: Vec<Vec<usize>>,
+    participating: Vec<bool>,
 }
 
 impl Simulation {
@@ -87,16 +139,11 @@ impl Simulation {
         let init = zoo::model_for_task(config.task.name(), &spec, &mut rng(derive_seed(seed, 5)));
 
         let devices: Vec<Device> = (0..config.num_devices)
-            .map(|m| {
-                Device::new(m, base.subset(&part.assignments[m]), init.clone(), seed)
-            })
+            .map(|m| Device::new(m, base.subset(&part.assignments[m]), init.clone(), seed))
             .collect();
 
-        let edges = (0..config.num_edges)
-            .map(|_| EdgeState {
-                model: init.clone(),
-                window_samples: 0.0,
-            })
+        let edges: Vec<EdgeState> = (0..config.num_edges)
+            .map(|_| EdgeState::new(init.clone()))
             .collect();
 
         // Home edges: cluster devices by major class so edge-level data
@@ -110,6 +157,9 @@ impl Simulation {
             .collect();
         let trace = build_trace(&config, &homes);
 
+        let cloud_flat = FlatView::of(&init);
+        let selected_per_edge = (0..config.num_edges).map(|_| Vec::new()).collect();
+        let participating = vec![false; config.num_devices];
         Simulation {
             cloud: init,
             devices,
@@ -121,6 +171,11 @@ impl Simulation {
             availability_rng: rng(derive_seed(seed, 8)),
             comm: CommStats::default(),
             syncs: 0,
+            cloud_flat,
+            selection_scratch: SelectionScratch::new(),
+            candidates: Vec::new(),
+            selected_per_edge,
+            participating,
             config,
         }
     }
@@ -200,28 +255,146 @@ impl Simulation {
 
     /// Executes one time step `t` of Algorithm 1 (0-based; syncs with the
     /// cloud after every `cloud_interval`-th step).
+    ///
+    /// The steady-state loop is allocation-free: candidate sets, scores
+    /// and winner lists land in persistent scratch buffers, device inits
+    /// are written straight into each participating device's carried
+    /// model (no staged `Vec<Option<Sequential>>`), aggregation runs in
+    /// place on the edge/cloud parameter tensors, and the cloud broadcast
+    /// copies parameters instead of cloning models. Numerically the step
+    /// tracks [`Simulation::step_reference`]; the equivalence tests pin
+    /// the two together.
     pub fn step(&mut self, t: usize) {
+        assert!(t < self.trace.steps(), "step beyond trace horizon");
+
+        // Phase 1 — in-edge device selection, then write each selected
+        // device's initial model (moved devices aggregate on device,
+        // stationary ones download the edge model into place).
+        self.participating.fill(false);
+        for n in 0..self.edges.len() {
+            self.trace.devices_at_into(t, n, &mut self.candidates);
+            // Straggler injection: each device is reachable this step
+            // with the configured probability.
+            if self.config.availability < 1.0 {
+                self.candidates
+                    .retain(|_| self.availability_rng.gen::<f64>() < self.config.availability);
+            }
+            if self.candidates.is_empty() {
+                self.selected_per_edge[n].clear();
+                continue;
+            }
+            select_devices_into(
+                self.config.algorithm.selection,
+                self.config.devices_per_edge,
+                &self.candidates,
+                &self.devices,
+                self.cloud_flat.flat(),
+                self.cloud_flat.norm_sq(),
+                &mut self.rng,
+                &mut self.selection_scratch,
+                &mut self.selected_per_edge[n],
+            );
+            let selected = &self.selected_per_edge[n];
+            self.comm.edge_to_device += selected.len() as u64;
+            self.comm.device_to_edge += selected.len() as u64;
+            let edge = &self.edges[n];
+            for &m in selected {
+                if self.trace.moved(t, m) {
+                    on_device_init_into(
+                        self.config.algorithm.on_device,
+                        &mut self.devices[m],
+                        &edge.model,
+                        edge.flat(),
+                        edge.flat_norm_sq(),
+                    );
+                } else {
+                    self.devices[m].load_flat(edge.flat(), edge.flat_norm_sq());
+                }
+                self.participating[m] = true;
+            }
+        }
+
+        // Phase 2 — parallel local training. Each participating device
+        // owns its slot; no shared mutable state.
+        let (local_steps, batch_size, optimizer) = (
+            self.config.local_steps,
+            self.config.batch_size,
+            self.config.optimizer,
+        );
+        let participating = &self.participating;
+        self.devices.par_iter_mut().for_each(|dev| {
+            if participating[dev.id] {
+                dev.local_train(local_steps, batch_size, &optimizer, t);
+            }
+        });
+
+        // Phase 3 — edge aggregation (Eq. 6), in place on the edge model.
+        let devices = &self.devices;
+        for (edge, selected) in self.edges.iter_mut().zip(&self.selected_per_edge) {
+            if selected.is_empty() {
+                continue;
+            }
+            edge_aggregate_into(
+                &mut edge.model,
+                selected
+                    .iter()
+                    .map(|&m| (&devices[m].model, devices[m].num_samples())),
+            );
+            edge.window_samples += selected
+                .iter()
+                .map(|&m| devices[m].num_samples())
+                .sum::<usize>() as f32;
+            edge.refresh_flat();
+        }
+
+        // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
+        // The broadcast copies the cloud's flat parameters (and their
+        // cached norm) into every edge and device — no model clones.
+        if (t + 1).is_multiple_of(self.config.cloud_interval) {
+            self.syncs += 1;
+            self.comm.edge_to_cloud += self.edges.len() as u64;
+            self.comm.cloud_to_edge += self.edges.len() as u64;
+            self.comm.cloud_to_device += self.devices.len() as u64;
+            cloud_aggregate_into(
+                &mut self.cloud,
+                self.edges.iter().map(|e| (&e.model, e.window_samples)),
+            );
+            self.cloud_flat.refresh(&self.cloud);
+            let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
+            for edge in &mut self.edges {
+                edge.load_flat(flat, norm_sq);
+                edge.window_samples = 0.0;
+            }
+            self.devices.par_iter_mut().for_each(|d| {
+                d.load_flat(flat, norm_sq);
+            });
+        }
+    }
+
+    /// Reference implementation of [`Simulation::step`]: the original
+    /// clone-based phases (fresh cloud flatten, staged init models, full
+    /// sort selection, allocating aggregation, clone broadcast), kept as
+    /// the semantic oracle for the hot path. Consumes the rng streams in
+    /// exactly the same order as `step`, so a run may interleave the two
+    /// and the equivalence tests can compare them step for step.
+    pub fn step_reference(&mut self, t: usize) {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
         let cloud_flat = flatten(&self.cloud);
 
-        // Phase 1 — in-edge device selection, then compute each selected
-        // device's initial model (moved devices aggregate on device).
+        // Phase 1 — selection + staged initial models.
         let mut inits: Vec<Option<Sequential>> = (0..self.devices.len()).map(|_| None).collect();
         let mut selected_per_edge: Vec<Vec<usize>> = Vec::with_capacity(self.edges.len());
         for (n, edge) in self.edges.iter().enumerate() {
             let mut candidates = self.trace.devices_at(t, n);
-            // Straggler injection: each device is reachable this step
-            // with the configured probability.
             if self.config.availability < 1.0 {
-                candidates.retain(|_| {
-                    self.availability_rng.gen::<f64>() < self.config.availability
-                });
+                candidates
+                    .retain(|_| self.availability_rng.gen::<f64>() < self.config.availability);
             }
             if candidates.is_empty() {
                 selected_per_edge.push(Vec::new());
                 continue;
             }
-            let selected = select_devices(
+            let selected = select_devices_reference(
                 self.config.algorithm.selection,
                 self.config.devices_per_edge,
                 &candidates,
@@ -246,8 +419,7 @@ impl Simulation {
             selected_per_edge.push(selected);
         }
 
-        // Phase 2 — parallel local training. Each participating device
-        // owns its slot; no shared mutable state.
+        // Phase 2 — parallel local training on the staged models.
         let (local_steps, batch_size, optimizer) = (
             self.config.local_steps,
             self.config.batch_size,
@@ -258,7 +430,9 @@ impl Simulation {
             .zip(inits.par_iter_mut())
             .for_each(|(dev, slot)| {
                 if let Some(init) = slot.take() {
-                    dev.local_train(init, local_steps, batch_size, &optimizer, t);
+                    dev.model = init;
+                    dev.invalidate_flat();
+                    dev.local_train(local_steps, batch_size, &optimizer, t);
                 }
             });
 
@@ -267,14 +441,19 @@ impl Simulation {
             if selected.is_empty() {
                 continue;
             }
-            let models: Vec<&Sequential> = selected.iter().map(|&m| &self.devices[m].model).collect();
-            let counts: Vec<usize> = selected.iter().map(|&m| self.devices[m].num_samples()).collect();
+            let models: Vec<&Sequential> =
+                selected.iter().map(|&m| &self.devices[m].model).collect();
+            let counts: Vec<usize> = selected
+                .iter()
+                .map(|&m| self.devices[m].num_samples())
+                .collect();
             self.edges[n].model = edge_aggregate(&models, &counts);
             self.edges[n].window_samples += counts.iter().sum::<usize>() as f32;
+            self.edges[n].refresh_flat();
         }
 
         // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
-        if (t + 1) % self.config.cloud_interval == 0 {
+        if (t + 1).is_multiple_of(self.config.cloud_interval) {
             self.syncs += 1;
             self.comm.edge_to_cloud += self.edges.len() as u64;
             self.comm.cloud_to_edge += self.edges.len() as u64;
@@ -282,13 +461,16 @@ impl Simulation {
             let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
             let weights: Vec<f32> = self.edges.iter().map(|e| e.window_samples).collect();
             self.cloud = cloud_aggregate(&models, &weights);
+            self.cloud_flat.refresh(&self.cloud);
             for edge in &mut self.edges {
                 edge.model = self.cloud.clone();
                 edge.window_samples = 0.0;
+                edge.refresh_flat();
             }
             let cloud = &self.cloud;
             self.devices.par_iter_mut().for_each(|d| {
                 d.model = cloud.clone();
+                d.refresh_flat();
             });
         }
     }
@@ -296,9 +478,8 @@ impl Simulation {
     /// Evaluates a model on the held-out test set, returning
     /// `(accuracy, mean loss, confusion)`.
     pub fn evaluate(&self, model: &Sequential) -> (f32, f32, Confusion) {
-        let mut m = model.clone();
-        let preds = m.predict(self.test.inputs());
-        let loss = m.eval_loss(self.test.inputs(), self.test.labels());
+        let preds = model.predict(self.test.inputs());
+        let loss = model.eval_loss(self.test.inputs(), self.test.labels());
         let conf = Confusion::from_predictions(self.test.labels(), &preds, self.test.classes());
         (conf.accuracy(), loss, conf)
     }
@@ -358,25 +539,33 @@ impl Simulation {
 fn build_trace(config: &SimConfig, homes: &[usize]) -> Trace {
     let seed = derive_seed(config.seed, 7);
     match config.mobility {
-        MobilitySource::MarkovHop { p } => generate_markov_hop(
-            config.num_edges,
-            config.num_devices,
-            config.steps,
-            p,
-            seed,
-        ),
+        MobilitySource::MarkovHop { p } => {
+            generate_markov_hop(config.num_edges, config.num_devices, config.steps, p, seed)
+        }
         MobilitySource::HomedMarkovHop { p, home_bias } => {
             generate_markov_hop_homed(config.num_edges, homes, config.steps, p, home_bias, seed)
         }
         MobilitySource::Stationary => {
             let area = ServiceArea::grid(1000.0, 1000.0, config.num_edges);
             let mut model = MobilityKind::Stationary.build();
-            generate_geometric(&area, model.as_mut(), config.num_devices, config.steps, seed)
+            generate_geometric(
+                &area,
+                model.as_mut(),
+                config.num_devices,
+                config.steps,
+                seed,
+            )
         }
         MobilitySource::RandomWalk { max_speed } => {
             let area = ServiceArea::grid(1000.0, 1000.0, config.num_edges);
             let mut model = MobilityKind::RandomWalk { max_speed }.build();
-            generate_geometric(&area, model.as_mut(), config.num_devices, config.steps, seed)
+            generate_geometric(
+                &area,
+                model.as_mut(),
+                config.num_devices,
+                config.steps,
+                seed,
+            )
         }
         MobilitySource::RandomWaypoint {
             min_speed,
@@ -388,7 +577,13 @@ fn build_trace(config: &SimConfig, homes: &[usize]) -> Trace {
                 max_speed,
             }
             .build();
-            generate_geometric(&area, model.as_mut(), config.num_devices, config.steps, seed)
+            generate_geometric(
+                &area,
+                model.as_mut(),
+                config.num_devices,
+                config.steps,
+                seed,
+            )
         }
     }
 }
@@ -428,10 +623,7 @@ mod tests {
         let before = flatten(&sim.edges()[0].model);
         sim.step(0);
         // At least one edge must have trained (8 devices over 2 edges).
-        let changed = sim
-            .edges()
-            .iter()
-            .any(|e| flatten(&e.model) != before);
+        let changed = sim.edges().iter().any(|e| flatten(&e.model) != before);
         assert!(changed);
     }
 
@@ -487,7 +679,12 @@ mod tests {
         cfg.steps = 4;
         let a = Simulation::new(cfg.clone()).run();
         let b = Simulation::new(cfg.clone()).run();
-        let accs = |r: &RunRecord| r.points.iter().map(|p| p.global_accuracy).collect::<Vec<_>>();
+        let accs = |r: &RunRecord| {
+            r.points
+                .iter()
+                .map(|p| p.global_accuracy)
+                .collect::<Vec<_>>()
+        };
         assert_eq!(accs(&a), accs(&b));
         cfg.seed = 8;
         let c = Simulation::new(cfg).run();

@@ -7,7 +7,7 @@
 
 use middle_nn::params::flatten;
 use middle_nn::Sequential;
-use middle_tensor::ops::cosine_similarity_slices;
+use middle_tensor::ops::{combine_cosine, cosine_similarity_slices, dot_slices};
 
 /// Similarity utility between two parameter vectors (Eq. 8).
 pub fn similarity_utility(a: &[f32], b: &[f32]) -> f32 {
@@ -17,6 +17,18 @@ pub fn similarity_utility(a: &[f32], b: &[f32]) -> f32 {
 /// Raw (unclipped) cosine similarity — kept for the clipping ablation.
 pub fn raw_cosine(a: &[f32], b: &[f32]) -> f32 {
     cosine_similarity_slices(a, b)
+}
+
+/// [`similarity_utility`] with caller-supplied squared norms, skipping the
+/// two norm passes. Bitwise identical to the uncached version whenever the
+/// cached norms were themselves produced by `dot_slices(v, v)`.
+pub fn similarity_utility_cached(a: &[f32], a_norm_sq: f32, b: &[f32], b_norm_sq: f32) -> f32 {
+    raw_cosine_cached(a, a_norm_sq, b, b_norm_sq).max(0.0)
+}
+
+/// [`raw_cosine`] with caller-supplied squared norms (one dot pass).
+pub fn raw_cosine_cached(a: &[f32], a_norm_sq: f32, b: &[f32], b_norm_sq: f32) -> f32 {
+    combine_cosine(dot_slices(a, b), a_norm_sq, b_norm_sq)
 }
 
 /// Similarity utility between two models' parameters.
@@ -85,6 +97,21 @@ mod tests {
         assert_eq!((e0, l0), (1.0, 0.0));
         let (e1, l1) = aggregation_weights(1.0);
         assert!((e1 - 0.5).abs() < 1e-6 && (l1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cached_norm_variants_are_bitwise_identical() {
+        let a: Vec<f32> = (0..37).map(|i| (i as f32) * 0.31 - 4.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| ((i * i) as f32).sin()).collect();
+        let (aa, bb) = (dot_slices(&a, &a), dot_slices(&b, &b));
+        assert_eq!(
+            similarity_utility(&a, &b).to_bits(),
+            similarity_utility_cached(&a, aa, &b, bb).to_bits()
+        );
+        assert_eq!(
+            raw_cosine(&a, &b).to_bits(),
+            raw_cosine_cached(&a, aa, &b, bb).to_bits()
+        );
     }
 
     #[test]

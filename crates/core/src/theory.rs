@@ -42,16 +42,16 @@ impl BoundParams {
     /// # Errors
     /// Returns the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.beta > 0.0) {
+        if self.beta.is_nan() || self.beta <= 0.0 {
             return Err("β must be positive".into());
         }
-        if !(self.mu > 0.0 && self.mu <= self.beta) {
+        if self.mu.is_nan() || self.mu <= 0.0 || self.mu > self.beta {
             return Err("need 0 < μ ≤ β".into());
         }
-        if !(0.0 < self.alpha && self.alpha < 1.0) {
+        if self.alpha.is_nan() || self.alpha <= 0.0 || self.alpha >= 1.0 {
             return Err("α must lie in (0, 1)".into());
         }
-        if !(0.0 < self.p && self.p <= 1.0) {
+        if self.p.is_nan() || self.p <= 0.0 || self.p > 1.0 {
             return Err("P must lie in (0, 1]".into());
         }
         if self.local_steps == 0 {
@@ -116,7 +116,10 @@ impl QuadraticProblem {
         assert!(!curvatures.is_empty(), "need at least one device");
         assert_eq!(curvatures.len(), centers.len(), "curvatures/centers");
         assert_eq!(curvatures.len(), weights.len(), "curvatures/weights");
-        assert!(curvatures.iter().all(|&a| a > 0.0), "curvatures must be positive");
+        assert!(
+            curvatures.iter().all(|&a| a > 0.0),
+            "curvatures must be positive"
+        );
         assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         let dim = centers[0].len();
         assert!(centers.iter().all(|c| c.len() == dim), "center dims differ");
@@ -146,7 +149,10 @@ impl QuadraticProblem {
 
     /// Strong convexity `μ = min a_m`.
     pub fn mu(&self) -> f32 {
-        self.curvatures.iter().copied().fold(f32::INFINITY, f32::min)
+        self.curvatures
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Device `m`'s loss at `w`.
@@ -236,7 +242,10 @@ mod tests {
         lo.p = 0.1;
         let mut hi = params();
         hi.p = 0.9;
-        assert!(lo.bound(100) > hi.bound(100), "higher P must tighten the bound");
+        assert!(
+            lo.bound(100) > hi.bound(100),
+            "higher P must tighten the bound"
+        );
         assert!(lo.mobility_derivative() < 0.0);
         assert!(hi.mobility_derivative() < 0.0);
         // Derivative magnitude shrinks with P (∝ 1/P²).
@@ -285,11 +294,7 @@ mod tests {
     #[test]
     fn quadratic_optimum_respects_curvature() {
         // Stiffer device pulls the optimum toward its center.
-        let q = QuadraticProblem::new(
-            vec![3.0, 1.0],
-            vec![vec![0.0], vec![4.0]],
-            vec![1.0, 1.0],
-        );
+        let q = QuadraticProblem::new(vec![3.0, 1.0], vec![vec![0.0], vec![4.0]], vec![1.0, 1.0]);
         let w = q.optimum();
         assert!(w[0] < 2.0, "{w:?}");
         assert!((w[0] - 1.0).abs() < 1e-6); // (3·0 + 1·4)/4
@@ -297,11 +302,7 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_difference() {
-        let q = QuadraticProblem::new(
-            vec![2.0],
-            vec![vec![1.0, -1.0]],
-            vec![1.0],
-        );
+        let q = QuadraticProblem::new(vec![2.0], vec![vec![1.0, -1.0]], vec![1.0]);
         let w = [0.5f32, 0.5];
         let mut g = [0.0f32; 2];
         q.device_grad(0, &w, &mut g);
@@ -318,11 +319,7 @@ mod tests {
 
     #[test]
     fn beta_mu_are_extreme_curvatures() {
-        let q = QuadraticProblem::new(
-            vec![0.5, 2.0, 1.0],
-            vec![vec![0.0]; 3],
-            vec![1.0; 3],
-        );
+        let q = QuadraticProblem::new(vec![0.5, 2.0, 1.0], vec![vec![0.0]; 3], vec![1.0; 3]);
         assert_eq!(q.beta(), 2.0);
         assert_eq!(q.mu(), 0.5);
     }

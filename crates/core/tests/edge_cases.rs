@@ -115,7 +115,10 @@ fn zero_mobility_never_triggers_on_device_aggregation() {
     let blended = mk(OnDevicePolicy::SimilarityWeighted);
     let general = mk(OnDevicePolicy::EdgeModel);
     let acc = |r: &middle_core::RunRecord| {
-        r.points.iter().map(|p| p.global_accuracy).collect::<Vec<_>>()
+        r.points
+            .iter()
+            .map(|p| p.global_accuracy)
+            .collect::<Vec<_>>()
     };
     assert_eq!(acc(&blended), acc(&general));
 }

@@ -1,0 +1,265 @@
+//! Equivalence gates for the zero-copy hot path: the fused
+//! selection/aggregation/sync kernels must track the original allocating
+//! implementations — approximately where a floating-point identity is
+//! involved, bit-for-bit where the rewrite only reorders storage.
+
+use middle_core::aggregation::{
+    cloud_aggregate, cloud_aggregate_into, edge_aggregate, edge_aggregate_into,
+};
+use middle_core::selection::{
+    select_devices, select_devices_reference, update_similarity, update_similarity_reference,
+};
+use middle_core::similarity::similarity_utility;
+use middle_core::{Algorithm, Device, SelectionPolicy, SimConfig, Simulation};
+use middle_data::synthetic::{SyntheticSource, Task};
+use middle_data::Task as DataTask;
+use middle_nn::params::{flatten, unflatten, weighted_average, weighted_average_into};
+use middle_nn::{zoo, Sequential};
+use middle_tensor::ops::{cosine_similarity_slices, dot3_slices, dot_slices};
+use middle_tensor::random::rng;
+use proptest::prelude::*;
+
+fn model_from(vals: &[f32]) -> Sequential {
+    let mut m = Sequential::new().push(middle_nn::layers::Dense::new(3, 2, &mut rng(1)));
+    assert_eq!(m.param_count(), vals.len());
+    unflatten(&mut m, vals);
+    m
+}
+
+fn device_from(id: usize, vals: &[f32]) -> Device {
+    let src = SyntheticSource::new(Task::Mnist, 3);
+    let data = src.generate_balanced(6, id as u64);
+    let mut m = zoo::logistic(&Task::Mnist.spec(), &mut rng(id as u64));
+    unflatten(&mut m, vals);
+    Device::new(id, data, m, 900 + id as u64)
+}
+
+fn vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fused three-way dot product agrees bitwise with three
+    /// separate accumulations (same chunked summation order).
+    #[test]
+    fn dot3_is_bitwise_three_dots(a in vals(67), b in vals(67)) {
+        let (ab, aa, bb) = dot3_slices(&a, &b);
+        prop_assert_eq!(ab.to_bits(), dot_slices(&a, &b).to_bits());
+        prop_assert_eq!(aa.to_bits(), dot_slices(&a, &a).to_bits());
+        prop_assert_eq!(bb.to_bits(), dot_slices(&b, &b).to_bits());
+    }
+
+    /// The identity-based delta-free utility tracks the naive
+    /// flatten-and-subtract cosine on independent vectors (where the
+    /// delta norm is well conditioned) to 1e-5.
+    #[test]
+    fn fused_update_similarity_matches_naive(
+        local in vals(20),
+        cloud in vals(20),
+    ) {
+        let mnist_dim = zoo::logistic(&Task::Mnist.spec(), &mut rng(0)).param_count();
+        // Embed the generated prefixes into full-size parameter vectors.
+        let mut l = vec![0.15f32; mnist_dim];
+        let mut c = vec![-0.2f32; mnist_dim];
+        l[..local.len()].copy_from_slice(&local);
+        c[..cloud.len()].copy_from_slice(&cloud);
+        let device = device_from(0, &l);
+        let cloud_norm = dot_slices(&c, &c);
+        let fused = update_similarity(&device, &c, cloud_norm);
+        let naive = update_similarity_reference(&device, &c);
+        prop_assert!((fused - naive).abs() <= 1e-5, "fused {} naive {}", fused, naive);
+        // Cross-check the naive path against a from-scratch computation.
+        let delta: Vec<f32> = l.iter().zip(&c).map(|(x, y)| x - y).collect();
+        let scratch = similarity_utility(&c, &delta);
+        prop_assert_eq!(naive.to_bits(), scratch.to_bits());
+    }
+
+    /// In-place weighted averaging is bit-identical to the allocating
+    /// reference for arbitrary positive weights.
+    #[test]
+    fn weighted_average_into_matches_reference(
+        v1 in vals(8), v2 in vals(8), v3 in vals(8),
+        w in prop::collection::vec(0.1f32..20.0, 3),
+    ) {
+        let (m1, m2, m3) = (model_from(&v1), model_from(&v2), model_from(&v3));
+        let models = [&m1, &m2, &m3];
+        let reference = weighted_average(&models, &w);
+        let mut dst = model_from(&[0.0; 8]);
+        weighted_average_into(&mut dst, &models, &w);
+        let (fr, fd) = (flatten(&reference), flatten(&dst));
+        for (x, y) in fr.iter().zip(&fd) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The O(n) partial-sort selection returns exactly the reference
+    /// full-sort ranking for every policy, including heavy score ties.
+    #[test]
+    fn selection_matches_reference(
+        seed in 0u64..500,
+        k in 1usize..6,
+        tie_fraction in 0.0f32..1.0,
+    ) {
+        let mnist_dim = zoo::logistic(&Task::Mnist.spec(), &mut rng(0)).param_count();
+        let cloud: Vec<f32> = (0..mnist_dim).map(|i| ((i + 3) as f32 * 0.13).sin()).collect();
+        let devices: Vec<Device> = (0..8)
+            .map(|id| {
+                // A tie_fraction of devices share the cloud parameters
+                // exactly (utility exactly 0 — the freshly-synced case).
+                if (id as f32) < tie_fraction * 8.0 {
+                    device_from(id, &cloud)
+                } else {
+                    let v: Vec<f32> = (0..mnist_dim)
+                        .map(|i| ((i * (id + 2)) as f32 * 0.07).cos())
+                        .collect();
+                    device_from(id, &v)
+                }
+            })
+            .collect();
+        let cands: Vec<usize> = (0..8).collect();
+        for policy in [
+            SelectionPolicy::Random,
+            SelectionPolicy::LeastSimilarUpdate,
+            SelectionPolicy::MostSimilarUpdate,
+            SelectionPolicy::OortUtility,
+        ] {
+            let fast = select_devices(policy, k, &cands, &devices, &cloud, &mut rng(seed));
+            let slow =
+                select_devices_reference(policy, k, &cands, &devices, &cloud, &mut rng(seed));
+            prop_assert_eq!(&fast, &slow);
+        }
+    }
+}
+
+#[test]
+fn in_place_aggregates_match_references_bitwise() {
+    let vs: Vec<Vec<f32>> = (0..4)
+        .map(|j| {
+            (0..8)
+                .map(|i| ((i * 3 + j * 7) as f32 * 0.21).sin())
+                .collect()
+        })
+        .collect();
+    let models: Vec<Sequential> = vs.iter().map(|v| model_from(v)).collect();
+    let refs: Vec<&Sequential> = models.iter().collect();
+
+    let counts = [12usize, 40, 7, 21];
+    let reference = edge_aggregate(&refs, &counts);
+    let mut dst = model_from(&[9.0; 8]);
+    edge_aggregate_into(&mut dst, refs.iter().copied().zip(counts.iter().copied()));
+    assert_eq!(flatten(&reference), flatten(&dst));
+
+    for windows in [[5.0f32, 0.0, 2.5, 30.0], [0.0, 0.0, 0.0, 0.0]] {
+        let reference = cloud_aggregate(&refs, &windows);
+        let mut dst = model_from(&[9.0; 8]);
+        cloud_aggregate_into(&mut dst, refs.iter().copied().zip(windows.iter().copied()));
+        assert_eq!(flatten(&reference), flatten(&dst));
+    }
+}
+
+/// The exact-tie invariant behind selection equivalence: a device whose
+/// parameters equal the cloud bitwise scores exactly 0 on both the fused
+/// identity path and the naive delta path.
+#[test]
+fn freshly_synced_device_scores_exact_zero_on_both_paths() {
+    let mnist_dim = zoo::logistic(&Task::Mnist.spec(), &mut rng(0)).param_count();
+    let cloud: Vec<f32> = (0..mnist_dim).map(|i| (i as f32 * 0.011).cos()).collect();
+    let device = device_from(3, &cloud);
+    let norm = dot_slices(&cloud, &cloud);
+    assert_eq!(
+        update_similarity(&device, &cloud, norm).to_bits(),
+        0.0f32.to_bits()
+    );
+    assert_eq!(
+        update_similarity_reference(&device, &cloud).to_bits(),
+        0.0f32.to_bits()
+    );
+    // Sanity: the shared norm really is the one the identity consumes.
+    assert!(cosine_similarity_slices(&cloud, &cloud) > 0.99);
+}
+
+/// The end-to-end gate: 20 steps of the zero-copy `step` produce exactly
+/// the same simulation state and evaluation curve as 20 steps of the
+/// clone-based `step_reference`, for the full MIDDLE algorithm across
+/// train → edge-aggregate → cloud-sync boundaries (`cloud_interval = 4`
+/// exercises five sync/broadcast cycles and the cache invalidation in
+/// between).
+#[test]
+fn twenty_step_trace_is_bitwise_identical_to_reference() {
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
+    cfg.steps = 20;
+    cfg.cloud_interval = 4;
+    cfg.eval_interval = 2;
+    let mut fast = Simulation::new(cfg.clone());
+    let mut slow = Simulation::new(cfg.clone());
+
+    for t in 0..cfg.steps {
+        fast.step(t);
+        slow.step_reference(t);
+
+        let (cf, cs) = (flatten(fast.cloud_model()), flatten(slow.cloud_model()));
+        assert_eq!(bits(&cf), bits(&cs), "cloud diverged at step {t}");
+        for (n, (ef, es)) in fast.edges().iter().zip(slow.edges()).enumerate() {
+            assert_eq!(
+                bits(&flatten(&ef.model)),
+                bits(&flatten(&es.model)),
+                "edge {n} diverged at step {t}"
+            );
+            assert_eq!(ef.window_samples.to_bits(), es.window_samples.to_bits());
+        }
+        for (df, ds) in fast.devices().iter().zip(slow.devices()) {
+            assert_eq!(
+                bits(&flatten(&df.model)),
+                bits(&flatten(&ds.model)),
+                "device {} diverged at step {t}",
+                df.id
+            );
+            assert_eq!(
+                df.oort_utility.map(f32::to_bits),
+                ds.oort_utility.map(f32::to_bits)
+            );
+            assert_eq!(df.last_participation, ds.last_participation);
+        }
+        if (t + 1) % cfg.eval_interval == 0 {
+            let gf = fast.evaluate(&fast.virtual_global());
+            let gs = slow.evaluate(&slow.virtual_global());
+            assert_eq!(
+                gf.0.to_bits(),
+                gs.0.to_bits(),
+                "accuracy diverged at step {t}"
+            );
+            assert_eq!(gf.1.to_bits(), gs.1.to_bits(), "loss diverged at step {t}");
+        }
+    }
+    assert_eq!(fast.syncs(), slow.syncs());
+    assert_eq!(fast.comm_stats(), slow.comm_stats());
+}
+
+/// Same gate for the Oort-selection / edge-download configuration, which
+/// exercises the load-flat broadcast path (`OnDevicePolicy::EdgeModel`)
+/// rather than similarity blending.
+#[test]
+fn oort_trace_is_bitwise_identical_to_reference() {
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::oort());
+    cfg.steps = 12;
+    cfg.cloud_interval = 3;
+    let mut fast = Simulation::new(cfg.clone());
+    let mut slow = Simulation::new(cfg.clone());
+    for t in 0..cfg.steps {
+        fast.step(t);
+        slow.step_reference(t);
+    }
+    assert_eq!(
+        bits(&flatten(fast.cloud_model())),
+        bits(&flatten(slow.cloud_model()))
+    );
+    for (df, ds) in fast.devices().iter().zip(slow.devices()) {
+        assert_eq!(bits(&flatten(&df.model)), bits(&flatten(&ds.model)));
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}

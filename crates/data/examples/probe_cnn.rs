@@ -1,7 +1,7 @@
-use middle_data::synthetic::{train_test, Task};
 use middle_data::batch::BatchIter;
 use middle_data::metrics::accuracy;
-use middle_nn::optim::{MomentumSgd};
+use middle_data::synthetic::{train_test, Task};
+use middle_nn::optim::MomentumSgd;
 use middle_nn::zoo;
 use middle_tensor::random::rng;
 use std::time::Instant;
@@ -20,6 +20,9 @@ fn main() {
         }
         let preds = model.predict(test.inputs());
         let acc = accuracy(test.labels(), &preds);
-        println!("epoch {epoch}: loss {last:.3} test acc {acc:.3} elapsed {:?}", t0.elapsed());
+        println!(
+            "epoch {epoch}: loss {last:.3} test acc {acc:.3} elapsed {:?}",
+            t0.elapsed()
+        );
     }
 }

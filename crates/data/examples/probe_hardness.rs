@@ -11,9 +11,13 @@ fn acc(task: Task, seed: u64) -> f32 {
         let mut best = (0usize, f32::INFINITY);
         for (c, p) in protos.iter().enumerate() {
             let dist: f32 = x.iter().zip(p).map(|(a, b)| (a - b) * (a - b)).sum();
-            if dist < best.1 { best = (c, dist); }
+            if dist < best.1 {
+                best = (c, dist);
+            }
         }
-        if best.0 == d.labels()[i] { correct += 1; }
+        if best.0 == d.labels()[i] {
+            correct += 1;
+        }
     }
     correct as f32 / d.len() as f32
 }

@@ -55,7 +55,9 @@ impl Iterator for BatchIter<'_> {
 pub fn random_batch(dataset: &Dataset, batch: usize, rng: &mut StdRng) -> (Tensor, Vec<usize>) {
     assert!(!dataset.is_empty(), "cannot sample from an empty dataset");
     assert!(batch > 0, "batch size must be positive");
-    let idxs: Vec<usize> = (0..batch).map(|_| rng.gen_range(0..dataset.len())).collect();
+    let idxs: Vec<usize> = (0..batch)
+        .map(|_| rng.gen_range(0..dataset.len()))
+        .collect();
     dataset.gather(&idxs)
 }
 
@@ -75,7 +77,7 @@ mod tests {
     #[test]
     fn epoch_covers_every_sample_once() {
         let d = ds(10);
-        let mut seen = vec![0usize; 10];
+        let mut seen = [0usize; 10];
         for (inputs, _) in BatchIter::new(&d, 3, &mut rng(1)) {
             for &v in inputs.data() {
                 seen[v as usize] += 1;

@@ -32,7 +32,10 @@ impl Confusion {
 
     /// Records one observation.
     pub fn record(&mut self, truth: usize, pred: usize) {
-        assert!(truth < self.classes && pred < self.classes, "class out of range");
+        assert!(
+            truth < self.classes && pred < self.classes,
+            "class out of range"
+        );
         self.counts[truth * self.classes + pred] += 1;
     }
 

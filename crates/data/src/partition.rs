@@ -154,7 +154,9 @@ pub fn partition(
         Scheme::SingleClass => {
             for m in 0..devices {
                 let c = m % classes;
-                let idxs = (0..per_device).map(|_| take(c, &mut cursors, &mut r)).collect();
+                let idxs = (0..per_device)
+                    .map(|_| take(c, &mut cursors, &mut r))
+                    .collect();
                 assignments.push(idxs);
                 major_class.push(Some(c));
             }

@@ -70,10 +70,30 @@ impl Task {
     /// Input signature of the stand-in dataset.
     pub fn spec(&self) -> InputSpec {
         match self {
-            Task::Mnist => InputSpec { channels: 1, height: 16, width: 16, classes: 10 },
-            Task::Emnist => InputSpec { channels: 1, height: 16, width: 16, classes: 26 },
-            Task::Cifar10 => InputSpec { channels: 3, height: 16, width: 16, classes: 10 },
-            Task::Speech => InputSpec { channels: 1, height: 1, width: 64, classes: 10 },
+            Task::Mnist => InputSpec {
+                channels: 1,
+                height: 16,
+                width: 16,
+                classes: 10,
+            },
+            Task::Emnist => InputSpec {
+                channels: 1,
+                height: 16,
+                width: 16,
+                classes: 26,
+            },
+            Task::Cifar10 => InputSpec {
+                channels: 3,
+                height: 16,
+                width: 16,
+                classes: 10,
+            },
+            Task::Speech => InputSpec {
+                channels: 1,
+                height: 1,
+                width: 64,
+                classes: 10,
+            },
         }
     }
 
@@ -140,7 +160,11 @@ impl SyntheticSource {
             prototypes.push(smooth_field(&spec, sep, task.density(), &mut r));
             debug_assert_eq!(prototypes[c].len(), n);
         }
-        SyntheticSource { task, prototypes, seed }
+        SyntheticSource {
+            task,
+            prototypes,
+            seed,
+        }
     }
 
     /// The generated task.

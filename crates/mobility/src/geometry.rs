@@ -147,11 +147,7 @@ mod tests {
 
     #[test]
     fn nearest_edge_partition_is_voronoi() {
-        let area = ServiceArea::new(
-            10.0,
-            10.0,
-            vec![Point::new(2.0, 5.0), Point::new(8.0, 5.0)],
-        );
+        let area = ServiceArea::new(10.0, 10.0, vec![Point::new(2.0, 5.0), Point::new(8.0, 5.0)]);
         assert_eq!(area.nearest_edge(&Point::new(0.0, 5.0)), 0);
         assert_eq!(area.nearest_edge(&Point::new(9.9, 5.0)), 1);
         // Exactly on the bisector: lowest index wins.

@@ -68,7 +68,10 @@ pub fn occupancy_distribution(trace: &Trace) -> Vec<f64> {
         }
     }
     let total: u64 = counts.iter().sum();
-    counts.into_iter().map(|c| c as f64 / total as f64).collect()
+    counts
+        .into_iter()
+        .map(|c| c as f64 / total as f64)
+        .collect()
 }
 
 /// Fraction of device-steps each device spends at its `homes[m]` edge.
@@ -114,11 +117,7 @@ mod tests {
         let t = generate_markov_hop(5, 100, 400, 0.3, 2);
         let m = transition_matrix(&t);
         for (i, row) in m.iter().enumerate() {
-            assert!(
-                (row[i] - 0.7).abs() < 0.06,
-                "diagonal {i} = {}",
-                row[i]
-            );
+            assert!((row[i] - 0.7).abs() < 0.06, "diagonal {i} = {}", row[i]);
         }
     }
 
@@ -127,7 +126,7 @@ mod tests {
         let t = generate_markov_hop(3, 10, 50, 0.0, 3);
         let m = transition_matrix(&t);
         for (i, row) in m.iter().enumerate() {
-            if row.iter().sum::<f64>() > 0.0 && t.devices_at(0, i).len() > 0 {
+            if row.iter().sum::<f64>() > 0.0 && !t.devices_at(0, i).is_empty() {
                 assert!((row[i] - 1.0).abs() < 1e-9);
             }
         }

@@ -79,12 +79,22 @@ impl Trace {
 
     /// Devices attached to `edge` at step `t` (the candidate set `M_n^t`).
     pub fn devices_at(&self, t: usize, edge: usize) -> Vec<usize> {
-        self.assignments[t]
-            .iter()
-            .enumerate()
-            .filter(|(_, &e)| e == edge)
-            .map(|(m, _)| m)
-            .collect()
+        let mut out = Vec::new();
+        self.devices_at_into(t, edge, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`Trace::devices_at`]: clears `out` and
+    /// fills it with the candidate set in ascending device order.
+    pub fn devices_at_into(&self, t: usize, edge: usize, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(
+            self.assignments[t]
+                .iter()
+                .enumerate()
+                .filter(|(_, &e)| e == edge)
+                .map(|(m, _)| m),
+        );
     }
 
     /// True when device `m` entered its step-`t` edge from a different
@@ -191,10 +201,7 @@ impl Trace {
             }
             assignments[t][m] = e;
         }
-        if assignments
-            .iter()
-            .any(|step| step.iter().any(|&e| e == usize::MAX))
-        {
+        if assignments.iter().any(|step| step.contains(&usize::MAX)) {
             return Err("report has gaps (missing device-step rows)".into());
         }
         Ok(Trace::new(num_edges, assignments))
@@ -299,7 +306,10 @@ pub fn generate_markov_hop_homed(
     assert!(num_edges > 0, "need at least one edge");
     assert!(steps > 0, "need at least one step");
     assert!((0.0..=1.0).contains(&p_global), "P must be in [0, 1]");
-    assert!((0.0..=1.0).contains(&home_bias), "home_bias must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&home_bias),
+        "home_bias must be in [0, 1]"
+    );
     assert!(
         homes.iter().all(|&h| h < num_edges),
         "home edge out of range"
@@ -355,10 +365,7 @@ mod tests {
         for p in [0.1f64, 0.3, 0.5] {
             let t = generate_markov_hop(10, 100, 300, p, 42);
             let emp = t.empirical_mobility();
-            assert!(
-                (emp - p).abs() < 0.05,
-                "requested P={p}, got {emp}"
-            );
+            assert!((emp - p).abs() < 0.05, "requested P={p}, got {emp}");
         }
     }
 
@@ -407,7 +414,7 @@ mod tests {
         assert_eq!(t.steps(), 50);
         // Over 50 steps of brisk movement, every edge should host someone
         // at some point.
-        let mut visited = vec![false; 4];
+        let mut visited = [false; 4];
         for step in 0..t.steps() {
             for (e, v) in t.occupancy(step).iter().zip(visited.iter_mut()) {
                 if *e > 0 {

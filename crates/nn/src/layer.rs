@@ -52,6 +52,18 @@ pub trait Layer: Send + Sync {
     /// Backward pass: upstream gradient in, input gradient out.
     fn backward(&mut self, grad_out: &Tensor) -> Tensor;
 
+    /// Cache-free evaluation-mode forward pass.
+    ///
+    /// Semantically equivalent to `forward(input, false)` but takes
+    /// `&self`: no backward caches are written, so shared references to a
+    /// model can run inference concurrently. The default falls back to
+    /// cloning the layer; every concrete layer overrides it with a
+    /// direct computation.
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut scratch = self.clone_box();
+        scratch.forward(input, false)
+    }
+
     /// Mutable access to this layer's trainable parameters (possibly none).
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()

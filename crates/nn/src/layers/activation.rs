@@ -38,9 +38,17 @@ impl Layer for Relu {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(|x| if x > 0.0 { x } else { 0.0 })
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward called before forward");
-        assert_eq!(mask.len(), grad_out.len(), "grad shape changed since forward");
+        assert_eq!(
+            mask.len(),
+            grad_out.len(),
+            "grad shape changed since forward"
+        );
         let mut out = grad_out.clone();
         for (g, &pass) in out.data_mut().iter_mut().zip(mask) {
             if !pass {
@@ -64,7 +72,9 @@ pub struct Tanh {
 impl Tanh {
     /// Creates a tanh activation.
     pub fn new() -> Self {
-        Tanh { cached_output: None }
+        Tanh {
+            cached_output: None,
+        }
     }
 }
 
@@ -77,6 +87,10 @@ impl Layer for Tanh {
         let out = input.map(|x| x.tanh());
         self.cached_output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(|x| x.tanh())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -92,7 +106,9 @@ impl Layer for Tanh {
     }
 
     fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(Tanh { cached_output: None })
+        Box::new(Tanh {
+            cached_output: None,
+        })
     }
 }
 

@@ -54,6 +54,10 @@ impl Layer for Conv2d {
         conv2d_forward(input, &self.weight.value, &self.bias.value, &self.geometry)
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        conv2d_forward(input, &self.weight.value, &self.bias.value, &self.geometry)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self
             .cached_input

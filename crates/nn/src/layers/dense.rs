@@ -73,6 +73,18 @@ impl Layer for Dense {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "dense input must be [N, in]");
+        assert_eq!(
+            input.shape().dim(1),
+            self.in_features,
+            "dense input features mismatch"
+        );
+        let mut out = matmul_bt(input, &self.weight.value);
+        ops::add_inplace(&mut out, &self.bias.value);
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self
             .cached_input

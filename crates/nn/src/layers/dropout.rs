@@ -46,7 +46,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut out = input.clone();
         for (x, &m) in out.data_mut().iter_mut().zip(&mask) {
@@ -54,6 +60,11 @@ impl Layer for Dropout {
         }
         self.mask = Some(mask);
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        // Inverted dropout is the identity at evaluation time.
+        input.clone()
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -30,6 +30,13 @@ impl Layer for Flatten {
         input.reshaped([n, rest])
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        assert!(input.shape().rank() >= 1, "flatten needs a batch dimension");
+        let n = input.shape().dim(0);
+        let rest = input.len() / n.max(1);
+        input.reshaped([n, rest])
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let shape = self
             .cached_shape

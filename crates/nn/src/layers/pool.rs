@@ -18,7 +18,10 @@ impl MaxPool2d {
     /// Panics when `window == 0`.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "pool window must be positive");
-        MaxPool2d { window, cached: None }
+        MaxPool2d {
+            window,
+            cached: None,
+        }
     }
 }
 
@@ -33,8 +36,16 @@ impl Layer for MaxPool2d {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let (out, _) = maxpool2d_forward(input, self.window);
+        out
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let (shape, arg) = self.cached.as_ref().expect("backward called before forward");
+        let (shape, arg) = self
+            .cached
+            .as_ref()
+            .expect("backward called before forward");
         maxpool2d_backward(shape, grad_out, arg)
     }
 

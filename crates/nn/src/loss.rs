@@ -101,7 +101,8 @@ mod tests {
             lp.data_mut()[i] += eps;
             let mut lm = logits.clone();
             lm.data_mut()[i] -= eps;
-            let fd = (softmax_cross_entropy(&lp, &labels).0 - softmax_cross_entropy(&lm, &labels).0)
+            let fd = (softmax_cross_entropy(&lp, &labels).0
+                - softmax_cross_entropy(&lm, &labels).0)
                 / (2.0 * eps);
             assert!((fd - grad.data()[i]).abs() < 1e-3, "grad[{i}]");
         }

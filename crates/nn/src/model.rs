@@ -63,7 +63,10 @@ impl Sequential {
 
     /// Mutable view of all trainable parameters in canonical order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Total scalar parameter count.
@@ -95,15 +98,27 @@ impl Sequential {
         loss
     }
 
+    /// Cache-free evaluation-mode forward pass through all layers.
+    ///
+    /// Numerically identical to `forward(input, false)` but takes `&self`,
+    /// so evaluation never needs a model clone or exclusive access.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     /// Predicted class labels for a batch (evaluation mode).
-    pub fn predict(&mut self, inputs: &Tensor) -> Vec<usize> {
-        let logits = self.forward(inputs, false);
+    pub fn predict(&self, inputs: &Tensor) -> Vec<usize> {
+        let logits = self.infer(inputs);
         argmax_rows(&logits)
     }
 
     /// Mean cross-entropy loss on a batch without updating parameters.
-    pub fn eval_loss(&mut self, inputs: &Tensor, labels: &[usize]) -> f32 {
-        let logits = self.forward(inputs, false);
+    pub fn eval_loss(&self, inputs: &Tensor, labels: &[usize]) -> f32 {
+        let logits = self.infer(inputs);
         softmax_cross_entropy(&logits, labels).0
     }
 }
@@ -165,6 +180,42 @@ mod tests {
     }
 
     #[test]
+    fn infer_matches_eval_forward_bitwise() {
+        use crate::layers::{Conv2d, Dropout, Flatten, MaxPool2d, Tanh};
+        use middle_tensor::conv::ConvGeometry;
+        let mut r = rng(6);
+        let mut m = Sequential::new()
+            .push(Conv2d::new(
+                ConvGeometry {
+                    in_c: 1,
+                    out_c: 2,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                    in_h: 4,
+                    in_w: 4,
+                },
+                &mut r,
+            ))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2))
+            .push(Flatten::new())
+            .push(Dropout::new(0.3, 11))
+            .push(Dense::new(8, 3, &mut r))
+            .push(Tanh::new());
+        let x = Tensor::from_vec(
+            [2, 1, 4, 4],
+            (0..32).map(|i| (i as f32) * 0.17 - 2.0).collect(),
+        );
+        let via_forward = m.forward(&x, false);
+        let via_infer = m.infer(&x);
+        assert_eq!(via_forward.shape(), via_infer.shape());
+        for (a, b) in via_forward.data().iter().zip(via_infer.data()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
     fn clone_is_independent() {
         let mut a = tiny_model(4);
         let b = a.clone();
@@ -181,8 +232,14 @@ mod tests {
         let mut m = tiny_model(5);
         let y = m.forward(&Tensor::ones([2, 2]), true);
         m.backward(&Tensor::ones(y.shape().clone()));
-        assert!(m.params().iter().any(|p| p.grad.data().iter().any(|&g| g != 0.0)));
+        assert!(m
+            .params()
+            .iter()
+            .any(|p| p.grad.data().iter().any(|&g| g != 0.0)));
         m.zero_grad();
-        assert!(m.params().iter().all(|p| p.grad.data().iter().all(|&g| g == 0.0)));
+        assert!(m
+            .params()
+            .iter()
+            .all(|p| p.grad.data().iter().all(|&g| g == 0.0)));
     }
 }

@@ -222,7 +222,10 @@ pub struct WeightDecay {
 impl WeightDecay {
     /// Wraps `inner` with decay coefficient `decay ≥ 0`.
     pub fn new(inner: Box<dyn Optimizer>, decay: f32) -> Self {
-        assert!(decay >= 0.0 && decay.is_finite(), "decay must be non-negative");
+        assert!(
+            decay >= 0.0 && decay.is_finite(),
+            "decay must be non-negative"
+        );
         WeightDecay { inner, decay }
     }
 }
@@ -259,7 +262,10 @@ pub struct GradClip {
 impl GradClip {
     /// Wraps `inner` with the given global-norm ceiling.
     pub fn new(inner: Box<dyn Optimizer>, max_norm: f32) -> Self {
-        assert!(max_norm > 0.0 && max_norm.is_finite(), "max_norm must be positive");
+        assert!(
+            max_norm > 0.0 && max_norm.is_finite(),
+            "max_norm must be positive"
+        );
         GradClip { inner, max_norm }
     }
 }
@@ -321,7 +327,10 @@ mod tests {
         let before = p.value.data()[0];
         opt.step(&mut [&mut p]);
         let step2 = before - p.value.data()[0];
-        assert!(step2 > step1, "momentum must grow the step: {step1} vs {step2}");
+        assert!(
+            step2 > step1,
+            "momentum must grow the step: {step1} vs {step2}"
+        );
         assert!((step2 - 0.1 * 1.9).abs() < 1e-6);
     }
 
@@ -346,7 +355,10 @@ mod tests {
         // Minimise f(w) = (w-3)^2 with each optimizer.
         for kind in [
             OptimizerKind::Sgd { lr: 0.1 },
-            OptimizerKind::Momentum { lr: 0.05, momentum: 0.9 },
+            OptimizerKind::Momentum {
+                lr: 0.05,
+                momentum: 0.9,
+            },
             OptimizerKind::Adam { lr: 0.2 },
         ] {
             let mut opt = kind.build();

@@ -5,9 +5,111 @@
 //! updates `Δw = w_m − w_c` (Eq. 10) and FedAvg means (Eqs. 6–7) all
 //! operate on this view. Functions here copy between a [`Sequential`] and
 //! a `Vec<f32>` in canonical parameter order.
+//!
+//! Two families of primitives coexist:
+//!
+//! * *allocating* reference functions ([`flatten`], [`blend`],
+//!   [`weighted_average`], [`delta`]) — one fresh vector / model clone
+//!   per call, kept as the numerical oracle for equivalence tests;
+//! * *in-place* hot-path primitives ([`copy_params_from`],
+//!   [`zero_params`], [`axpy`], [`blend_into`],
+//!   [`weighted_average_into`]) plus the cached [`FlatView`] — zero
+//!   allocations per call, element-for-element bit-identical to the
+//!   reference family (same accumulation order).
 
 use crate::model::Sequential;
 use middle_tensor::ops::{cosine_similarity_slices, dot_slices};
+
+/// A cached flat view of a model's parameters: the flattened vector plus
+/// its squared L2 norm, with dirty tracking.
+///
+/// Devices, edges and the cloud each own one of these so hot paths
+/// (selection scoring, on-device aggregation, broadcast) read parameter
+/// vectors without re-flattening. The owner must call
+/// [`FlatView::invalidate`] whenever the underlying model's parameters
+/// change and [`FlatView::refresh`] (or [`FlatView::set_from_slice`])
+/// before the view is next read; [`FlatView::flat`] /
+/// [`FlatView::norm_sq`] panic on a dirty view so a missed invalidation
+/// fails loudly instead of silently scoring stale parameters.
+#[derive(Clone, Debug, Default)]
+pub struct FlatView {
+    buf: Vec<f32>,
+    norm_sq: f32,
+    dirty: bool,
+}
+
+impl FlatView {
+    /// An empty, dirty view; call [`FlatView::refresh`] before use.
+    pub fn new() -> Self {
+        FlatView {
+            buf: Vec::new(),
+            norm_sq: 0.0,
+            dirty: true,
+        }
+    }
+
+    /// A fresh view of `model`'s current parameters.
+    pub fn of(model: &Sequential) -> Self {
+        let mut v = FlatView::new();
+        v.refresh(model);
+        v
+    }
+
+    /// Marks the view stale (the model changed under it).
+    pub fn invalidate(&mut self) {
+        self.dirty = true;
+    }
+
+    /// True when the view no longer reflects the model.
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Recomputes the view from `model`, reusing the buffer allocation.
+    pub fn refresh(&mut self, model: &Sequential) {
+        flatten_into(model, &mut self.buf);
+        self.norm_sq = dot_slices(&self.buf, &self.buf);
+        self.dirty = false;
+    }
+
+    /// Overwrites the view with an already-flat vector and its known
+    /// squared norm (broadcast fast path: the sender's cached view is
+    /// copied verbatim, no recompute).
+    pub fn set_from_slice(&mut self, flat: &[f32], norm_sq: f32) {
+        self.buf.clear();
+        self.buf.extend_from_slice(flat);
+        self.norm_sq = norm_sq;
+        self.dirty = false;
+    }
+
+    /// The cached flat parameter vector.
+    ///
+    /// # Panics
+    /// Panics when the view is dirty.
+    pub fn flat(&self) -> &[f32] {
+        assert!(!self.dirty, "FlatView read while dirty");
+        &self.buf
+    }
+
+    /// The cached squared L2 norm `‖w‖²`.
+    ///
+    /// # Panics
+    /// Panics when the view is dirty.
+    pub fn norm_sq(&self) -> f32 {
+        assert!(!self.dirty, "FlatView read while dirty");
+        self.norm_sq
+    }
+
+    /// Cached vector length (valid even while dirty).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no parameters have been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
 
 /// Copies all parameters of `model` into a new flat vector.
 pub fn flatten(model: &Sequential) -> Vec<f32> {
@@ -117,6 +219,134 @@ pub fn weighted_average(models: &[&Sequential], weights: &[f32]) -> Sequential {
     out
 }
 
+/// Copies `src`'s parameter values into `dst` tensor-by-tensor — the
+/// clone-free counterpart of `dst = src.clone()` for model broadcast
+/// (gradients and layer caches are left untouched; every optimizer step
+/// zeroes gradients, so they are zero at the only points this is used).
+///
+/// # Panics
+/// Panics when the architectures differ.
+pub fn copy_params_from(dst: &mut Sequential, src: &Sequential) {
+    let mut dst_params = dst.params_mut();
+    let src_params = src.params();
+    assert_eq!(
+        dst_params.len(),
+        src_params.len(),
+        "model architecture mismatch"
+    );
+    for (d, s) in dst_params.iter_mut().zip(src_params) {
+        d.value.data_mut().copy_from_slice(s.value.data());
+    }
+}
+
+/// Zeroes all parameter values of `dst` (accumulator reset for in-place
+/// FedAvg).
+pub fn zero_params(dst: &mut Sequential) {
+    for p in dst.params_mut() {
+        p.value.data_mut().fill(0.0);
+    }
+}
+
+/// `dst += s · src` over all parameter tensors — the in-place FedAvg
+/// accumulation step.
+///
+/// # Panics
+/// Panics when the architectures differ.
+pub fn axpy(dst: &mut Sequential, s: f32, src: &Sequential) {
+    let mut dst_params = dst.params_mut();
+    let src_params = src.params();
+    assert_eq!(
+        dst_params.len(),
+        src_params.len(),
+        "model architecture mismatch"
+    );
+    for (d, p) in dst_params.iter_mut().zip(src_params) {
+        debug_assert_eq!(d.len(), p.len(), "parameter tensor size mismatch");
+        for (a, &x) in d.value.data_mut().iter_mut().zip(p.value.data()) {
+            *a += s * x;
+        }
+    }
+}
+
+/// `dst += s0 · m0` then `dst += s1 · m1`, fused over all parameter
+/// tensors. The per-element accumulation stays two sequential adds in
+/// model order, so the result is bit-identical to two [`axpy`] calls —
+/// but `dst` is read and written once per pair instead of once per
+/// model, which matters on the memory-bound FedAvg accumulation.
+///
+/// # Panics
+/// Panics when the architectures differ.
+pub fn axpy2(dst: &mut Sequential, s0: f32, m0: &Sequential, s1: f32, m1: &Sequential) {
+    let mut dst_params = dst.params_mut();
+    let p0 = m0.params();
+    let p1 = m1.params();
+    assert_eq!(dst_params.len(), p0.len(), "model architecture mismatch");
+    assert_eq!(dst_params.len(), p1.len(), "model architecture mismatch");
+    for ((d, a), b) in dst_params.iter_mut().zip(p0).zip(p1) {
+        debug_assert_eq!(d.len(), a.len(), "parameter tensor size mismatch");
+        debug_assert_eq!(d.len(), b.len(), "parameter tensor size mismatch");
+        for ((y, &x0), &x1) in d
+            .value
+            .data_mut()
+            .iter_mut()
+            .zip(a.value.data())
+            .zip(b.value.data())
+        {
+            *y += s0 * x0;
+            *y += s1 * x1;
+        }
+    }
+}
+
+/// In-place convex blend `dst ← alpha · a + (1 − alpha) · dst` — the
+/// allocation-free counterpart of [`blend`] with `b = dst` (paper Eq. 9:
+/// `dst` is the carried local model, `a` the downloaded edge model).
+///
+/// # Panics
+/// Panics when the architectures differ or `alpha` is outside `[0, 1]`.
+pub fn blend_into(dst: &mut Sequential, a: &Sequential, alpha: f32) {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+    let mut dst_params = dst.params_mut();
+    let a_params = a.params();
+    assert_eq!(
+        dst_params.len(),
+        a_params.len(),
+        "model architecture mismatch"
+    );
+    for (d, p) in dst_params.iter_mut().zip(a_params) {
+        debug_assert_eq!(d.len(), p.len(), "parameter tensor size mismatch");
+        for (y, &x) in d.value.data_mut().iter_mut().zip(p.value.data()) {
+            *y = alpha * x + (1.0 - alpha) * *y;
+        }
+    }
+}
+
+/// Weighted FedAvg of several models written directly into `dst`'s
+/// parameter tensors — no flatten scratch, no model clone. Element-wise
+/// this performs exactly the accumulation of [`weighted_average`]
+/// (`acc += (w/total) · x` per model, in model order), so the two agree
+/// bit-for-bit.
+///
+/// `dst` must not be one of `models` (the borrow checker enforces this
+/// at every call site: `dst` is `&mut`).
+///
+/// # Panics
+/// Panics when `models` is empty, architectures differ, or weights are
+/// not positive-summing non-negative finite values.
+pub fn weighted_average_into(dst: &mut Sequential, models: &[&Sequential], weights: &[f32]) {
+    assert!(!models.is_empty(), "weighted_average of no models");
+    assert_eq!(models.len(), weights.len(), "weights length mismatch");
+    let total: f32 = weights.iter().sum();
+    assert!(
+        total > 0.0 && weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "weights must be non-negative with positive sum"
+    );
+    zero_params(dst);
+    for (m, &w) in models.iter().zip(weights) {
+        axpy(dst, w / total, m);
+    }
+}
+
 /// Elementwise difference `a − b` of two models' flat parameters
 /// (the accumulated update `Δw_m = w_m − w_c` of Eq. 10).
 pub fn delta(a: &Sequential, b: &Sequential) -> Vec<f32> {
@@ -218,5 +448,99 @@ mod tests {
     fn unflatten_wrong_length_panics() {
         let mut m = model(11);
         unflatten(&mut m, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn flat_view_tracks_dirtiness() {
+        let mut m = model(12);
+        let mut v = FlatView::of(&m);
+        assert!(!v.is_dirty());
+        assert_eq!(v.flat(), flatten(&m).as_slice());
+        assert_eq!(v.norm_sq().to_bits(), {
+            let f = flatten(&m);
+            dot_slices(&f, &f).to_bits()
+        });
+        let d = m.param_count();
+        unflatten(&mut m, &vec![2.0; d]);
+        v.invalidate();
+        assert!(v.is_dirty());
+        v.refresh(&m);
+        assert_eq!(v.flat(), vec![2.0; d].as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "dirty")]
+    fn dirty_flat_view_read_panics() {
+        let mut v = FlatView::of(&model(13));
+        v.invalidate();
+        v.flat();
+    }
+
+    #[test]
+    fn flat_view_set_from_slice_copies_verbatim() {
+        let m = model(14);
+        let src = FlatView::of(&m);
+        let mut dst = FlatView::new();
+        dst.set_from_slice(src.flat(), src.norm_sq());
+        assert_eq!(dst.flat(), src.flat());
+        assert_eq!(dst.norm_sq().to_bits(), src.norm_sq().to_bits());
+    }
+
+    #[test]
+    fn copy_params_matches_clone() {
+        let src = model(15);
+        let mut dst = model(16);
+        copy_params_from(&mut dst, &src);
+        assert_eq!(flatten(&dst), flatten(&src));
+    }
+
+    #[test]
+    fn axpy_accumulates_in_place() {
+        let mut dst = model(17);
+        let src = model(18);
+        let expect: Vec<f32> = flatten(&dst)
+            .iter()
+            .zip(&flatten(&src))
+            .map(|(&a, &x)| a + 0.5 * x)
+            .collect();
+        axpy(&mut dst, 0.5, &src);
+        assert_eq!(flatten(&dst), expect);
+    }
+
+    #[test]
+    fn blend_into_matches_reference_blend_bitwise() {
+        let a = model(19);
+        let b = model(20);
+        for alpha in [0.0f32, 0.25, 0.5, 1.0] {
+            let reference = blend(&a, &b, alpha);
+            let mut dst = b.clone();
+            blend_into(&mut dst, &a, alpha);
+            let (fr, fd) = (flatten(&reference), flatten(&dst));
+            for (x, y) in fr.iter().zip(&fd) {
+                assert_eq!(x.to_bits(), y.to_bits(), "alpha {alpha}");
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_average_into_matches_reference_bitwise() {
+        let models: Vec<Sequential> = (21..25).map(model).collect();
+        let refs: Vec<&Sequential> = models.iter().collect();
+        let weights = [3.0f32, 0.5, 2.0, 1.25];
+        let reference = weighted_average(&refs, &weights);
+        let mut dst = model(26);
+        weighted_average_into(&mut dst, &refs, &weights);
+        let (fr, fd) = (flatten(&reference), flatten(&dst));
+        for (x, y) in fr.iter().zip(&fd) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn weighted_average_into_rejects_zero_weights() {
+        let a = model(27);
+        let mut dst = model(28);
+        weighted_average_into(&mut dst, &[&a], &[0.0]);
     }
 }

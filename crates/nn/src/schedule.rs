@@ -112,7 +112,11 @@ mod tests {
 
     #[test]
     fn step_decay_halves_on_schedule() {
-        let s = Schedule::StepDecay { lr: 1.0, factor: 0.5, every: 10 };
+        let s = Schedule::StepDecay {
+            lr: 1.0,
+            factor: 0.5,
+            every: 10,
+        };
         assert_eq!(s.at(0), 1.0);
         assert_eq!(s.at(9), 1.0);
         assert_eq!(s.at(10), 0.5);
@@ -121,7 +125,10 @@ mod tests {
 
     #[test]
     fn exponential_decays_monotonically() {
-        let s = Schedule::Exponential { lr: 0.5, rate: 0.01 };
+        let s = Schedule::Exponential {
+            lr: 0.5,
+            rate: 0.01,
+        };
         assert!(s.at(0) > s.at(1));
         assert!(s.at(100) > 0.0);
         assert!((s.at(0) - 0.5).abs() < 1e-7);
@@ -129,14 +136,21 @@ mod tests {
 
     #[test]
     fn theorem1_matches_closed_form() {
-        let s = Schedule::Theorem1 { mu: 1.0, gamma: 32.0 };
+        let s = Schedule::Theorem1 {
+            mu: 1.0,
+            gamma: 32.0,
+        };
         assert!((s.at(0) - 2.0 / 32.0).abs() < 1e-7);
         assert!((s.at(68) - 0.02).abs() < 1e-7);
     }
 
     #[test]
     fn apply_updates_optimizer() {
-        let s = Schedule::StepDecay { lr: 0.2, factor: 0.1, every: 5 };
+        let s = Schedule::StepDecay {
+            lr: 0.2,
+            factor: 0.1,
+            every: 5,
+        };
         let mut opt = Sgd::new(1.0);
         s.apply(7, &mut opt);
         assert!((opt.learning_rate() - 0.02).abs() < 1e-7);
@@ -145,10 +159,37 @@ mod tests {
     #[test]
     fn validation_catches_bad_params() {
         assert!(Schedule::Constant { lr: 0.0 }.validate().is_err());
-        assert!(Schedule::StepDecay { lr: 0.1, factor: 1.5, every: 1 }.validate().is_err());
-        assert!(Schedule::StepDecay { lr: 0.1, factor: 0.5, every: 0 }.validate().is_err());
-        assert!(Schedule::Exponential { lr: 0.1, rate: -1.0 }.validate().is_err());
-        assert!(Schedule::Theorem1 { mu: 0.0, gamma: 1.0 }.validate().is_err());
-        assert!(Schedule::Theorem1 { mu: 1.0, gamma: 8.0 }.validate().is_ok());
+        assert!(Schedule::StepDecay {
+            lr: 0.1,
+            factor: 1.5,
+            every: 1
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::StepDecay {
+            lr: 0.1,
+            factor: 0.5,
+            every: 0
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::Exponential {
+            lr: 0.1,
+            rate: -1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::Theorem1 {
+            mu: 0.0,
+            gamma: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(Schedule::Theorem1 {
+            mu: 1.0,
+            gamma: 8.0
+        }
+        .validate()
+        .is_ok());
     }
 }

@@ -38,7 +38,7 @@ impl InputSpec {
 /// flatten → dense(64) → relu → dense(classes).
 pub fn cnn2(spec: &InputSpec, rng: &mut StdRng) -> Sequential {
     assert!(
-        spec.height % 4 == 0 && spec.width % 4 == 0,
+        spec.height.is_multiple_of(4) && spec.width.is_multiple_of(4),
         "cnn2 needs spatial dims divisible by 4 (two 2x pools)"
     );
     let g1 = ConvGeometry {
@@ -76,7 +76,7 @@ pub fn cnn2(spec: &InputSpec, rng: &mut StdRng) -> Sequential {
 /// The paper's 3-conv + 2-fc CNN (CIFAR10 / SpeechCommands track).
 pub fn cnn3(spec: &InputSpec, rng: &mut StdRng) -> Sequential {
     assert!(
-        spec.height % 4 == 0 && spec.width % 4 == 0,
+        spec.height.is_multiple_of(4) && spec.width.is_multiple_of(4),
         "cnn3 needs spatial dims divisible by 4"
     );
     let g1 = ConvGeometry {

@@ -1,0 +1,289 @@
+//! Offline drop-in stand-in for the `criterion` crate.
+//!
+//! Implements the benchmarking surface this workspace uses —
+//! [`Criterion::bench_function`] with [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros and [`black_box`] — with a simple
+//! warm-up + median-of-samples measurement loop and plain-text
+//! reporting (no HTML, plots or statistical regression analysis).
+//!
+//! When the binary is invoked with `--test` (as `cargo test` does for
+//! `harness = false` bench targets) every routine runs exactly once so
+//! the test suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// An identity function the optimiser cannot see through.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; the shim times each call
+/// individually, so the variants behave identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// A fresh batch for every iteration.
+    PerIteration,
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the timed-phase duration target.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration target.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its median time per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            config: BenchConfig {
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+                warm_up_time: self.warm_up_time,
+                test_mode: self.test_mode,
+            },
+            sample_ns: Vec::new(),
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("{id}: ok (test mode, one iteration)");
+        } else {
+            let med = median(&mut b.sample_ns);
+            println!("{id:<50} time: {} /iter ({} samples)", fmt_ns(med), b.sample_ns.len());
+        }
+        self
+    }
+}
+
+#[derive(Clone, Copy)]
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+}
+
+/// Per-benchmark measurement state, mirroring `criterion::Bencher`.
+pub struct Bencher {
+    config: BenchConfig,
+    sample_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` alone.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.config.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up, estimating the per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let est_ns =
+            (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Split the measurement budget into sample_size samples.
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.config.sample_size as f64 / est_ns).floor() as u64).max(1);
+        for _ in 0..self.config.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.sample_ns
+                .push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup`, excluding the setup
+    /// cost from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.config.test_mode {
+            let input = setup();
+            black_box(routine(input));
+            return;
+        }
+        // Warm-up with the routine only (setup excluded from timing).
+        let mut timed = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while timed < self.config.warm_up_time || warm_iters == 0 {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            timed += t.elapsed();
+            warm_iters += 1;
+        }
+        let est_ns = (timed.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let budget_ns = self.config.measurement_time.as_nanos() as f64;
+        let iters_per_sample =
+            ((budget_ns / self.config.sample_size as f64 / est_ns).floor() as u64).max(1);
+        for _ in 0..self.config.sample_size {
+            let mut sample = Duration::ZERO;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                sample += t.elapsed();
+            }
+            self.sample_ns
+                .push(sample.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Median of `samples` (which it sorts in place); 0 when empty.
+pub fn median(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite sample times"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 0 {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    } else {
+        samples[mid]
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(20),
+            warm_up_time: Duration::from_millis(5),
+            test_mode: false,
+        }
+    }
+
+    #[test]
+    fn iter_collects_samples() {
+        let mut c = quick();
+        let mut ran = 0u64;
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        assert!(ran > 5);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = quick();
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 64]
+                },
+                |v| {
+                    runs += 1;
+                    black_box(v.len())
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        assert_eq!(setups, runs);
+        assert!(runs > 5);
+    }
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+}

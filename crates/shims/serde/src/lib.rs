@@ -1,0 +1,253 @@
+//! Offline drop-in stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the serialisation surface it actually uses: the
+//! [`Serialize`] / [`Deserialize`] traits (via an intermediate
+//! [`Value`] tree rather than serde's visitor machinery) and, behind
+//! the `derive` feature, `#[derive(Serialize, Deserialize)]` for
+//! named-field structs, newtype structs and enums with unit or
+//! named-field variants. The honoured field attributes are exactly
+//! those the workspace uses: `#[serde(default)]`,
+//! `#[serde(default = "path")]`, `#[serde(skip_serializing_if =
+//! "path")]` and the container attribute `#[serde(rename_all =
+//! "lowercase")]`.
+//!
+//! Enum values use serde's externally-tagged representation, so the
+//! JSON produced by the sibling `serde_json` shim matches what the
+//! real crates would emit for this workspace's types.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate representation every type serialises through.
+///
+/// Integers are kept as `i128` so `u64` seeds round-trip exactly;
+/// floats as `f64` (exact for every `f32`, the workspace's numeric
+/// type).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / a missing `Option`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// Any integer.
+    Int(i128),
+    /// Any floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The map entries, when this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Looks up `key` in map entries (first match wins, as in JSON).
+pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// (De)serialisation error: a plain message.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn custom(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible to a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` to the intermediate representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, reporting structural mismatches as errors.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        Error::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    }),
+                    other => Err(Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    // JSON writes 2.0 as "2.0" but integral values can
+                    // still arrive as integers from hand-written JSON.
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::custom(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_serde_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Seq(items) => items.iter().map(Deserialize::from_value).collect(),
+            other => Err(Error::custom(format!("expected sequence, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(f32::from_value(&1.5f32.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        let s = String::from("hi");
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn nested_containers_round_trip() {
+        let v: Vec<Option<usize>> = vec![Some(3), None, Some(7)];
+        let back = Vec::<Option<usize>>::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        let big = Value::Int(i128::from(u64::MAX));
+        assert!(u32::from_value(&big).is_err());
+        assert!(u64::from_value(&big).is_ok());
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(bool::from_value(&Value::Int(1)).is_err());
+        assert!(String::from_value(&Value::Null).is_err());
+        assert!(Vec::<f32>::from_value(&Value::Str("x".into())).is_err());
+    }
+}

@@ -138,7 +138,11 @@ pub fn col2im(cols: &[f32], g: &ConvGeometry, img: &mut [f32]) {
 /// Returns `[N, out_c, out_h, out_w]`.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, g: &ConvGeometry) -> Tensor {
     g.check_input(input);
-    assert_eq!(weight.shape().dims(), &[g.out_c, g.patch_len()], "weight shape");
+    assert_eq!(
+        weight.shape().dims(),
+        &[g.out_c, g.patch_len()],
+        "weight shape"
+    );
     assert_eq!(bias.shape().dims(), &[g.out_c], "bias shape");
 
     let n = input.shape().dim(0);
@@ -297,7 +301,15 @@ pub fn maxpool2d_backward(input_shape: &crate::shape::Shape, dout: &Tensor, arg:
 mod tests {
     use super::*;
 
-    fn geom(in_c: usize, out_c: usize, k: usize, s: usize, p: usize, h: usize, w: usize) -> ConvGeometry {
+    fn geom(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        s: usize,
+        p: usize,
+        h: usize,
+        w: usize,
+    ) -> ConvGeometry {
         ConvGeometry {
             in_c,
             out_c,
@@ -371,8 +383,14 @@ mod tests {
     #[test]
     fn conv_gradients_match_finite_differences() {
         let g = geom(1, 2, 3, 1, 1, 4, 4);
-        let x = Tensor::from_vec([1, 1, 4, 4], (0..16).map(|i| (i as f32 * 0.37).sin()).collect());
-        let w = Tensor::from_vec([2, 9], (0..18).map(|i| (i as f32 * 0.21).cos() * 0.5).collect());
+        let x = Tensor::from_vec(
+            [1, 1, 4, 4],
+            (0..16).map(|i| (i as f32 * 0.37).sin()).collect(),
+        );
+        let w = Tensor::from_vec(
+            [2, 9],
+            (0..18).map(|i| (i as f32 * 0.21).cos() * 0.5).collect(),
+        );
         let b = Tensor::from_vec([2], vec![0.1, -0.2]);
 
         // Loss = sum(conv(x)) so dout = ones.
@@ -389,7 +407,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let fd = (loss(&xp, &w, &b) - loss(&xm, &w, &b)) / (2.0 * eps);
-            assert!((fd - dx.data()[i]).abs() < 1e-2, "dx[{i}]: fd={fd} an={}", dx.data()[i]);
+            assert!(
+                (fd - dx.data()[i]).abs() < 1e-2,
+                "dx[{i}]: fd={fd} an={}",
+                dx.data()[i]
+            );
         }
         for i in [0usize, 7, 17] {
             let mut wp = w.clone();
@@ -397,7 +419,11 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
             let fd = (loss(&x, &wp, &b) - loss(&x, &wm, &b)) / (2.0 * eps);
-            assert!((fd - dw.data()[i]).abs() < 1e-1, "dw[{i}]: fd={fd} an={}", dw.data()[i]);
+            assert!(
+                (fd - dw.data()[i]).abs() < 1e-1,
+                "dw[{i}]: fd={fd} an={}",
+                dw.data()[i]
+            );
         }
         for i in 0..2 {
             let mut bp = b.clone();
@@ -405,7 +431,11 @@ mod tests {
             let mut bm = b.clone();
             bm.data_mut()[i] -= eps;
             let fd = (loss(&x, &w, &bp) - loss(&x, &w, &bm)) / (2.0 * eps);
-            assert!((fd - db.data()[i]).abs() < 1e-1, "db[{i}]: fd={fd} an={}", db.data()[i]);
+            assert!(
+                (fd - db.data()[i]).abs() < 1e-1,
+                "db[{i}]: fd={fd} an={}",
+                db.data()[i]
+            );
         }
     }
 

@@ -8,7 +8,7 @@
 use crate::tensor::Tensor;
 
 macro_rules! elementwise_binop {
-    ($name:ident, $name_inplace:ident, $op:tt, $doc:literal) => {
+    ($name:ident, $name_inplace:ident, $assign:tt, $doc:literal) => {
         #[doc = $doc]
         ///
         /// # Panics
@@ -24,7 +24,7 @@ macro_rules! elementwise_binop {
         pub fn $name_inplace(a: &mut Tensor, b: &Tensor) {
             if a.shape() == b.shape() {
                 for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
-                    *x = *x $op *y;
+                    *x $assign *y;
                 }
             } else {
                 assert!(
@@ -36,7 +36,7 @@ macro_rules! elementwise_binop {
                 let n = b.len();
                 for chunk in a.data_mut().chunks_mut(n) {
                     for (x, y) in chunk.iter_mut().zip(b.data()) {
-                        *x = *x $op *y;
+                        *x $assign *y;
                     }
                 }
             }
@@ -44,10 +44,10 @@ macro_rules! elementwise_binop {
     };
 }
 
-elementwise_binop!(add, add_inplace, +, "Elementwise addition `a + b`.");
-elementwise_binop!(sub, sub_inplace, -, "Elementwise subtraction `a - b`.");
-elementwise_binop!(mul, mul_inplace, *, "Elementwise (Hadamard) product `a * b`.");
-elementwise_binop!(div, div_inplace, /, "Elementwise division `a / b`.");
+elementwise_binop!(add, add_inplace, +=, "Elementwise addition `a + b`.");
+elementwise_binop!(sub, sub_inplace, -=, "Elementwise subtraction `a - b`.");
+elementwise_binop!(mul, mul_inplace, *=, "Elementwise (Hadamard) product `a * b`.");
+elementwise_binop!(div, div_inplace, /=, "Elementwise division `a / b`.");
 
 /// Scales every element by `s`, returning a new tensor.
 pub fn scale(a: &Tensor, s: f32) -> Tensor {
@@ -120,6 +120,43 @@ pub fn dot_slices(a: &[f32], b: &[f32]) -> f32 {
     acc[0] + acc[1] + acc[2] + acc[3] + tail
 }
 
+/// Fused single-pass `(dot(a, b), ‖a‖², ‖b‖²)` over two equal-length
+/// slices.
+///
+/// Uses the same four-accumulator chunking as [`dot_slices`] for each of
+/// the three sums, so the result is bit-identical to three separate
+/// `dot_slices` calls while reading both slices only once — the kernel
+/// behind cosine similarity on whole-model parameter vectors.
+#[inline]
+pub fn dot3_slices(a: &[f32], b: &[f32]) -> (f32, f32, f32) {
+    debug_assert_eq!(a.len(), b.len());
+    let mut ab = [0.0f32; 4];
+    let mut aa = [0.0f32; 4];
+    let mut bb = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        for k in 0..4 {
+            let (x, y) = (a[j + k], b[j + k]);
+            ab[k] += x * y;
+            aa[k] += x * x;
+            bb[k] += y * y;
+        }
+    }
+    let (mut ab_t, mut aa_t, mut bb_t) = (0.0f32, 0.0f32, 0.0f32);
+    for j in chunks * 4..a.len() {
+        let (x, y) = (a[j], b[j]);
+        ab_t += x * y;
+        aa_t += x * x;
+        bb_t += y * y;
+    }
+    (
+        ab[0] + ab[1] + ab[2] + ab[3] + ab_t,
+        aa[0] + aa[1] + aa[2] + aa[3] + aa_t,
+        bb[0] + bb[1] + bb[2] + bb[3] + bb_t,
+    )
+}
+
 /// Cosine similarity between two equal-shaped tensors, in `[-1, 1]`.
 ///
 /// Returns 0.0 when either operand has zero norm (the convention used by
@@ -129,12 +166,19 @@ pub fn cosine_similarity(a: &Tensor, b: &Tensor) -> f32 {
     cosine_similarity_slices(a.data(), b.data())
 }
 
-/// Cosine similarity between two equal-length slices.
+/// Cosine similarity between two equal-length slices (one fused pass via
+/// [`dot3_slices`]).
 pub fn cosine_similarity_slices(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let ab = dot_slices(a, b);
-    let aa = dot_slices(a, a);
-    let bb = dot_slices(b, b);
+    let (ab, aa, bb) = dot3_slices(a, b);
+    combine_cosine(ab, aa, bb)
+}
+
+/// Combines a dot product and two squared norms into a clamped cosine,
+/// with the zero-norm → 0.0 convention. Exposed so callers holding
+/// *cached* norms (flat parameter views) can skip the norm passes.
+#[inline]
+pub fn combine_cosine(ab: f32, aa: f32, bb: f32) -> f32 {
     if aa <= 0.0 || bb <= 0.0 {
         return 0.0;
     }
@@ -151,7 +195,11 @@ pub fn cosine_similarity_slices(a: &[f32], b: &[f32]) -> f32 {
 /// finite and non-negative, or the weight sum is zero.
 pub fn weighted_mean(tensors: &[&Tensor], weights: &[f32]) -> Tensor {
     assert!(!tensors.is_empty(), "weighted_mean of no tensors");
-    assert_eq!(tensors.len(), weights.len(), "weights/tensors length mismatch");
+    assert_eq!(
+        tensors.len(),
+        weights.len(),
+        "weights/tensors length mismatch"
+    );
     let total: f32 = weights.iter().sum();
     assert!(
         total > 0.0 && weights.iter().all(|w| w.is_finite() && *w >= 0.0),
@@ -233,6 +281,25 @@ mod tests {
         let b: Vec<f32> = (0..37).map(|i| (36 - i) as f32).collect();
         let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert!((dot_slices(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dot3_matches_three_separate_dots_bitwise() {
+        for n in [0usize, 1, 3, 4, 7, 37, 128] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.71).cos()).collect();
+            let (ab, aa, bb) = dot3_slices(&a, &b);
+            assert_eq!(ab.to_bits(), dot_slices(&a, &b).to_bits(), "n={n}");
+            assert_eq!(aa.to_bits(), dot_slices(&a, &a).to_bits(), "n={n}");
+            assert_eq!(bb.to_bits(), dot_slices(&b, &b).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn combine_cosine_handles_zero_norms() {
+        assert_eq!(combine_cosine(1.0, 0.0, 2.0), 0.0);
+        assert_eq!(combine_cosine(1.0, 2.0, 0.0), 0.0);
+        assert_eq!(combine_cosine(5.0, 4.0, 4.0), 1.0); // clamped
     }
 
     #[test]

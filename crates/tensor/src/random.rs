@@ -27,7 +27,12 @@ pub fn derive_seed(seed: u64, stream: u64) -> u64 {
 }
 
 /// Tensor with i.i.d. uniform entries in `[lo, hi)`.
-pub fn uniform(shape: impl Into<crate::shape::Shape>, lo: f32, hi: f32, rng: &mut StdRng) -> Tensor {
+pub fn uniform(
+    shape: impl Into<crate::shape::Shape>,
+    lo: f32,
+    hi: f32,
+    rng: &mut StdRng,
+) -> Tensor {
     let shape = shape.into();
     let n = shape.len();
     let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
@@ -35,7 +40,12 @@ pub fn uniform(shape: impl Into<crate::shape::Shape>, lo: f32, hi: f32, rng: &mu
 }
 
 /// Tensor with i.i.d. normal entries `N(mean, std²)`.
-pub fn normal(shape: impl Into<crate::shape::Shape>, mean: f32, std: f32, rng: &mut StdRng) -> Tensor {
+pub fn normal(
+    shape: impl Into<crate::shape::Shape>,
+    mean: f32,
+    std: f32,
+    rng: &mut StdRng,
+) -> Tensor {
     let shape = shape.into();
     let n = shape.len();
     let dist = Normal::new(mean, std).expect("std must be finite and non-negative");
@@ -105,7 +115,12 @@ mod tests {
     fn normal_moments_roughly_match() {
         let t = normal([10_000], 1.0, 2.0, &mut rng(11));
         let mean = t.mean();
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / t.len() as f32;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((mean - 1.0).abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }
@@ -128,7 +143,7 @@ mod tests {
     #[test]
     fn permutation_is_a_bijection() {
         let p = permutation(100, &mut rng(9));
-        let mut seen = vec![false; 100];
+        let mut seen = [false; 100];
         for &i in &p {
             assert!(!seen[i]);
             seen[i] = true;

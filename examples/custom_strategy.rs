@@ -29,7 +29,10 @@ fn main() {
         ),
     ];
 
-    println!("racing {} algorithm variants on synthetic MNIST ...\n", candidates.len());
+    println!(
+        "racing {} algorithm variants on synthetic MNIST ...\n",
+        candidates.len()
+    );
     let mut results = Vec::new();
     for algorithm in candidates {
         let mut cfg = SimConfig::paper_default(Task::Mnist, algorithm);

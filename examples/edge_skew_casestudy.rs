@@ -40,7 +40,11 @@ fn main() {
         let major: Vec<f32> = p.edge0_per_class[..5].iter().flatten().copied().collect();
         let minor: Vec<f32> = p.edge0_per_class[5..].iter().flatten().copied().collect();
         let mean = |v: &[f32]| {
-            if v.is_empty() { f32::NAN } else { v.iter().sum::<f32>() / v.len() as f32 }
+            if v.is_empty() {
+                f32::NAN
+            } else {
+                v.iter().sum::<f32>() / v.len() as f32
+            }
         };
         println!(
             "{:>4} | {:.3}  | {:.3} | {:.3}            | {:.3}",

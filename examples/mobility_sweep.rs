@@ -6,7 +6,9 @@
 //! cargo run --release --example mobility_sweep
 //! ```
 
-use middle::core::quadratic_sim::{simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig};
+use middle::core::quadratic_sim::{
+    simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig,
+};
 use middle::core::theory::BoundParams;
 use middle::prelude::*;
 

@@ -57,9 +57,9 @@ fn main() {
             "\ntime to {target:.0}%: MIDDLE {tm} steps, HierFAVG {th} steps ({:.2}x speedup)",
             th as f64 / tm as f64
         ),
-        (Some(tm), None) => println!(
-            "\nMIDDLE reached {target:.2} at step {tm}; HierFAVG never reached it"
-        ),
+        (Some(tm), None) => {
+            println!("\nMIDDLE reached {target:.2} at step {tm}; HierFAVG never reached it")
+        }
         _ => println!("\ntarget {target:.2} not reached in this short demo run"),
     }
 }

@@ -9,7 +9,10 @@ use middle::prelude::*;
 
 fn main() {
     println!("MIDDLE under device dropout (synthetic MNIST, 4 edges, 24 devices)\n");
-    println!("{:>13} {:>10} {:>12} {:>12} {:>8}", "availability", "final", "wireless tx", "WAN tx", "syncs");
+    println!(
+        "{:>13} {:>10} {:>12} {:>12} {:>8}",
+        "availability", "final", "wireless tx", "WAN tx", "syncs"
+    );
     for availability in [1.0, 0.7, 0.4, 0.1] {
         let mut cfg = SimConfig::paper_default(Task::Mnist, Algorithm::middle());
         cfg.num_edges = 4;

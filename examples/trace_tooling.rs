@@ -10,14 +10,19 @@ use middle::mobility::stats::{
     at_home_fraction, mean_sojourn, occupancy_imbalance, transition_matrix,
 };
 use middle::mobility::{
-    generate_geometric, generate_markov_hop, generate_markov_hop_homed, MobilityKind,
-    ServiceArea, Trace,
+    generate_geometric, generate_markov_hop, generate_markov_hop_homed, MobilityKind, ServiceArea,
+    Trace,
 };
 use middle::prelude::*;
 
 fn describe(name: &str, t: &Trace, homes: Option<&[usize]>) {
     println!("{name}:");
-    println!("  devices {}  edges {}  steps {}", t.devices(), t.num_edges(), t.steps());
+    println!(
+        "  devices {}  edges {}  steps {}",
+        t.devices(),
+        t.num_edges(),
+        t.steps()
+    );
     println!("  empirical mobility  {:.3}", t.empirical_mobility());
     println!("  mean sojourn        {:.2} steps", mean_sojourn(t));
     println!("  occupancy imbalance {:.3}", occupancy_imbalance(t));
@@ -35,10 +40,18 @@ fn main() {
     describe("uniform Markov hop (P = 0.5)", &uniform, Some(&homes));
 
     let homed = generate_markov_hop_homed(4, &homes, 200, 0.5, 0.6, 11);
-    describe("\nhome-biased Markov hop (P = 0.5, bias 0.6)", &homed, Some(&homes));
+    describe(
+        "\nhome-biased Markov hop (P = 0.5, bias 0.6)",
+        &homed,
+        Some(&homes),
+    );
 
     let area = ServiceArea::grid(1000.0, 1000.0, 4);
-    let mut model = MobilityKind::RandomWaypoint { min_speed: 30.0, max_speed: 120.0 }.build();
+    let mut model = MobilityKind::RandomWaypoint {
+        min_speed: 30.0,
+        max_speed: 120.0,
+    }
+    .build();
     let geo = generate_geometric(&area, model.as_mut(), 60, 200, 11);
     describe("\nrandom waypoint over a 1 km grid", &geo, None);
 

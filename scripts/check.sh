@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Repo gate: formatting, lints, and the tier-1 build + test suite.
+#
+#   scripts/check.sh           # everything
+#   scripts/check.sh --fast    # skip the release build
+#
+# Run from anywhere; the script cd's to the repo root.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ "$FAST" -eq 0 ]]; then
+    echo "==> cargo build --release"
+    cargo build --release
+fi
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

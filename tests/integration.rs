@@ -2,7 +2,9 @@
 //! through mobility traces to federated training, exercised through the
 //! `middle` facade exactly as a downstream user would.
 
-use middle::core::quadratic_sim::{simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig};
+use middle::core::quadratic_sim::{
+    simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig,
+};
 use middle::core::{OnDevicePolicy, SelectionPolicy};
 use middle::data::partition::{partition, Scheme};
 use middle::data::synthetic::SyntheticSource;
@@ -156,10 +158,7 @@ fn mobility_probability_flows_through_config() {
         cfg.mobility = MobilitySource::MarkovHop { p };
         let sim = Simulation::new(cfg.clone());
         let emp = sim.trace().empirical_mobility();
-        assert!(
-            (emp - p).abs() < 0.12,
-            "requested P={p}, trace has {emp}"
-        );
+        assert!((emp - p).abs() < 0.12, "requested P={p}, trace has {emp}");
     }
 }
 
