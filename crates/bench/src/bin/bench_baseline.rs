@@ -182,7 +182,7 @@ fn main() {
             .map(|i| zoo::logistic(&spec, &mut rng(50 + i as u64)))
             .collect();
         let refs: Vec<&Sequential> = models.iter().collect();
-        let windows: Vec<f32> = (0..10).map(|i| 5.0 + i as f32).collect();
+        let windows: Vec<f64> = (0..10).map(|i| 5.0 + i as f64).collect();
         let mut dst = zoo::logistic(&spec, &mut rng(998));
         let (before, after) = measure_pair(
             21,
@@ -226,6 +226,36 @@ fn main() {
             component: "full_sim_step".into(),
             before_ns: median(before_times),
             after_ns: median(after_times),
+        });
+    }
+
+    // --- Telemetry overhead on the zero-copy step: recorder disabled
+    // ("before") vs enabled ("after"). The disabled recorder must be a
+    // no-op, so the ratio should sit at ~1.0x. ---
+    {
+        let mut disabled_times = Vec::new();
+        let mut enabled_times = Vec::new();
+        for _ in 0..21 {
+            let mut sim = Simulation::new(sim_config());
+            sim.step(0);
+            let t = Instant::now();
+            sim.step(1);
+            disabled_times.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(&sim);
+
+            let mut cfg = sim_config();
+            cfg.telemetry = true;
+            let mut sim = Simulation::new(cfg);
+            sim.step(0);
+            let t = Instant::now();
+            sim.step(1);
+            enabled_times.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(&sim);
+        }
+        entries.push(Entry {
+            component: "telemetry_step_overhead".into(),
+            before_ns: median(disabled_times),
+            after_ns: median(enabled_times),
         });
     }
 

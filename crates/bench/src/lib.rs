@@ -9,6 +9,12 @@
 //! Scale control: the binaries read the `MIDDLE_SCALE` environment
 //! variable (default `1.0`); values below 1 shrink step counts for smoke
 //! runs (e.g. `MIDDLE_SCALE=0.1` in CI), values above stretch them.
+//!
+//! Telemetry: `MIDDLE_TELEMETRY=1` turns on the per-phase telemetry
+//! plane for every run launched through [`run_logged`] (the phase
+//! summary table goes to stderr); `MIDDLE_TELEMETRY_JSONL=<dir>` also
+//! streams one JSONL event per step to
+//! `<dir>/<algorithm>_<task>.jsonl`.
 
 use middle_core::{RunRecord, SimConfig, Simulation};
 use std::fs;
@@ -28,8 +34,31 @@ pub fn scaled_steps(base: usize) -> usize {
     ((base as f64 * scale()).round() as usize).max(4)
 }
 
-/// Runs a simulation, echoing progress to stderr.
+/// Applies the `MIDDLE_TELEMETRY` / `MIDDLE_TELEMETRY_JSONL` environment
+/// switches to a config (see the crate docs).
+pub fn apply_telemetry_env(cfg: &mut SimConfig) {
+    if std::env::var("MIDDLE_TELEMETRY").is_ok_and(|v| v != "0" && !v.is_empty()) {
+        cfg.telemetry = true;
+    }
+    if let Ok(dir) = std::env::var("MIDDLE_TELEMETRY_JSONL") {
+        if !dir.is_empty() {
+            let file = format!(
+                "{}_{}.jsonl",
+                cfg.algorithm.name.to_lowercase().replace([' ', '/'], "_"),
+                cfg.task.name().to_lowercase()
+            );
+            cfg.telemetry_jsonl =
+                Some(PathBuf::from(dir).join(file).to_string_lossy().into_owned());
+        }
+    }
+}
+
+/// Runs a simulation, echoing progress to stderr. Honours the telemetry
+/// environment switches; when telemetry is on, the per-phase summary
+/// table is echoed after the run.
 pub fn run_logged(cfg: SimConfig) -> RunRecord {
+    let mut cfg = cfg;
+    apply_telemetry_env(&mut cfg);
     let label = format!("{} / {}", cfg.algorithm.name, cfg.task.name());
     eprintln!(
         "[middle-bench] {label}: {} edges, {} devices, {} steps ...",
@@ -41,6 +70,12 @@ pub fn run_logged(cfg: SimConfig) -> RunRecord {
         record.final_accuracy(),
         record.wall_seconds
     );
+    if let Some(report) = &record.telemetry {
+        eprintln!(
+            "[middle-bench] {label}: telemetry\n{}",
+            report.summary_table()
+        );
+    }
     record
 }
 

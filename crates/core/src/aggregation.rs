@@ -15,7 +15,9 @@ use crate::similarity::{
     aggregation_weights, raw_cosine, raw_cosine_cached, similarity_utility,
     similarity_utility_cached,
 };
-use middle_nn::params::{axpy, axpy2, blend, blend_into, flatten, weighted_average, zero_params};
+use middle_nn::params::{
+    axpy, axpy2, blend, blend_into, flatten, flatten_into, unflatten, weighted_average, zero_params,
+};
 use middle_nn::Sequential;
 
 /// Computes the new initial local model `ŵ_m^t` for a device that just
@@ -144,15 +146,48 @@ pub fn edge_aggregate(models: &[&Sequential], sample_counts: &[usize]) -> Sequen
 /// participating-sample totals `d̂_n` accumulated over the sync window.
 /// Edges whose window saw no participation get weight zero unless all
 /// are zero, in which case a plain average is used.
-pub fn cloud_aggregate(edge_models: &[&Sequential], window_samples: &[f32]) -> Sequential {
+///
+/// Window totals are `f64`: they accumulate `usize` sample counts over
+/// a whole sync window, and an `f32` accumulator silently loses integer
+/// precision past 2^24 participating samples. The weights are
+/// normalised in `f64` and cast to `f32` only at the final
+/// per-model-weight boundary, the same boundary [`cloud_aggregate_into`]
+/// casts at, so the two stay bit-identical.
+pub fn cloud_aggregate(edge_models: &[&Sequential], window_samples: &[f64]) -> Sequential {
     assert_eq!(edge_models.len(), window_samples.len(), "weights mismatch");
-    let total: f32 = window_samples.iter().sum();
-    if total > 0.0 {
-        weighted_average(edge_models, window_samples)
+    assert!(!edge_models.is_empty(), "cloud aggregation needs edges");
+    let total: f64 = window_samples.iter().sum();
+    assert!(
+        total >= 0.0 && window_samples.iter().all(|w| w.is_finite() && *w >= 0.0),
+        "window samples must be non-negative finite values"
+    );
+    let norm: Vec<f32> = if total > 0.0 {
+        window_samples.iter().map(|&w| (w / total) as f32).collect()
     } else {
-        let uniform = vec![1.0f32; edge_models.len()];
-        weighted_average(edge_models, &uniform)
+        // Mirror the `_into` uniform path bitwise: the total is the same
+        // iterated f64 sum of ones.
+        let uniform_total: f64 = window_samples.iter().map(|_| 1.0f64).sum();
+        window_samples
+            .iter()
+            .map(|_| (1.0 / uniform_total) as f32)
+            .collect()
+    };
+    // Accumulate exactly like `weighted_average`, but with the weights
+    // already normalised (normalising again in f32 would diverge from
+    // the f64-normalised hot path).
+    let d = edge_models[0].param_count();
+    let mut acc = vec![0.0f32; d];
+    let mut buf = Vec::with_capacity(d);
+    for (m, &s) in edge_models.iter().zip(&norm) {
+        flatten_into(m, &mut buf);
+        assert_eq!(buf.len(), d, "model architecture mismatch");
+        for (a, &x) in acc.iter_mut().zip(&buf) {
+            *a += s * x;
+        }
     }
+    let mut out = edge_models[0].clone();
+    unflatten(&mut out, &acc);
+    out
 }
 
 /// In-place form of [`edge_aggregate`] over `(model, sample_count)`
@@ -191,19 +226,22 @@ where
 
 /// In-place form of [`cloud_aggregate`] over `(model, window_samples)`
 /// pairs, with the same uniform fallback when every window is empty.
+/// Window weights accumulate and normalise in `f64` (see
+/// [`cloud_aggregate`]); the cast to `f32` happens only on the final
+/// normalised per-model weight.
 pub fn cloud_aggregate_into<'a, I>(dst: &mut Sequential, parts: I)
 where
-    I: Iterator<Item = (&'a Sequential, f32)> + Clone,
+    I: Iterator<Item = (&'a Sequential, f64)> + Clone,
 {
-    let total: f32 = parts.clone().map(|(_, w)| w).sum();
+    let total: f64 = parts.clone().map(|(_, w)| w).sum();
     if total > 0.0 {
-        accumulate_pairs(dst, parts.map(|(m, w)| (m, w / total)));
+        accumulate_pairs(dst, parts.map(|(m, w)| (m, (w / total) as f32)));
     } else {
         // Mirror the reference's uniform path bitwise: the total is the
-        // same iterated sum of ones that `weighted_average` computes.
-        let uniform_total: f32 = parts.clone().map(|_| 1.0f32).sum();
+        // same iterated f64 sum of ones.
+        let uniform_total: f64 = parts.clone().map(|_| 1.0f64).sum();
         assert!(uniform_total > 0.0, "cloud aggregation needs edges");
-        accumulate_pairs(dst, parts.map(|(m, _)| (m, 1.0 / uniform_total)));
+        accumulate_pairs(dst, parts.map(|(m, _)| (m, (1.0 / uniform_total) as f32)));
     }
 }
 
@@ -363,14 +401,34 @@ mod tests {
 
         let reference = cloud_aggregate(&refs, &[4.0, 0.0, 12.0]);
         let mut dst = model_with(99.0);
-        cloud_aggregate_into(&mut dst, refs.iter().copied().zip([4.0f32, 0.0, 12.0]));
+        cloud_aggregate_into(&mut dst, refs.iter().copied().zip([4.0f64, 0.0, 12.0]));
         assert_eq!(flatten(&reference), flatten(&dst));
 
         // Uniform fallback when no window saw participation.
         let reference = cloud_aggregate(&refs, &[0.0, 0.0, 0.0]);
         let mut dst = model_with(99.0);
-        cloud_aggregate_into(&mut dst, refs.iter().copied().zip([0.0f32, 0.0, 0.0]));
+        cloud_aggregate_into(&mut dst, refs.iter().copied().zip([0.0f64, 0.0, 0.0]));
         assert_eq!(flatten(&reference), flatten(&dst));
+    }
+
+    #[test]
+    fn cloud_window_weights_survive_past_f32_integer_precision() {
+        // An f32 window counter freezes at 2^24: adding a typical
+        // per-step sample total no longer changes it, so an edge's later
+        // participation would be silently erased from its d̂_n weight.
+        let frozen = (1u64 << 24) as f32;
+        assert_eq!(frozen + 1.0, frozen, "f32 freeze premise");
+        // The f64 window path keeps accumulating and normalises exactly.
+        let a = model_with(0.0);
+        let b = model_with(8.0);
+        let big = (1u64 << 24) as f64;
+        let windows = [big, 3.0 * big + 1_048_576.0];
+        let agg = cloud_aggregate(&[&a, &b], &windows);
+        let expected = 8.0 * ((windows[1] / (windows[0] + windows[1])) as f32);
+        assert!(flatten(&agg).iter().all(|&v| (v - expected).abs() < 1e-5));
+        // The extra 2^20 samples must show up in the weight (0.75 would
+        // mean they were lost).
+        assert!(expected / 8.0 > 0.753);
     }
 
     #[test]

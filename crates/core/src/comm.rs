@@ -51,13 +51,22 @@ impl CommStats {
     ///
     /// `wireless_s` / `wan_s` are the seconds one model transfer takes on
     /// each tier; transfers within a tier and step are assumed parallel
-    /// across devices/edges, so the cost counts *rounds*, approximated by
-    /// `steps` wireless rounds plus `syncs` WAN round-trips.
-    pub fn wall_clock(&self, steps: u64, syncs: u64, wireless_s: f64, wan_s: f64) -> f64 {
-        // Each time step: download + upload (2 wireless rounds).
+    /// across devices/edges, so the cost counts *rounds*.
+    ///
+    /// `active_steps` must be the number of steps in which at least one
+    /// device actually participated (`RunRecord::active_steps`, also
+    /// `StepCounters::active_steps` when telemetry is on) — *not* the
+    /// raw step count. A step where availability filtering left every
+    /// edge with zero selected devices moves no models and therefore
+    /// costs no wireless rounds. Syncs still charge their broadcast
+    /// round unconditionally: the simulation broadcasts the cloud model
+    /// to every device at each sync regardless of that step's
+    /// participation.
+    pub fn wall_clock(&self, active_steps: u64, syncs: u64, wireless_s: f64, wan_s: f64) -> f64 {
+        // Each active time step: download + upload (2 wireless rounds).
         // Each sync: edge→cloud + cloud→edge (2 WAN rounds) + broadcast
         // to devices (1 wireless round).
-        let wireless_rounds = 2 * steps + syncs;
+        let wireless_rounds = 2 * active_steps + syncs;
         let wan_rounds = 2 * syncs;
         wireless_rounds as f64 * wireless_s + wan_rounds as f64 * wan_s
     }
@@ -109,6 +118,15 @@ mod tests {
         assert!((s.wall_clock(10, 1, 1.0, 10.0) - 41.0).abs() < 1e-9);
         // No syncs: WAN free.
         assert!((s.wall_clock(10, 0, 1.0, 10.0) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_clock_charges_nothing_for_inactive_steps() {
+        let s = stats();
+        // A fully-straggled run (0 active steps, 0 syncs) moves nothing.
+        assert_eq!(s.wall_clock(0, 0, 1.0, 10.0), 0.0);
+        // With syncs, only the sync rounds are charged.
+        assert!((s.wall_clock(0, 2, 1.0, 10.0) - (2.0 + 40.0)).abs() < 1e-9);
     }
 
     #[test]

@@ -93,6 +93,17 @@ pub struct SimConfig {
     /// dropout injection). 1.0 = always available.
     #[serde(default = "default_availability")]
     pub availability: f64,
+    /// Enable the telemetry plane: per-phase step timers, latency
+    /// histograms and event counters, surfaced as
+    /// [`crate::telemetry::TelemetryReport`] on the run record. Off by
+    /// default; the disabled recorder is a no-op (see
+    /// [`crate::telemetry`] for the overhead contract).
+    #[serde(default)]
+    pub telemetry: bool,
+    /// Optional path for a per-step JSONL event log (one line per step,
+    /// phase timings + counters). Setting a path implies `telemetry`.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry_jsonl: Option<String>,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
 }
@@ -131,6 +142,8 @@ impl SimConfig {
             eval_edges: false,
             eval_per_class: false,
             availability: 1.0,
+            telemetry: false,
+            telemetry_jsonl: None,
             seed: 2023,
         }
     }
@@ -157,8 +170,16 @@ impl SimConfig {
             eval_edges: false,
             eval_per_class: false,
             availability: 1.0,
+            telemetry: false,
+            telemetry_jsonl: None,
             seed: 7,
         }
+    }
+
+    /// Whether the telemetry recorder should collect for this config
+    /// (explicitly enabled, or implied by a JSONL sink path).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.telemetry || self.telemetry_jsonl.is_some()
     }
 
     /// Validates internal consistency; call before running.
@@ -201,6 +222,9 @@ impl SimConfig {
                 "availability = {} outside [0, 1]",
                 self.availability
             ));
+        }
+        if self.telemetry_jsonl.as_deref() == Some("") {
+            return Err("telemetry_jsonl path must be non-empty".into());
         }
         match self.mobility {
             MobilitySource::MarkovHop { p } | MobilitySource::HomedMarkovHop { p, .. }
@@ -266,6 +290,23 @@ mod tests {
         let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
         c.num_devices = 1;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn telemetry_flags_default_off_and_jsonl_implies_enabled() {
+        let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        assert!(!c.telemetry_enabled());
+        c.telemetry_jsonl = Some("events.jsonl".into());
+        assert!(c.telemetry_enabled());
+        assert!(c.validate().is_ok());
+        c.telemetry_jsonl = Some(String::new());
+        assert!(c.validate().is_err());
+        // Old configs without the fields still deserialise (defaults).
+        let json = serde_json::to_string(&SimConfig::tiny(Task::Mnist, Algorithm::middle()))
+            .unwrap()
+            .replace("\"telemetry\":false,", "");
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert!(!back.telemetry_enabled());
     }
 
     #[test]

@@ -31,6 +31,8 @@
 //!   Rayon-parallel across devices;
 //! * [`config`], [`metrics`] — experiment configs and run records
 //!   (time-to-accuracy, speedups);
+//! * [`telemetry`] — per-phase step timers, latency histograms and event
+//!   counters (no-op unless enabled in the config);
 //! * [`theory`], [`quadratic_sim`] — the Theorem 1 bound, Remark 1, and
 //!   numerical validation on strongly-convex quadratics.
 
@@ -44,6 +46,7 @@ pub mod quadratic_sim;
 pub mod selection;
 pub mod sim;
 pub mod similarity;
+pub mod telemetry;
 pub mod theory;
 
 pub use algorithms::{Algorithm, OnDevicePolicy, SelectionPolicy};
@@ -54,4 +57,5 @@ pub use metrics::{speedup, EvalPoint, RunRecord};
 pub use selection::{select_devices, SelectionScratch};
 pub use sim::{EdgeState, Simulation};
 pub use similarity::{model_similarity_utility, similarity_utility};
+pub use telemetry::{Phase, StepCounters, Telemetry, TelemetryReport};
 pub use theory::{BoundParams, QuadraticProblem};

@@ -3,6 +3,7 @@
 //! the paper's 1.51×–6.85× claim.
 
 use crate::comm::CommStats;
+use crate::telemetry::TelemetryReport;
 use serde::{Deserialize, Serialize};
 
 /// One evaluation point of a simulation run.
@@ -45,6 +46,15 @@ pub struct RunRecord {
     /// Cloud synchronisations performed.
     #[serde(default)]
     pub syncs: u64,
+    /// Steps in which at least one device participated (the wireless
+    /// round count of [`CommStats::wall_clock`]); availability
+    /// filtering can leave steps fully inactive.
+    #[serde(default)]
+    pub active_steps: u64,
+    /// Telemetry summary, when the run was instrumented
+    /// (`SimConfig::telemetry` / `telemetry_jsonl`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunRecord {
@@ -63,13 +73,26 @@ impl RunRecord {
 
     /// Mean of the last `n` evaluation accuracies — the "final accuracy"
     /// bars of Figure 7 (smoothed, per §6.1.3's smoothing note).
+    ///
+    /// # Panics
+    /// Panics when `n == 0`, mirroring [`RunRecord::smoothed`] — a zero
+    /// window is a caller bug, not "the last 1 point".
     pub fn tail_accuracy(&self, n: usize) -> f32 {
+        assert!(n > 0, "tail window must be positive");
         if self.points.is_empty() {
             return 0.0;
         }
-        let k = n.clamp(1, self.points.len());
+        let k = n.min(self.points.len());
         let tail = &self.points[self.points.len() - k..];
         tail.iter().map(|p| p.global_accuracy).sum::<f32>() / k as f32
+    }
+
+    /// Simulated communication wall-clock of this run under the
+    /// two-tier link model of [`CommStats::wall_clock`], charging
+    /// wireless rounds only for the steps that actually moved models.
+    pub fn comm_wall_clock(&self, wireless_s: f64, wan_s: f64) -> f64 {
+        self.comm
+            .wall_clock(self.active_steps, self.syncs, wireless_s, wan_s)
     }
 
     /// First time step whose *smoothed* accuracy reaches `target`
@@ -159,6 +182,8 @@ mod tests {
             wall_seconds: 1.0,
             comm: CommStats::default(),
             syncs: 0,
+            active_steps: 0,
+            telemetry: None,
         }
     }
 
@@ -169,6 +194,21 @@ mod tests {
         assert_eq!(r.best_accuracy(), 0.9);
         assert!((r.tail_accuracy(2) - 0.8).abs() < 1e-6);
         assert!((r.tail_accuracy(100) - 0.55).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail window must be positive")]
+    fn tail_accuracy_rejects_zero_window() {
+        record(&[0.5, 0.6]).tail_accuracy(0);
+    }
+
+    #[test]
+    fn comm_wall_clock_uses_active_steps() {
+        let mut r = record(&[0.5]);
+        r.syncs = 1;
+        r.active_steps = 4;
+        // 2·4 + 1 wireless rounds, 2 WAN rounds.
+        assert!((r.comm_wall_clock(1.0, 10.0) - 29.0).abs() < 1e-9);
     }
 
     #[test]

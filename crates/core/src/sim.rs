@@ -22,6 +22,8 @@ use crate::config::{MobilitySource, SimConfig};
 use crate::device::Device;
 use crate::metrics::{EvalPoint, RunRecord};
 use crate::selection::{select_devices_into, select_devices_reference, SelectionScratch};
+use crate::telemetry::{Phase, Telemetry};
+use crate::OnDevicePolicy;
 use middle_data::partition::{partition, Partition};
 use middle_data::synthetic::SyntheticSource;
 use middle_data::{Confusion, Dataset};
@@ -48,7 +50,12 @@ pub struct EdgeState {
     /// The edge model `w_n^t`.
     pub model: Sequential,
     /// Participating samples since the last cloud sync (`d̂_n`, Eq. 7).
-    pub window_samples: f32,
+    ///
+    /// `f64`, not `f32`: this accumulates integer sample counts over a
+    /// whole sync window, and an `f32` accumulator silently stops
+    /// counting past 2^24 participating samples. The value is cast to
+    /// `f32` only after normalisation, inside the cloud aggregation.
+    pub window_samples: f64,
     flat: FlatView,
 }
 
@@ -99,6 +106,8 @@ pub struct Simulation {
     availability_rng: StdRng,
     comm: CommStats,
     syncs: u64,
+    active_steps: u64,
+    telemetry: Telemetry,
     // Hot-path state: the cloud's cached flat view (refreshed only when
     // the cloud model actually changes) and per-step scratch buffers that
     // persist across steps so the steady-state loop never allocates.
@@ -160,6 +169,7 @@ impl Simulation {
         let cloud_flat = FlatView::of(&init);
         let selected_per_edge = (0..config.num_edges).map(|_| Vec::new()).collect();
         let participating = vec![false; config.num_devices];
+        let telemetry = Telemetry::from_config(&config);
         Simulation {
             cloud: init,
             devices,
@@ -171,6 +181,8 @@ impl Simulation {
             availability_rng: rng(derive_seed(seed, 8)),
             comm: CommStats::default(),
             syncs: 0,
+            active_steps: 0,
+            telemetry,
             cloud_flat,
             selection_scratch: SelectionScratch::new(),
             candidates: Vec::new(),
@@ -244,12 +256,25 @@ impl Simulation {
         self.syncs
     }
 
+    /// Steps so far in which at least one device participated.
+    /// Availability filtering can leave whole steps inactive; inactive
+    /// steps move no models and cost no communication rounds.
+    pub fn active_steps(&self) -> u64 {
+        self.active_steps
+    }
+
+    /// The run's telemetry recorder (disabled unless the config enables
+    /// it).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
     /// The *virtual* global model `w̄^t` (Eq. 13): the `d̂`-weighted
     /// average of the current edge models. Equals the cloud model right
     /// after a synchronisation.
     pub fn virtual_global(&self) -> Sequential {
         let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
-        let weights: Vec<f32> = self.edges.iter().map(|e| e.window_samples).collect();
+        let weights: Vec<f64> = self.edges.iter().map(|e| e.window_samples).collect();
         cloud_aggregate(&models, &weights)
     }
 
@@ -266,21 +291,27 @@ impl Simulation {
     /// the two together.
     pub fn step(&mut self, t: usize) {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
+        let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
+        let mut probe = self.telemetry.begin_step();
 
         // Phase 1 — in-edge device selection, then write each selected
         // device's initial model (moved devices aggregate on device,
         // stationary ones download the edge model into place).
         self.participating.fill(false);
         for n in 0..self.edges.len() {
+            probe.start();
             self.trace.devices_at_into(t, n, &mut self.candidates);
+            let seen = self.candidates.len();
             // Straggler injection: each device is reachable this step
             // with the configured probability.
             if self.config.availability < 1.0 {
                 self.candidates
                     .retain(|_| self.availability_rng.gen::<f64>() < self.config.availability);
             }
+            probe.candidates(seen, seen - self.candidates.len());
             if self.candidates.is_empty() {
                 self.selected_per_edge[n].clear();
+                probe.stop(Phase::Selection);
                 continue;
             }
             select_devices_into(
@@ -294,12 +325,23 @@ impl Simulation {
                 &mut self.selection_scratch,
                 &mut self.selected_per_edge[n],
             );
+            probe.stop(Phase::Selection);
+
+            probe.start();
             let selected = &self.selected_per_edge[n];
-            self.comm.edge_to_device += selected.len() as u64;
+            probe.selected(selected.len());
+            // Every selected device uploads after training; downloads
+            // are counted below only when the edge model is actually
+            // consumed (a moved device under KeepLocal never downloads).
             self.comm.device_to_edge += selected.len() as u64;
+            let mut downloads = 0u64;
             let edge = &self.edges[n];
             for &m in selected {
                 if self.trace.moved(t, m) {
+                    probe.moved_init();
+                    if !keep_local {
+                        downloads += 1;
+                    }
                     on_device_init_into(
                         self.config.algorithm.on_device,
                         &mut self.devices[m],
@@ -308,14 +350,23 @@ impl Simulation {
                         edge.flat_norm_sq(),
                     );
                 } else {
+                    downloads += 1;
                     self.devices[m].load_flat(edge.flat(), edge.flat_norm_sq());
                 }
                 self.participating[m] = true;
             }
+            self.comm.edge_to_device += downloads;
+            probe.downloads(downloads);
+            probe.stop(Phase::DeviceInit);
+        }
+        let active = self.selected_per_edge.iter().any(|s| !s.is_empty());
+        if active {
+            self.active_steps += 1;
         }
 
         // Phase 2 — parallel local training. Each participating device
         // owns its slot; no shared mutable state.
+        probe.start();
         let (local_steps, batch_size, optimizer) = (
             self.config.local_steps,
             self.config.batch_size,
@@ -327,8 +378,10 @@ impl Simulation {
                 dev.local_train(local_steps, batch_size, &optimizer, t);
             }
         });
+        probe.stop(Phase::LocalTraining);
 
         // Phase 3 — edge aggregation (Eq. 6), in place on the edge model.
+        probe.start();
         let devices = &self.devices;
         for (edge, selected) in self.edges.iter_mut().zip(&self.selected_per_edge) {
             if selected.is_empty() {
@@ -343,14 +396,17 @@ impl Simulation {
             edge.window_samples += selected
                 .iter()
                 .map(|&m| devices[m].num_samples())
-                .sum::<usize>() as f32;
+                .sum::<usize>() as f64;
             edge.refresh_flat();
         }
+        probe.stop(Phase::EdgeAggregation);
 
         // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
         // The broadcast copies the cloud's flat parameters (and their
         // cached norm) into every edge and device — no model clones.
-        if (t + 1).is_multiple_of(self.config.cloud_interval) {
+        let synced = (t + 1).is_multiple_of(self.config.cloud_interval);
+        if synced {
+            probe.start();
             self.syncs += 1;
             self.comm.edge_to_cloud += self.edges.len() as u64;
             self.comm.cloud_to_edge += self.edges.len() as u64;
@@ -368,7 +424,9 @@ impl Simulation {
             self.devices.par_iter_mut().for_each(|d| {
                 d.load_flat(flat, norm_sq);
             });
+            probe.stop(Phase::CloudSync);
         }
+        self.telemetry.end_step(t, active, synced, probe);
     }
 
     /// Reference implementation of [`Simulation::step`]: the original
@@ -379,19 +437,25 @@ impl Simulation {
     /// and the equivalence tests can compare them step for step.
     pub fn step_reference(&mut self, t: usize) {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
+        let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
+        let mut probe = self.telemetry.begin_step();
         let cloud_flat = flatten(&self.cloud);
 
         // Phase 1 — selection + staged initial models.
         let mut inits: Vec<Option<Sequential>> = (0..self.devices.len()).map(|_| None).collect();
         let mut selected_per_edge: Vec<Vec<usize>> = Vec::with_capacity(self.edges.len());
         for (n, edge) in self.edges.iter().enumerate() {
+            probe.start();
             let mut candidates = self.trace.devices_at(t, n);
+            let seen = candidates.len();
             if self.config.availability < 1.0 {
                 candidates
                     .retain(|_| self.availability_rng.gen::<f64>() < self.config.availability);
             }
+            probe.candidates(seen, seen - candidates.len());
             if candidates.is_empty() {
                 selected_per_edge.push(Vec::new());
+                probe.stop(Phase::Selection);
                 continue;
             }
             let selected = select_devices_reference(
@@ -402,24 +466,43 @@ impl Simulation {
                 &cloud_flat,
                 &mut self.rng,
             );
-            self.comm.edge_to_device += selected.len() as u64;
+            probe.stop(Phase::Selection);
+
+            probe.start();
+            probe.selected(selected.len());
+            // Same download accounting as `step`: moved devices under
+            // KeepLocal never consume the edge model.
             self.comm.device_to_edge += selected.len() as u64;
+            let mut downloads = 0u64;
             for &m in &selected {
                 let init = if self.trace.moved(t, m) {
+                    probe.moved_init();
+                    if !keep_local {
+                        downloads += 1;
+                    }
                     on_device_init(
                         self.config.algorithm.on_device,
                         &edge.model,
                         &self.devices[m].model,
                     )
                 } else {
+                    downloads += 1;
                     edge.model.clone()
                 };
                 inits[m] = Some(init);
             }
+            self.comm.edge_to_device += downloads;
+            probe.downloads(downloads);
+            probe.stop(Phase::DeviceInit);
             selected_per_edge.push(selected);
+        }
+        let active = selected_per_edge.iter().any(|s| !s.is_empty());
+        if active {
+            self.active_steps += 1;
         }
 
         // Phase 2 — parallel local training on the staged models.
+        probe.start();
         let (local_steps, batch_size, optimizer) = (
             self.config.local_steps,
             self.config.batch_size,
@@ -435,8 +518,10 @@ impl Simulation {
                     dev.local_train(local_steps, batch_size, &optimizer, t);
                 }
             });
+        probe.stop(Phase::LocalTraining);
 
         // Phase 3 — edge aggregation (Eq. 6).
+        probe.start();
         for (n, selected) in selected_per_edge.iter().enumerate() {
             if selected.is_empty() {
                 continue;
@@ -448,18 +533,21 @@ impl Simulation {
                 .map(|&m| self.devices[m].num_samples())
                 .collect();
             self.edges[n].model = edge_aggregate(&models, &counts);
-            self.edges[n].window_samples += counts.iter().sum::<usize>() as f32;
+            self.edges[n].window_samples += counts.iter().sum::<usize>() as f64;
             self.edges[n].refresh_flat();
         }
+        probe.stop(Phase::EdgeAggregation);
 
         // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
-        if (t + 1).is_multiple_of(self.config.cloud_interval) {
+        let synced = (t + 1).is_multiple_of(self.config.cloud_interval);
+        if synced {
+            probe.start();
             self.syncs += 1;
             self.comm.edge_to_cloud += self.edges.len() as u64;
             self.comm.cloud_to_edge += self.edges.len() as u64;
             self.comm.cloud_to_device += self.devices.len() as u64;
             let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
-            let weights: Vec<f32> = self.edges.iter().map(|e| e.window_samples).collect();
+            let weights: Vec<f64> = self.edges.iter().map(|e| e.window_samples).collect();
             self.cloud = cloud_aggregate(&models, &weights);
             self.cloud_flat.refresh(&self.cloud);
             for edge in &mut self.edges {
@@ -472,7 +560,9 @@ impl Simulation {
                 d.model = cloud.clone();
                 d.refresh_flat();
             });
+            probe.stop(Phase::CloudSync);
         }
+        self.telemetry.end_step(t, active, synced, probe);
     }
 
     /// Evaluates a model on the held-out test set, returning
@@ -493,9 +583,12 @@ impl Simulation {
             self.step(t);
             let is_eval = (t + 1) % self.config.eval_interval == 0 || t + 1 == self.config.steps;
             if is_eval {
+                let es = self.telemetry.phase_timer();
                 points.push(self.eval_point(t));
+                self.telemetry.observe_since(Phase::Evaluation, es);
             }
         }
+        self.telemetry.flush();
         RunRecord {
             algorithm: self.config.algorithm.name.clone(),
             task: self.config.task.name().to_string(),
@@ -504,6 +597,8 @@ impl Simulation {
             wall_seconds: start.elapsed().as_secs_f64(),
             comm: self.comm,
             syncs: self.syncs,
+            active_steps: self.active_steps,
+            telemetry: self.telemetry.report(),
         }
     }
 

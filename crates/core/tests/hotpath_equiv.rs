@@ -151,7 +151,7 @@ fn in_place_aggregates_match_references_bitwise() {
     edge_aggregate_into(&mut dst, refs.iter().copied().zip(counts.iter().copied()));
     assert_eq!(flatten(&reference), flatten(&dst));
 
-    for windows in [[5.0f32, 0.0, 2.5, 30.0], [0.0, 0.0, 0.0, 0.0]] {
+    for windows in [[5.0f64, 0.0, 2.5, 30.0], [0.0, 0.0, 0.0, 0.0]] {
         let reference = cloud_aggregate(&refs, &windows);
         let mut dst = model_from(&[9.0; 8]);
         cloud_aggregate_into(&mut dst, refs.iter().copied().zip(windows.iter().copied()));
@@ -235,6 +235,86 @@ fn twenty_step_trace_is_bitwise_identical_to_reference() {
     }
     assert_eq!(fast.syncs(), slow.syncs());
     assert_eq!(fast.comm_stats(), slow.comm_stats());
+    assert_eq!(fast.active_steps(), slow.active_steps());
+}
+
+/// Availability filtering drains the same RNG stream on both paths, so a
+/// 50%-dropout run must stay bitwise identical step for step — and the
+/// corrected comm accounting (downloads counted only when they happen)
+/// must agree between the two implementations.
+#[test]
+fn availability_trace_is_bitwise_identical_to_reference() {
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
+    cfg.steps = 16;
+    cfg.cloud_interval = 4;
+    cfg.availability = 0.5;
+    let mut fast = Simulation::new(cfg.clone());
+    let mut slow = Simulation::new(cfg.clone());
+    for t in 0..cfg.steps {
+        fast.step(t);
+        slow.step_reference(t);
+        let (cf, cs) = (flatten(fast.cloud_model()), flatten(slow.cloud_model()));
+        assert_eq!(bits(&cf), bits(&cs), "cloud diverged at step {t}");
+        for (df, ds) in fast.devices().iter().zip(slow.devices()) {
+            assert_eq!(
+                bits(&flatten(&df.model)),
+                bits(&flatten(&ds.model)),
+                "device {} diverged at step {t}",
+                df.id
+            );
+        }
+    }
+    assert_eq!(fast.syncs(), slow.syncs());
+    assert_eq!(fast.comm_stats(), slow.comm_stats());
+    assert_eq!(fast.active_steps(), slow.active_steps());
+    // With 50% dropout some steps can end up fully inactive; either way
+    // the count must never exceed the horizon.
+    assert!(fast.active_steps() <= cfg.steps as u64);
+}
+
+/// `OnDevicePolicy::KeepLocal` — moved devices keep training their own
+/// model and never consume the edge download. The corrected accounting
+/// must charge strictly fewer downloads than uploads whenever a selected
+/// device had moved, identically on both paths.
+#[test]
+fn keep_local_trace_is_bitwise_identical_to_reference() {
+    use middle_core::OnDevicePolicy;
+    let algo = Algorithm::custom(
+        "KeepLocal",
+        SelectionPolicy::Random,
+        OnDevicePolicy::KeepLocal,
+    );
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, algo);
+    cfg.steps = 12;
+    cfg.cloud_interval = 4;
+    let mut fast = Simulation::new(cfg.clone());
+    let mut slow = Simulation::new(cfg.clone());
+    for t in 0..cfg.steps {
+        fast.step(t);
+        slow.step_reference(t);
+        let (cf, cs) = (flatten(fast.cloud_model()), flatten(slow.cloud_model()));
+        assert_eq!(bits(&cf), bits(&cs), "cloud diverged at step {t}");
+        for (df, ds) in fast.devices().iter().zip(slow.devices()) {
+            assert_eq!(
+                bits(&flatten(&df.model)),
+                bits(&flatten(&ds.model)),
+                "device {} diverged at step {t}",
+                df.id
+            );
+        }
+    }
+    let (f, s) = (fast.comm_stats(), slow.comm_stats());
+    assert_eq!(f, s);
+    assert_eq!(fast.active_steps(), slow.active_steps());
+    // Every selected device uploads; only non-moved ones download. With
+    // P = 0.5 mobility over 12 steps some selected device moved, so the
+    // download count must sit strictly below the upload count.
+    assert!(
+        f.edge_to_device < f.device_to_edge,
+        "downloads {} should be < uploads {} under KeepLocal",
+        f.edge_to_device,
+        f.device_to_edge
+    );
 }
 
 /// Same gate for the Oort-selection / edge-download configuration, which

@@ -26,4 +26,12 @@ fi
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q -p middle --test integration"
+cargo test -q -p middle --test integration
+
+if [[ "$FAST" -eq 0 ]]; then
+    echo "==> telemetry overhead gate (disabled recorder must stay a no-op)"
+    cargo run -q -p middle-bench --release --bin telemetry_overhead
+fi
+
 echo "All checks passed."
