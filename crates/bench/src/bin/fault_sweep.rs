@@ -1,0 +1,165 @@
+//! Fault-plane robustness sweep, emitting machine-readable results to
+//! `BENCH_faults.json`.
+//!
+//! Runs one MIDDLE configuration through a grid of failure scenarios —
+//! clean baseline, i.i.d. and sticky (Markov) dropout, exponential and
+//! heavy-tailed (Pareto) straggler delays against a per-step deadline,
+//! lossy uploads with bounded retry, WAN outages, and an everything-on
+//! "hostile" scenario — and records, per scenario, the final accuracy,
+//! the full communication ledger (retransmissions, lost and stale
+//! uploads, backoff) and the simulated communication wall-clock under
+//! the shared two-tier link model
+//! ([`middle_core::comm::WIRELESS_SECS_PER_TRANSFER`] /
+//! [`middle_core::comm::WAN_SECS_PER_TRANSFER`] — the same constants
+//! `examples/straggler_injection.rs` prints, so the two cannot drift).
+//!
+//! ```sh
+//! cargo run -p middle-bench --release --bin fault_sweep [out.json]
+//! ```
+
+use middle_core::comm::{WAN_SECS_PER_TRANSFER, WIRELESS_SECS_PER_TRANSFER};
+use middle_core::{Algorithm, DelayModel, DropoutModel, FaultConfig, SimConfig, Simulation};
+use middle_data::Task;
+
+fn sim_config(faults: FaultConfig) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(Task::Mnist, Algorithm::middle());
+    cfg.num_edges = 4;
+    cfg.num_devices = 24;
+    cfg.devices_per_edge = 3;
+    cfg.samples_per_device = 30;
+    cfg.steps = 30;
+    cfg.cloud_interval = 5;
+    cfg.test_samples = 200;
+    cfg.eval_interval = 5;
+    cfg.faults = faults;
+    cfg
+}
+
+fn scenarios() -> Vec<(&'static str, FaultConfig)> {
+    let off = FaultConfig::default();
+    vec![
+        ("clean", off),
+        (
+            "dropout_iid_30",
+            FaultConfig {
+                dropout: DropoutModel::Iid { p: 0.3 },
+                ..off
+            },
+        ),
+        (
+            "dropout_sticky_bursts",
+            FaultConfig {
+                dropout: DropoutModel::Markov {
+                    p_fail: 0.1,
+                    p_recover: 0.25,
+                },
+                ..off
+            },
+        ),
+        (
+            "stragglers_exponential",
+            FaultConfig {
+                straggler_delay: DelayModel::Exponential { mean_s: 0.7 },
+                deadline_s: 1.0,
+                ..off
+            },
+        ),
+        (
+            "stragglers_pareto_tail",
+            FaultConfig {
+                straggler_delay: DelayModel::Pareto {
+                    scale_s: 0.4,
+                    shape: 1.2,
+                },
+                deadline_s: 1.0,
+                ..off
+            },
+        ),
+        (
+            "lossy_uploads_retry",
+            FaultConfig {
+                upload_loss: 0.3,
+                upload_retries: 2,
+                ..off
+            },
+        ),
+        (
+            "wan_outage_30",
+            FaultConfig {
+                wan_outage: 0.3,
+                ..off
+            },
+        ),
+        (
+            "hostile_everything",
+            FaultConfig {
+                dropout: DropoutModel::Markov {
+                    p_fail: 0.1,
+                    p_recover: 0.3,
+                },
+                straggler_delay: DelayModel::Exponential { mean_s: 0.6 },
+                deadline_s: 1.0,
+                upload_loss: 0.2,
+                upload_retries: 2,
+                wan_outage: 0.2,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_faults.json".into());
+
+    println!(
+        "{:<24} {:>7} {:>8} {:>8} {:>7} {:>6} {:>6} {:>7} {:>8} {:>9}",
+        "scenario",
+        "final",
+        "uploads",
+        "retx",
+        "lost",
+        "stale",
+        "syncs",
+        "active",
+        "comm s",
+        "backoff s"
+    );
+    let mut rows = Vec::new();
+    for (name, faults) in scenarios() {
+        let record = Simulation::new(sim_config(faults)).run();
+        let comm = &record.comm;
+        let comm_s = record.comm_wall_clock(WIRELESS_SECS_PER_TRANSFER, WAN_SECS_PER_TRANSFER);
+        let backoff_s = comm.retry_backoff_seconds(WIRELESS_SECS_PER_TRANSFER);
+        println!(
+            "{:<24} {:>7.3} {:>8} {:>8} {:>7} {:>6} {:>6} {:>7} {:>8.1} {:>9.1}",
+            name,
+            record.final_accuracy(),
+            comm.device_to_edge,
+            comm.upload_retransmissions,
+            comm.lost_uploads,
+            comm.stale_uploads,
+            record.syncs,
+            record.active_steps,
+            comm_s,
+            backoff_s,
+        );
+        rows.push(format!(
+            "    {{\"scenario\": \"{name}\", \"final_accuracy\": {:.6}, \
+             \"comm\": {}, \"syncs\": {}, \"active_steps\": {}, \
+             \"comm_wall_s\": {comm_s:.3}, \"retry_backoff_s\": {backoff_s:.3}}}",
+            record.final_accuracy(),
+            serde_json::to_string(comm).expect("comm stats serialise"),
+            record.syncs,
+            record.active_steps,
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"wireless_secs_per_transfer\": {WIRELESS_SECS_PER_TRANSFER},\n  \
+         \"wan_secs_per_transfer\": {WAN_SECS_PER_TRANSFER},\n  \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_faults.json");
+    println!("\nwrote {out_path}");
+}

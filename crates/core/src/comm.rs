@@ -9,6 +9,14 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Reference seconds for one model transfer on a device↔edge wireless
+/// link, shared by the examples and the `fault_sweep` bench so the two
+/// wall-clock models cannot drift.
+pub const WIRELESS_SECS_PER_TRANSFER: f64 = 1.0;
+
+/// Reference seconds for one model transfer on the edge↔cloud WAN.
+pub const WAN_SECS_PER_TRANSFER: f64 = 10.0;
+
 /// Transmission counters for one simulation run, in *model units*
 /// (one unit = one full parameter vector). Multiply by
 /// `4 × param_count` for bytes.
@@ -24,6 +32,25 @@ pub struct CommStats {
     pub cloud_to_edge: u64,
     /// Cloud → device broadcasts (one per device per sync).
     pub cloud_to_device: u64,
+    /// Extra wireless upload attempts beyond the first, caused by
+    /// fault-plane upload loss (each retransmission moves a full model
+    /// and is included in [`Self::device_to_edge`]).
+    #[serde(default)]
+    pub upload_retransmissions: u64,
+    /// Uploads abandoned after exhausting the fault-plane retry budget
+    /// (the transmission attempts are still charged; the update never
+    /// reaches the edge).
+    #[serde(default)]
+    pub lost_uploads: u64,
+    /// Deadline-missed uploads delivered late and applied as stale
+    /// similarity-weighted merges on the next step.
+    #[serde(default)]
+    pub stale_uploads: u64,
+    /// Exponential-backoff slots waited before upload retries (retry
+    /// `k` waits `2^(k−1)` slots); convert to seconds with
+    /// [`Self::retry_backoff_seconds`].
+    #[serde(default)]
+    pub retry_backoff_slots: u64,
 }
 
 impl CommStats {
@@ -71,6 +98,14 @@ impl CommStats {
         wireless_rounds as f64 * wireless_s + wan_rounds as f64 * wan_s
     }
 
+    /// Wall-clock seconds spent in retry backoff, given the length of
+    /// one backoff slot in seconds. Backoff waits are per-device and
+    /// overlap with other devices' transfers, so this is reported
+    /// separately rather than folded into [`Self::wall_clock`].
+    pub fn retry_backoff_seconds(&self, slot_s: f64) -> f64 {
+        self.retry_backoff_slots as f64 * slot_s
+    }
+
     /// Adds another counter set into this one.
     pub fn merge(&mut self, other: &CommStats) {
         self.edge_to_device += other.edge_to_device;
@@ -78,6 +113,10 @@ impl CommStats {
         self.edge_to_cloud += other.edge_to_cloud;
         self.cloud_to_edge += other.cloud_to_edge;
         self.cloud_to_device += other.cloud_to_device;
+        self.upload_retransmissions += other.upload_retransmissions;
+        self.lost_uploads += other.lost_uploads;
+        self.stale_uploads += other.stale_uploads;
+        self.retry_backoff_slots += other.retry_backoff_slots;
     }
 }
 
@@ -92,6 +131,7 @@ mod tests {
             edge_to_cloud: 2,
             cloud_to_edge: 2,
             cloud_to_device: 8,
+            ..CommStats::default()
         }
     }
 
@@ -132,9 +172,39 @@ mod tests {
     #[test]
     fn merge_adds_componentwise() {
         let mut a = stats();
-        a.merge(&stats());
+        a.upload_retransmissions = 3;
+        a.lost_uploads = 1;
+        a.stale_uploads = 2;
+        a.retry_backoff_slots = 7;
+        a.merge(&a.clone());
         assert_eq!(a.total(), 64);
         assert_eq!(a.edge_to_cloud, 4);
+        assert_eq!(a.upload_retransmissions, 6);
+        assert_eq!(a.lost_uploads, 2);
+        assert_eq!(a.stale_uploads, 4);
+        assert_eq!(a.retry_backoff_slots, 14);
+    }
+
+    #[test]
+    fn backoff_slots_convert_to_seconds() {
+        let s = CommStats {
+            retry_backoff_slots: 7,
+            ..CommStats::default()
+        };
+        assert!((s.retry_backoff_seconds(0.5) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_fields_default_when_absent_in_json() {
+        // Records serialised before the fault plane existed still load.
+        let legacy = r#"{"edge_to_device":1,"device_to_edge":2,
+            "edge_to_cloud":3,"cloud_to_edge":4,"cloud_to_device":5}"#;
+        let s: CommStats = serde_json::from_str(legacy).unwrap();
+        assert_eq!(s.device_to_edge, 2);
+        assert_eq!(s.upload_retransmissions, 0);
+        assert_eq!(s.lost_uploads, 0);
+        assert_eq!(s.stale_uploads, 0);
+        assert_eq!(s.retry_backoff_slots, 0);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Experiment configuration.
 
 use crate::algorithms::Algorithm;
+use crate::faults::FaultConfig;
 use middle_data::{Scheme, Task};
 use middle_nn::OptimizerKind;
 use serde::{Deserialize, Serialize};
@@ -91,8 +92,18 @@ pub struct SimConfig {
     pub eval_per_class: bool,
     /// Per-step probability that a device is reachable (straggler /
     /// dropout injection). 1.0 = always available.
+    ///
+    /// This is the legacy blunt knob; the fault plane ([`Self::faults`])
+    /// supersedes it with structured failure processes. Both compose:
+    /// availability filters candidates before selection, faults act on
+    /// the selected cohort.
     #[serde(default = "default_availability")]
     pub availability: f64,
+    /// Deterministic failure models (dropout, stragglers, upload loss,
+    /// WAN outages). All off by default; a default config is bitwise
+    /// identical to a fault-free simulation (see [`crate::faults`]).
+    #[serde(default)]
+    pub faults: FaultConfig,
     /// Enable the telemetry plane: per-phase step timers, latency
     /// histograms and event counters, surfaced as
     /// [`crate::telemetry::TelemetryReport`] on the run record. Off by
@@ -142,6 +153,7 @@ impl SimConfig {
             eval_edges: false,
             eval_per_class: false,
             availability: 1.0,
+            faults: FaultConfig::default(),
             telemetry: false,
             telemetry_jsonl: None,
             seed: 2023,
@@ -170,6 +182,7 @@ impl SimConfig {
             eval_edges: false,
             eval_per_class: false,
             availability: 1.0,
+            faults: FaultConfig::default(),
             telemetry: false,
             telemetry_jsonl: None,
             seed: 7,
@@ -223,6 +236,7 @@ impl SimConfig {
                 self.availability
             ));
         }
+        self.faults.validate()?;
         if self.telemetry_jsonl.as_deref() == Some("") {
             return Err("telemetry_jsonl path must be non-empty".into());
         }

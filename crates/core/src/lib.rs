@@ -31,6 +31,8 @@
 //!   Rayon-parallel across devices;
 //! * [`config`], [`metrics`] — experiment configs and run records
 //!   (time-to-accuracy, speedups);
+//! * [`faults`] — deterministic failure models (dropout, stragglers,
+//!   upload loss, WAN outages) with retry/deadline/staleness recovery;
 //! * [`telemetry`] — per-phase step timers, latency histograms and event
 //!   counters (no-op unless enabled in the config);
 //! * [`theory`], [`quadratic_sim`] — the Theorem 1 bound, Remark 1, and
@@ -41,6 +43,7 @@ pub mod algorithms;
 pub mod comm;
 pub mod config;
 pub mod device;
+pub mod faults;
 pub mod metrics;
 pub mod quadratic_sim;
 pub mod selection;
@@ -53,6 +56,7 @@ pub use algorithms::{Algorithm, OnDevicePolicy, SelectionPolicy};
 pub use comm::CommStats;
 pub use config::{MobilitySource, SimConfig};
 pub use device::Device;
+pub use faults::{DelayModel, DropoutModel, FaultConfig, FaultPlane};
 pub use metrics::{speedup, EvalPoint, RunRecord};
 pub use selection::{select_devices, SelectionScratch};
 pub use sim::{EdgeState, Simulation};

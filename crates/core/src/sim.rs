@@ -20,9 +20,11 @@ use crate::aggregation::{
 use crate::comm::CommStats;
 use crate::config::{MobilitySource, SimConfig};
 use crate::device::Device;
+use crate::faults::FaultPlane;
 use crate::metrics::{EvalPoint, RunRecord};
 use crate::selection::{select_devices_into, select_devices_reference, SelectionScratch};
-use crate::telemetry::{Phase, Telemetry};
+use crate::similarity::{aggregation_weights, similarity_utility_cached};
+use crate::telemetry::{Phase, StepProbe, Telemetry};
 use crate::OnDevicePolicy;
 use middle_data::partition::{partition, Partition};
 use middle_data::synthetic::SyntheticSource;
@@ -108,6 +110,7 @@ pub struct Simulation {
     syncs: u64,
     active_steps: u64,
     telemetry: Telemetry,
+    faults: FaultPlane,
     // Hot-path state: the cloud's cached flat view (refreshed only when
     // the cloud model actually changes) and per-step scratch buffers that
     // persist across steps so the steady-state loop never allocates.
@@ -116,6 +119,11 @@ pub struct Simulation {
     candidates: Vec<usize>,
     selected_per_edge: Vec<Vec<usize>>,
     participating: Vec<bool>,
+    // Fault-plane scratch: per-edge delivered cohorts (selected minus
+    // lost/late uploads) and per-edge WAN link state at a sync. Unused
+    // (and untouched) while the fault plane is disabled.
+    delivered_per_edge: Vec<Vec<usize>>,
+    wan_up: Vec<bool>,
 }
 
 impl Simulation {
@@ -168,8 +176,10 @@ impl Simulation {
 
         let cloud_flat = FlatView::of(&init);
         let selected_per_edge = (0..config.num_edges).map(|_| Vec::new()).collect();
+        let delivered_per_edge = (0..config.num_edges).map(|_| Vec::new()).collect();
         let participating = vec![false; config.num_devices];
         let telemetry = Telemetry::from_config(&config);
+        let faults = FaultPlane::new(config.faults, config.num_devices, seed);
         Simulation {
             cloud: init,
             devices,
@@ -183,11 +193,14 @@ impl Simulation {
             syncs: 0,
             active_steps: 0,
             telemetry,
+            faults,
             cloud_flat,
             selection_scratch: SelectionScratch::new(),
             candidates: Vec::new(),
             selected_per_edge,
             participating,
+            delivered_per_edge,
+            wan_up: Vec::new(),
             config,
         }
     }
@@ -269,6 +282,12 @@ impl Simulation {
         &self.telemetry
     }
 
+    /// The run's fault plane (disabled unless the config enables a
+    /// failure model; see [`crate::faults`]).
+    pub fn fault_plane(&self) -> &FaultPlane {
+        &self.faults
+    }
+
     /// The *virtual* global model `w̄^t` (Eq. 13): the `d̂`-weighted
     /// average of the current edge models. Equals the cloud model right
     /// after a synchronisation.
@@ -276,6 +295,138 @@ impl Simulation {
         let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
         let weights: Vec<f64> = self.edges.iter().map(|e| e.window_samples).collect();
         cloud_aggregate(&models, &weights)
+    }
+
+    /// Fault-plane work at step begin, shared by [`Simulation::step`]
+    /// and [`Simulation::step_reference`] so both consume the fault RNG
+    /// stream identically: apply the stale merges queued by last step's
+    /// deadline misses (the late upload finally lands and is blended
+    /// into its edge with Eq. 9's similarity weighting — a stale update
+    /// that still agrees with the edge keeps weight, a diverged one is
+    /// discounted), then advance every device's dropout chain. No-op
+    /// (no draw, no timer) while the plane is disabled.
+    fn fault_step_begin(&mut self, probe: &mut StepProbe) {
+        if !self.faults.enabled() {
+            return;
+        }
+        probe.start();
+        for p in self.faults.take_pending() {
+            let edge = &mut self.edges[p.edge];
+            let u = similarity_utility_cached(&p.flat, p.norm_sq, edge.flat(), edge.flat_norm_sq());
+            let (edge_w, stale_w) = aggregation_weights(u);
+            let mut blend = p.flat;
+            for (v, &e) in blend.iter_mut().zip(edge.flat()) {
+                *v = edge_w * e + stale_w * *v;
+            }
+            middle_nn::params::unflatten(&mut edge.model, &blend);
+            edge.refresh_flat();
+            // The late upload is charged when it arrives, not when it
+            // was scheduled.
+            self.comm.device_to_edge += 1;
+            self.comm.stale_uploads += 1;
+            probe.uploads(1);
+            probe.stale_merge();
+        }
+        self.faults.advance_dropout();
+        probe.stop(Phase::FaultRecovery);
+    }
+
+    /// Runs every selected device's upload through the fault plane
+    /// (shared by both step implementations; the per-device draw order
+    /// — deadline first, then loss/retry attempts — is fixed). Fills
+    /// `delivered_per_edge` with the cohorts that actually reached
+    /// their edge: deadline-missed uploads are snapshotted for a stale
+    /// merge next step, lost uploads are retried with exponential
+    /// backoff and abandoned after the retry budget, and every
+    /// transmission attempt is charged to [`CommStats`].
+    fn fault_upload_pass(&mut self, selected_per_edge: &[Vec<usize>], probe: &mut StepProbe) {
+        probe.start();
+        for (n, selected) in selected_per_edge.iter().enumerate() {
+            self.delivered_per_edge[n].clear();
+            for &m in selected {
+                if self.faults.misses_deadline() {
+                    probe.deadline_miss();
+                    let dev = &self.devices[m];
+                    self.faults
+                        .push_stale(n, m, dev.flat().to_vec(), dev.flat_norm_sq());
+                    continue;
+                }
+                let o = self.faults.upload_attempts();
+                self.comm.device_to_edge += u64::from(o.attempts);
+                self.comm.upload_retransmissions += u64::from(o.attempts - 1);
+                self.comm.retry_backoff_slots += o.backoff_slots;
+                probe.uploads(u64::from(o.attempts));
+                probe.upload_retries(u64::from(o.attempts - 1), !o.delivered);
+                if o.delivered {
+                    self.delivered_per_edge[n].push(m);
+                } else {
+                    self.comm.lost_uploads += 1;
+                }
+            }
+            // Graceful degradation: an edge whose whole cohort failed
+            // to deliver skips aggregation and carries w_n forward.
+            if !selected.is_empty() && self.delivered_per_edge[n].is_empty() {
+                probe.empty_cohort();
+            }
+        }
+        probe.stop(Phase::FaultRecovery);
+    }
+
+    /// Cloud synchronisation under WAN outages, shared by both step
+    /// implementations (equivalence under faults holds by
+    /// construction). Each edge's WAN link is drawn independently; down
+    /// edges neither upload nor receive the broadcast (their sample
+    /// window keeps accumulating and folds into the next successful
+    /// sync), and devices currently parked under a down edge miss the
+    /// device-level broadcast. When every edge is down the sync is
+    /// skipped entirely. Returns whether a sync was performed.
+    fn fault_cloud_sync(&mut self, t: usize, probe: &mut StepProbe) -> bool {
+        probe.start();
+        self.wan_up.clear();
+        for _ in 0..self.edges.len() {
+            let up = self.faults.wan_is_up();
+            self.wan_up.push(up);
+            if !up {
+                probe.wan_outage();
+            }
+        }
+        let up_edges = self.wan_up.iter().filter(|&&u| u).count() as u64;
+        if up_edges == 0 {
+            probe.stop(Phase::CloudSync);
+            return false;
+        }
+        self.syncs += 1;
+        self.comm.edge_to_cloud += up_edges;
+        self.comm.cloud_to_edge += up_edges;
+        let wan_up = &self.wan_up;
+        cloud_aggregate_into(
+            &mut self.cloud,
+            self.edges
+                .iter()
+                .zip(wan_up)
+                .filter(|&(_, &up)| up)
+                .map(|(e, _)| (&e.model, e.window_samples)),
+        );
+        self.cloud_flat.refresh(&self.cloud);
+        let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
+        for (edge, &up) in self.edges.iter_mut().zip(wan_up) {
+            if up {
+                edge.load_flat(flat, norm_sq);
+                edge.window_samples = 0.0;
+            }
+        }
+        let trace = &self.trace;
+        let reached = (0..self.devices.len())
+            .filter(|&m| wan_up[trace.edge_of(t, m)])
+            .count() as u64;
+        self.comm.cloud_to_device += reached;
+        self.devices.par_iter_mut().for_each(|d| {
+            if wan_up[trace.edge_of(t, d.id)] {
+                d.load_flat(flat, norm_sq);
+            }
+        });
+        probe.stop(Phase::CloudSync);
+        true
     }
 
     /// Executes one time step `t` of Algorithm 1 (0-based; syncs with the
@@ -293,6 +444,7 @@ impl Simulation {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
         let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
         let mut probe = self.telemetry.begin_step();
+        self.fault_step_begin(&mut probe);
 
         // Phase 1 — in-edge device selection, then write each selected
         // device's initial model (moved devices aggregate on device,
@@ -309,6 +461,12 @@ impl Simulation {
                     .retain(|_| self.availability_rng.gen::<f64>() < self.config.availability);
             }
             probe.candidates(seen, seen - self.candidates.len());
+            if self.faults.dropout_active() {
+                let before = self.candidates.len();
+                let faults = &self.faults;
+                self.candidates.retain(|&m| !faults.is_down(m));
+                probe.dropout_drops(before - self.candidates.len());
+            }
             if self.candidates.is_empty() {
                 self.selected_per_edge[n].clear();
                 probe.stop(Phase::Selection);
@@ -333,7 +491,13 @@ impl Simulation {
             // Every selected device uploads after training; downloads
             // are counted below only when the edge model is actually
             // consumed (a moved device under KeepLocal never downloads).
-            self.comm.device_to_edge += selected.len() as u64;
+            // With the fault plane on, uploads are charged in the
+            // post-training upload pass instead (retries, losses and
+            // deadline misses change the count).
+            if !self.faults.enabled() {
+                self.comm.device_to_edge += selected.len() as u64;
+                probe.uploads(selected.len() as u64);
+            }
             let mut downloads = 0u64;
             let edge = &self.edges[n];
             for &m in selected {
@@ -380,20 +544,33 @@ impl Simulation {
         });
         probe.stop(Phase::LocalTraining);
 
+        // Fault plane: run every upload through the deadline and
+        // loss/retry processes, producing the delivered cohorts.
+        if self.faults.enabled() {
+            let selected = std::mem::take(&mut self.selected_per_edge);
+            self.fault_upload_pass(&selected, &mut probe);
+            self.selected_per_edge = selected;
+        }
+
         // Phase 3 — edge aggregation (Eq. 6), in place on the edge model.
         probe.start();
         let devices = &self.devices;
-        for (edge, selected) in self.edges.iter_mut().zip(&self.selected_per_edge) {
-            if selected.is_empty() {
+        let cohorts: &[Vec<usize>] = if self.faults.enabled() {
+            &self.delivered_per_edge
+        } else {
+            &self.selected_per_edge
+        };
+        for (edge, cohort) in self.edges.iter_mut().zip(cohorts) {
+            if cohort.is_empty() {
                 continue;
             }
             edge_aggregate_into(
                 &mut edge.model,
-                selected
+                cohort
                     .iter()
                     .map(|&m| (&devices[m].model, devices[m].num_samples())),
             );
-            edge.window_samples += selected
+            edge.window_samples += cohort
                 .iter()
                 .map(|&m| devices[m].num_samples())
                 .sum::<usize>() as f64;
@@ -404,8 +581,10 @@ impl Simulation {
         // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
         // The broadcast copies the cloud's flat parameters (and their
         // cached norm) into every edge and device — no model clones.
-        let synced = (t + 1).is_multiple_of(self.config.cloud_interval);
-        if synced {
+        let scheduled = (t + 1).is_multiple_of(self.config.cloud_interval);
+        let synced = if scheduled && self.faults.wan_active() {
+            self.fault_cloud_sync(t, &mut probe)
+        } else if scheduled {
             probe.start();
             self.syncs += 1;
             self.comm.edge_to_cloud += self.edges.len() as u64;
@@ -425,7 +604,10 @@ impl Simulation {
                 d.load_flat(flat, norm_sq);
             });
             probe.stop(Phase::CloudSync);
-        }
+            true
+        } else {
+            false
+        };
         self.telemetry.end_step(t, active, synced, probe);
     }
 
@@ -439,6 +621,7 @@ impl Simulation {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
         let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
         let mut probe = self.telemetry.begin_step();
+        self.fault_step_begin(&mut probe);
         let cloud_flat = flatten(&self.cloud);
 
         // Phase 1 — selection + staged initial models.
@@ -453,6 +636,11 @@ impl Simulation {
                     .retain(|_| self.availability_rng.gen::<f64>() < self.config.availability);
             }
             probe.candidates(seen, seen - candidates.len());
+            if self.faults.dropout_active() {
+                let before = candidates.len();
+                candidates.retain(|&m| !self.faults.is_down(m));
+                probe.dropout_drops(before - candidates.len());
+            }
             if candidates.is_empty() {
                 selected_per_edge.push(Vec::new());
                 probe.stop(Phase::Selection);
@@ -471,8 +659,12 @@ impl Simulation {
             probe.start();
             probe.selected(selected.len());
             // Same download accounting as `step`: moved devices under
-            // KeepLocal never consume the edge model.
-            self.comm.device_to_edge += selected.len() as u64;
+            // KeepLocal never consume the edge model. With the fault
+            // plane on, uploads are charged in the upload pass instead.
+            if !self.faults.enabled() {
+                self.comm.device_to_edge += selected.len() as u64;
+                probe.uploads(selected.len() as u64);
+            }
             let mut downloads = 0u64;
             for &m in &selected {
                 let init = if self.trace.moved(t, m) {
@@ -520,15 +712,26 @@ impl Simulation {
             });
         probe.stop(Phase::LocalTraining);
 
+        // Fault plane: identical upload pass (shared helper, same RNG
+        // draw order) as `step`.
+        if self.faults.enabled() {
+            self.fault_upload_pass(&selected_per_edge, &mut probe);
+        }
+
         // Phase 3 — edge aggregation (Eq. 6).
         probe.start();
+        let faults_enabled = self.faults.enabled();
         for (n, selected) in selected_per_edge.iter().enumerate() {
-            if selected.is_empty() {
+            let cohort = if faults_enabled {
+                &self.delivered_per_edge[n]
+            } else {
+                selected
+            };
+            if cohort.is_empty() {
                 continue;
             }
-            let models: Vec<&Sequential> =
-                selected.iter().map(|&m| &self.devices[m].model).collect();
-            let counts: Vec<usize> = selected
+            let models: Vec<&Sequential> = cohort.iter().map(|&m| &self.devices[m].model).collect();
+            let counts: Vec<usize> = cohort
                 .iter()
                 .map(|&m| self.devices[m].num_samples())
                 .collect();
@@ -539,8 +742,12 @@ impl Simulation {
         probe.stop(Phase::EdgeAggregation);
 
         // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
-        let synced = (t + 1).is_multiple_of(self.config.cloud_interval);
-        if synced {
+        // Under WAN faults both step implementations share
+        // `fault_cloud_sync`, so equivalence holds by construction.
+        let scheduled = (t + 1).is_multiple_of(self.config.cloud_interval);
+        let synced = if scheduled && self.faults.wan_active() {
+            self.fault_cloud_sync(t, &mut probe)
+        } else if scheduled {
             probe.start();
             self.syncs += 1;
             self.comm.edge_to_cloud += self.edges.len() as u64;
@@ -561,7 +768,10 @@ impl Simulation {
                 d.refresh_flat();
             });
             probe.stop(Phase::CloudSync);
-        }
+            true
+        } else {
+            false
+        };
         self.telemetry.end_step(t, active, synced, probe);
     }
 

@@ -1,7 +1,7 @@
 //! The similarity utility metric (paper Eq. 8).
 //!
 //! `U(a, b) = max(cos(a, b), 0)` over flattened parameter vectors. The
-//! clipping at zero "avoid[s] blind aggregation introducing noise": a
+//! clipping at zero "avoid\[s\] blind aggregation introducing noise": a
 //! model pointing away from the reference contributes nothing rather
 //! than a negative weight.
 

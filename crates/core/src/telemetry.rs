@@ -37,6 +37,11 @@ use std::time::Instant;
 /// harness's evaluation pass).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Phase {
+    /// Fault-plane recovery work at step begin: advancing dropout
+    /// chains and applying stale similarity-weighted merges for
+    /// deadline-missed uploads from the previous step (see
+    /// [`crate::faults`]).
+    FaultRecovery,
     /// In-edge candidate collection, availability filtering and device
     /// selection (§4.3).
     Selection,
@@ -55,10 +60,11 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every phase, in loop order.
     pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::FaultRecovery,
         Phase::Selection,
         Phase::DeviceInit,
         Phase::LocalTraining,
@@ -70,6 +76,7 @@ impl Phase {
     /// Stable snake_case name (JSONL keys, report rows).
     pub fn name(self) -> &'static str {
         match self {
+            Phase::FaultRecovery => "fault_recovery",
             Phase::Selection => "selection",
             Phase::DeviceInit => "device_init",
             Phase::LocalTraining => "local_training",
@@ -213,10 +220,37 @@ pub struct StepCounters {
     /// Edge → device model downloads actually performed (a moved device
     /// under `OnDevicePolicy::KeepLocal` never downloads).
     pub downloads: u64,
-    /// Device → edge model uploads (every selected device uploads).
+    /// Device → edge model uploads, counting every wireless
+    /// transmission attempt (retransmissions included, matching
+    /// [`crate::CommStats::device_to_edge`]).
     pub uploads: u64,
     /// Cloud synchronisations.
     pub syncs: u64,
+    /// Candidates dropped by the fault-plane dropout process
+    /// (on top of `availability_drops`).
+    #[serde(default)]
+    pub dropout_drops: u64,
+    /// Selected devices excluded from edge aggregation by the straggler
+    /// deadline; their update lands as a stale merge next step.
+    #[serde(default)]
+    pub deadline_misses: u64,
+    /// Stale similarity-weighted merges applied (one per deadline miss,
+    /// one step later).
+    #[serde(default)]
+    pub stale_merges: u64,
+    /// Wireless upload retransmissions caused by fault-plane loss.
+    #[serde(default)]
+    pub upload_retransmissions: u64,
+    /// Uploads abandoned after exhausting the retry budget.
+    #[serde(default)]
+    pub lost_uploads: u64,
+    /// Edges that selected a cohort but received none of its uploads
+    /// (edge aggregation skipped, edge model carried forward).
+    #[serde(default)]
+    pub empty_cohorts: u64,
+    /// Edge syncs skipped because the edge's WAN link was down.
+    #[serde(default)]
+    pub wan_outages: u64,
 }
 
 impl StepCounters {
@@ -230,6 +264,13 @@ impl StepCounters {
         self.downloads += other.downloads;
         self.uploads += other.uploads;
         self.syncs += other.syncs;
+        self.dropout_drops += other.dropout_drops;
+        self.deadline_misses += other.deadline_misses;
+        self.stale_merges += other.stale_merges;
+        self.upload_retransmissions += other.upload_retransmissions;
+        self.lost_uploads += other.lost_uploads;
+        self.empty_cohorts += other.empty_cohorts;
+        self.wan_outages += other.wan_outages;
     }
 }
 
@@ -285,12 +326,22 @@ impl StepProbe {
         }
     }
 
-    /// Records one edge's selection outcome and upload count.
+    /// Records one edge's selection outcome. Uploads are counted
+    /// separately ([`StepProbe::uploads`]) because the fault plane can
+    /// retransmit, delay or lose them.
     #[inline]
     pub fn selected(&mut self, n: usize) {
         if self.enabled {
             self.counters.selected += n as u64;
-            self.counters.uploads += n as u64;
+        }
+    }
+
+    /// Records device → edge wireless upload transmissions (every
+    /// attempt, mirroring [`crate::CommStats::device_to_edge`]).
+    #[inline]
+    pub fn uploads(&mut self, n: u64) {
+        if self.enabled {
+            self.counters.uploads += n;
         }
     }
 
@@ -307,6 +358,56 @@ impl StepProbe {
     pub fn downloads(&mut self, n: u64) {
         if self.enabled {
             self.counters.downloads += n;
+        }
+    }
+
+    /// Records candidates removed by the fault-plane dropout process.
+    #[inline]
+    pub fn dropout_drops(&mut self, n: usize) {
+        if self.enabled {
+            self.counters.dropout_drops += n as u64;
+        }
+    }
+
+    /// Records one straggler deadline miss.
+    #[inline]
+    pub fn deadline_miss(&mut self) {
+        if self.enabled {
+            self.counters.deadline_misses += 1;
+        }
+    }
+
+    /// Records one stale merge applied this step.
+    #[inline]
+    pub fn stale_merge(&mut self) {
+        if self.enabled {
+            self.counters.stale_merges += 1;
+        }
+    }
+
+    /// Records the retry outcome of one upload: `retries`
+    /// retransmissions, plus whether the upload was ultimately lost.
+    #[inline]
+    pub fn upload_retries(&mut self, retries: u64, lost: bool) {
+        if self.enabled {
+            self.counters.upload_retransmissions += retries;
+            self.counters.lost_uploads += u64::from(lost);
+        }
+    }
+
+    /// Records one edge whose whole selected cohort failed to deliver.
+    #[inline]
+    pub fn empty_cohort(&mut self) {
+        if self.enabled {
+            self.counters.empty_cohorts += 1;
+        }
+    }
+
+    /// Records one edge sync skipped by a WAN outage.
+    #[inline]
+    pub fn wan_outage(&mut self) {
+        if self.enabled {
+            self.counters.wan_outages += 1;
         }
     }
 }
@@ -391,6 +492,26 @@ impl TelemetryReport {
             c.uploads,
             c.syncs,
         ));
+        let faults = c.dropout_drops
+            + c.deadline_misses
+            + c.stale_merges
+            + c.upload_retransmissions
+            + c.lost_uploads
+            + c.empty_cohorts
+            + c.wan_outages;
+        if faults > 0 {
+            out.push_str(&format!(
+                "\nfaults: dropout drops {}, deadline misses {}, stale merges {}, \
+                 retransmissions {}, lost uploads {}, empty cohorts {}, wan outages {}",
+                c.dropout_drops,
+                c.deadline_misses,
+                c.stale_merges,
+                c.upload_retransmissions,
+                c.lost_uploads,
+                c.empty_cohorts,
+                c.wan_outages,
+            ));
+        }
         out
     }
 }
@@ -481,20 +602,30 @@ impl Telemetry {
                 w,
                 "{{\"step\":{t},\"active\":{active},\"sync\":{synced},\"step_ns\":{step_ns},\
                  \"selection_ns\":{},\"device_init_ns\":{},\"local_training_ns\":{},\
-                 \"edge_aggregation_ns\":{},\"cloud_sync_ns\":{},\"candidates\":{},\
-                 \"dropped\":{},\"selected\":{},\"moved_inits\":{},\"downloads\":{},\
-                 \"uploads\":{}}}",
+                 \"edge_aggregation_ns\":{},\"cloud_sync_ns\":{},\"fault_recovery_ns\":{},\
+                 \"candidates\":{},\"dropped\":{},\"selected\":{},\"moved_inits\":{},\
+                 \"downloads\":{},\"uploads\":{},\"dropout_drops\":{},\"deadline_misses\":{},\
+                 \"stale_merges\":{},\"retransmissions\":{},\"lost_uploads\":{},\
+                 \"empty_cohorts\":{},\"wan_outages\":{}}}",
                 p[Phase::Selection.index()],
                 p[Phase::DeviceInit.index()],
                 p[Phase::LocalTraining.index()],
                 p[Phase::EdgeAggregation.index()],
                 p[Phase::CloudSync.index()],
+                p[Phase::FaultRecovery.index()],
                 c.candidates_seen,
                 c.availability_drops,
                 c.selected,
                 c.moved_inits,
                 c.downloads,
                 c.uploads,
+                c.dropout_drops,
+                c.deadline_misses,
+                c.stale_merges,
+                c.upload_retransmissions,
+                c.lost_uploads,
+                c.empty_cohorts,
+                c.wan_outages,
             );
             if let Err(e) = line {
                 eprintln!("[telemetry] JSONL sink write failed, disabling: {e}");
@@ -633,6 +764,7 @@ mod tests {
             probe.stop(Phase::Selection);
             probe.candidates(10, 2);
             probe.selected(4);
+            probe.uploads(4);
             probe.moved_init();
             probe.downloads(3);
             tel.end_step(t, t != 1, t == 2, probe);
@@ -652,6 +784,47 @@ mod tests {
         // The selection segments ran; training never did.
         assert_eq!(report.phase(Phase::Selection).unwrap().count, 3);
         assert_eq!(report.phase(Phase::LocalTraining).unwrap().count, 0);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_render() {
+        let mut tel = Telemetry::new(true, None);
+        let mut probe = tel.begin_step();
+        probe.start();
+        probe.stop(Phase::FaultRecovery);
+        probe.dropout_drops(3);
+        probe.deadline_miss();
+        probe.stale_merge();
+        probe.upload_retries(2, true);
+        probe.empty_cohort();
+        probe.wan_outage();
+        tel.end_step(0, true, false, probe);
+        let report = tel.report().unwrap();
+        let c = &report.counters;
+        assert_eq!(c.dropout_drops, 3);
+        assert_eq!(c.deadline_misses, 1);
+        assert_eq!(c.stale_merges, 1);
+        assert_eq!(c.upload_retransmissions, 2);
+        assert_eq!(c.lost_uploads, 1);
+        assert_eq!(c.empty_cohorts, 1);
+        assert_eq!(c.wan_outages, 1);
+        assert_eq!(report.phase(Phase::FaultRecovery).unwrap().count, 1);
+        let table = report.summary_table();
+        assert!(table.contains("stale merges 1"), "{table}");
+        // A fault-free report keeps the legacy single-line footer.
+        let clean = Telemetry::new(true, None).report().unwrap().summary_table();
+        assert!(!clean.contains("stale merges"), "{clean}");
+    }
+
+    #[test]
+    fn legacy_counters_json_still_deserialises() {
+        let legacy = r#"{"steps":3,"active_steps":2,"candidates_seen":30,
+            "availability_drops":6,"selected":12,"moved_inits":3,
+            "downloads":9,"uploads":12,"syncs":1}"#;
+        let c: StepCounters = serde_json::from_str(legacy).unwrap();
+        assert_eq!(c.uploads, 12);
+        assert_eq!(c.dropout_drops, 0);
+        assert_eq!(c.wan_outages, 0);
     }
 
     #[test]

@@ -340,6 +340,85 @@ fn oort_trace_is_bitwise_identical_to_reference() {
     }
 }
 
+/// The fault-plane no-op gate: with `FaultConfig::default()` (every
+/// failure model off) a 20-step MIDDLE run must stay bitwise identical
+/// to the pre-fault-plane implementation. The fingerprints below were
+/// captured on commit a927eae (the last commit before the fault plane
+/// landed) with exactly this FNV-1a-over-parameter-bits scheme; the
+/// fault plane draws from its own RNG stream (`derive_seed(seed, 9)`)
+/// and a disabled plane draws nothing, so these must never move unless
+/// the simulation semantics deliberately change.
+///
+/// The floats hashed here come from deterministic seeded arithmetic on
+/// x86_64 linux (container and CI alike); a different libm/platform
+/// could legitimately shift `acc/loss` bits, in which case re-pin from
+/// the pre-fault-plane commit on that platform.
+#[test]
+fn default_fault_config_is_bitwise_identical_to_pre_fault_plane_main() {
+    fn fnv(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn fnv_params(flat: &[f32]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for v in flat {
+            fnv(&mut h, &v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
+    cfg.steps = 20;
+    cfg.cloud_interval = 4;
+    cfg.eval_interval = 2;
+    assert_eq!(cfg.faults, middle_core::FaultConfig::default());
+    let mut sim = Simulation::new(cfg);
+    for t in 0..20 {
+        sim.step(t);
+    }
+
+    assert_eq!(fnv_params(&flatten(sim.cloud_model())), 0x75a18b3f9d2c2c47);
+    let mut devices_fnv = 0xcbf29ce484222325u64;
+    for d in sim.devices() {
+        fnv(
+            &mut devices_fnv,
+            &fnv_params(&flatten(&d.model)).to_le_bytes(),
+        );
+    }
+    assert_eq!(devices_fnv, 0x94105ab3ced3cd05);
+    let mut edges_fnv = 0xcbf29ce484222325u64;
+    for e in sim.edges() {
+        fnv(
+            &mut edges_fnv,
+            &fnv_params(&flatten(&e.model)).to_le_bytes(),
+        );
+    }
+    assert_eq!(edges_fnv, 0xa901b57d25ac7acd);
+
+    let (acc, loss, _) = sim.evaluate(&sim.virtual_global());
+    assert_eq!(acc.to_bits(), 0x3e19999a);
+    assert_eq!(loss.to_bits(), 0x4018f3e4);
+
+    let comm = sim.comm_stats();
+    assert_eq!(
+        (
+            comm.edge_to_device,
+            comm.device_to_edge,
+            comm.edge_to_cloud,
+            comm.cloud_to_edge,
+            comm.cloud_to_device,
+        ),
+        (79, 79, 10, 10, 40)
+    );
+    assert_eq!(comm.upload_retransmissions, 0);
+    assert_eq!(comm.lost_uploads, 0);
+    assert_eq!(comm.stale_uploads, 0);
+    assert_eq!(sim.syncs(), 5);
+    assert_eq!(sim.active_steps(), 20);
+}
+
 fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
 }

@@ -8,7 +8,7 @@
 //! [`synthetic`] provides seeded class-conditional stand-ins with matching
 //! shape signatures and a controlled hardness ordering (see DESIGN.md §2
 //! for why this substitution preserves the phenomena under study).
-//! [`partition`] reproduces the paper's label-skew settings: per-device
+//! [`mod@partition`] reproduces the paper's label-skew settings: per-device
 //! major class (>80%), single-class devices, the Figure-1 70/30 edge
 //! skew, and Dirichlet(α) as the standard FL knob.
 

@@ -2,7 +2,8 @@
 # Repo gate: formatting, lints, and the tier-1 build + test suite.
 #
 #   scripts/check.sh           # everything
-#   scripts/check.sh --fast    # skip the release build
+#   scripts/check.sh --fast    # skip the release build and perf gates
+#   scripts/check.sh --ci      # everything + example builds + doc lints
 #
 # Run from anywhere; the script cd's to the repo root.
 
@@ -10,7 +11,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FAST=0
-[[ "${1:-}" == "--fast" ]] && FAST=1
+CI=0
+case "${1:-}" in
+--fast) FAST=1 ;;
+--ci) CI=1 ;;
+esac
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -23,11 +28,21 @@ if [[ "$FAST" -eq 0 ]]; then
     cargo build --release
 fi
 
+if [[ "$CI" -eq 1 ]]; then
+    echo "==> cargo build --release --examples"
+    cargo build --release --examples
+fi
+
 echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo test -q -p middle --test integration"
 cargo test -q -p middle --test integration
+
+if [[ "$CI" -eq 1 ]]; then
+    echo "==> cargo doc --workspace --no-deps (warnings denied)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+fi
 
 if [[ "$FAST" -eq 0 ]]; then
     echo "==> telemetry overhead gate (disabled recorder must stay a no-op)"

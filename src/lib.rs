@@ -28,7 +28,10 @@ pub use middle_tensor as tensor;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use middle_core::{Algorithm, MobilitySource, RunRecord, SimConfig, Simulation};
+    pub use middle_core::{
+        Algorithm, DelayModel, DropoutModel, FaultConfig, MobilitySource, RunRecord, SimConfig,
+        Simulation,
+    };
     pub use middle_data::{Scheme, Task};
     pub use middle_mobility::Trace;
     pub use middle_nn::{OptimizerKind, Sequential};
