@@ -7,8 +7,14 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use middle_core::quadratic_sim::{simulate_quadratic_hfl, two_cluster_problem, QuadraticHflConfig};
-use middle_core::{Algorithm, OnDevicePolicy, SelectionPolicy, SimConfig, Simulation};
+use middle_core::{
+    Algorithm, OnDevicePolicy, SelectionPolicy, SimConfig, Simulation, SimulationBuilder,
+};
 use middle_data::Task;
+
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
+}
 
 fn cfg_with(selection: SelectionPolicy, on_device: OnDevicePolicy) -> SimConfig {
     let mut cfg = SimConfig::paper_default(
@@ -44,7 +50,7 @@ fn bench_alpha_variants(c: &mut Criterion) {
     ] {
         c.bench_function(name, |bch| {
             bch.iter_batched(
-                || Simulation::new(cfg_with(SelectionPolicy::LeastSimilarUpdate, od)),
+                || built(cfg_with(SelectionPolicy::LeastSimilarUpdate, od)),
                 |mut sim| sim.run(),
                 criterion::BatchSize::LargeInput,
             )
@@ -66,7 +72,7 @@ fn bench_selection_variants(c: &mut Criterion) {
     ] {
         c.bench_function(name, |bch| {
             bch.iter_batched(
-                || Simulation::new(cfg_with(sel, OnDevicePolicy::SimilarityWeighted)),
+                || built(cfg_with(sel, OnDevicePolicy::SimilarityWeighted)),
                 |mut sim| sim.run(),
                 criterion::BatchSize::LargeInput,
             )

@@ -2,8 +2,12 @@
 //! complete run per algorithm — the costs behind Figures 6–8.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use middle_core::{Algorithm, SimConfig, Simulation};
+use middle_core::{Algorithm, SimConfig, Simulation, SimulationBuilder, StepMode};
 use middle_data::Task;
+
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
+}
 
 fn small_config(algorithm: Algorithm) -> SimConfig {
     let mut cfg = SimConfig::paper_default(Task::Mnist, algorithm);
@@ -22,7 +26,7 @@ fn small_config(algorithm: Algorithm) -> SimConfig {
 fn bench_single_step(c: &mut Criterion) {
     c.bench_function("sim_single_step_middle", |bch| {
         bch.iter_batched(
-            || Simulation::new(small_config(Algorithm::middle())),
+            || built(small_config(Algorithm::middle())),
             |mut sim| sim.step(0),
             criterion::BatchSize::LargeInput,
         )
@@ -33,18 +37,18 @@ fn bench_single_step(c: &mut Criterion) {
     c.bench_function("sim_step_reference_middle", |bch| {
         bch.iter_batched(
             || {
-                let mut sim = Simulation::new(small_config(Algorithm::middle()));
+                let mut sim = built(small_config(Algorithm::middle()));
                 sim.step(0);
                 sim
             },
-            |mut sim| sim.step_reference(1),
+            |mut sim| sim.advance(1, StepMode::Reference),
             criterion::BatchSize::LargeInput,
         )
     });
     c.bench_function("sim_step_zero_copy_middle", |bch| {
         bch.iter_batched(
             || {
-                let mut sim = Simulation::new(small_config(Algorithm::middle()));
+                let mut sim = built(small_config(Algorithm::middle()));
                 sim.step(0);
                 sim
             },
@@ -63,7 +67,7 @@ fn bench_short_runs(c: &mut Criterion) {
         let name = format!("sim_run6_{}", algorithm.name.to_ascii_lowercase());
         c.bench_function(&name, |bch| {
             bch.iter_batched(
-                || Simulation::new(small_config(algorithm.clone())),
+                || built(small_config(algorithm.clone())),
                 |mut sim| sim.run(),
                 criterion::BatchSize::LargeInput,
             )
@@ -73,7 +77,7 @@ fn bench_short_runs(c: &mut Criterion) {
 
 fn bench_construction(c: &mut Criterion) {
     c.bench_function("sim_construction", |bch| {
-        bch.iter(|| Simulation::new(small_config(Algorithm::middle())))
+        bch.iter(|| built(small_config(Algorithm::middle())))
     });
 }
 

@@ -23,7 +23,9 @@ use middle_core::aggregation::{
     cloud_aggregate, cloud_aggregate_into, edge_aggregate, edge_aggregate_into,
 };
 use middle_core::selection::{select_devices, select_devices_reference};
-use middle_core::{Algorithm, Device, SelectionPolicy, SimConfig, Simulation};
+use middle_core::{
+    Algorithm, Device, SelectionPolicy, SimConfig, Simulation, SimulationBuilder, StepMode,
+};
 use middle_data::synthetic::{SyntheticSource, Task};
 use middle_data::Task as DataTask;
 use middle_nn::params::flatten;
@@ -81,6 +83,10 @@ fn mk_devices(n: usize) -> Vec<Device> {
             )
         })
         .collect()
+}
+
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
 }
 
 fn sim_config() -> SimConfig {
@@ -208,14 +214,14 @@ fn main() {
         let mut before_times = Vec::new();
         let mut after_times = Vec::new();
         for _ in 0..21 {
-            let mut sim = Simulation::new(sim_config());
+            let mut sim = built(sim_config());
             sim.step(0);
             let t = Instant::now();
-            sim.step_reference(1);
+            sim.advance(1, StepMode::Reference);
             before_times.push(t.elapsed().as_nanos() as f64);
             std::hint::black_box(&sim);
 
-            let mut sim = Simulation::new(sim_config());
+            let mut sim = built(sim_config());
             sim.step(0);
             let t = Instant::now();
             sim.step(1);
@@ -236,7 +242,7 @@ fn main() {
         let mut disabled_times = Vec::new();
         let mut enabled_times = Vec::new();
         for _ in 0..21 {
-            let mut sim = Simulation::new(sim_config());
+            let mut sim = built(sim_config());
             sim.step(0);
             let t = Instant::now();
             sim.step(1);
@@ -245,7 +251,7 @@ fn main() {
 
             let mut cfg = sim_config();
             cfg.telemetry = true;
-            let mut sim = Simulation::new(cfg);
+            let mut sim = built(cfg);
             sim.step(0);
             let t = Instant::now();
             sim.step(1);

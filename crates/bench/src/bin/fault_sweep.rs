@@ -18,7 +18,7 @@
 //! ```
 
 use middle_core::comm::{WAN_SECS_PER_TRANSFER, WIRELESS_SECS_PER_TRANSFER};
-use middle_core::{Algorithm, DelayModel, DropoutModel, FaultConfig, SimConfig, Simulation};
+use middle_core::{Algorithm, DelayModel, DropoutModel, FaultConfig, SimConfig, SimulationBuilder};
 use middle_data::Task;
 
 fn sim_config(faults: FaultConfig) -> SimConfig {
@@ -127,7 +127,10 @@ fn main() {
     );
     let mut rows = Vec::new();
     for (name, faults) in scenarios() {
-        let record = Simulation::new(sim_config(faults)).run();
+        let record = SimulationBuilder::new(sim_config(faults))
+            .build()
+            .expect("valid sweep config")
+            .run();
         let comm = &record.comm;
         let comm_s = record.comm_wall_clock(WIRELESS_SECS_PER_TRANSFER, WAN_SECS_PER_TRANSFER);
         let backoff_s = comm.retry_backoff_seconds(WIRELESS_SECS_PER_TRANSFER);

@@ -12,7 +12,7 @@
 //! ```
 
 use middle_bench::{curves_to_csv, print_curves, scaled_steps, write_csv};
-use middle_core::{Algorithm, SimConfig, Simulation};
+use middle_core::{Algorithm, SimConfig, SimulationBuilder};
 use middle_data::{Scheme, Task};
 use middle_mobility::Trace;
 
@@ -51,7 +51,10 @@ fn main() {
 
     let trace = static_7030_trace(cfg.num_devices, steps);
     eprintln!("[fig1] 2 edges, 50 devices, 70/30 split, {steps} steps ...");
-    let mut sim = Simulation::with_trace(cfg, trace);
+    let mut sim = SimulationBuilder::new(cfg)
+        .with_trace(trace)
+        .build()
+        .expect("valid fig1 trace");
     let record = sim.run();
     eprintln!("[fig1] done in {:.1}s", record.wall_seconds);
 

@@ -104,13 +104,19 @@ fn main() {
     println!("warm-up {warmup} steps, then swap devices {{3,4}} <-> {{8,9}}, {post} more steps\n");
     let rec_general = {
         let trace = trace.clone();
-        let mut sim = middle_core::Simulation::with_trace(general, trace);
+        let mut sim = middle_core::SimulationBuilder::new(general)
+            .with_trace(trace)
+            .build()
+            .expect("valid fig2 trace");
         let r = sim.run();
         eprintln!("[fig2] General done in {:.1}s", r.wall_seconds);
         r
     };
     let rec_ondevice = {
-        let mut sim = middle_core::Simulation::with_trace(ondevice, trace);
+        let mut sim = middle_core::SimulationBuilder::new(ondevice)
+            .with_trace(trace)
+            .build()
+            .expect("valid fig2 trace");
         let r = sim.run();
         eprintln!("[fig2] OnDeviceAvg done in {:.1}s", r.wall_seconds);
         r

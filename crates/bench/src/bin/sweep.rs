@@ -1,0 +1,139 @@
+//! Scenario sweep driver: runs a K × T_c × seed grid twice — once as
+//! serial cold runs (fresh input construction per scenario, one thread)
+//! and once through the sharded, input-cached sweep engine — verifies
+//! the two produce bitwise-identical per-scenario results, and writes
+//! the measured speedup plus the full [`middle_core::SweepReport`] to
+//! `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run -p middle-bench --release --bin sweep [--smoke] [out.json]
+//! ```
+//!
+//! `--smoke` shrinks the grid to 4 scenarios for the CI gate; steps
+//! scale with `MIDDLE_SCALE` like every other bench bin.
+
+use middle_bench::scaled_steps;
+use middle_core::{
+    run_sweep, Algorithm, RunRecord, ScenarioGrid, SimConfig, SimulationBuilder, StepMode,
+    SweepOptions,
+};
+use middle_data::Task;
+use std::time::Instant;
+
+/// Many devices with small local datasets: input construction (base
+/// synthesis + partition + per-device gathers) is a large share of each
+/// run, which is exactly the population shape sweeps are for — the
+/// cache pays it once per (seed, population) key instead of once per
+/// scenario.
+fn base_config() -> SimConfig {
+    let mut cfg = SimConfig::tiny(Task::Speech, Algorithm::middle());
+    cfg.num_edges = 3;
+    cfg.num_devices = 120;
+    cfg.samples_per_device = 100;
+    cfg.test_samples = 100;
+    cfg.local_steps = 1;
+    cfg.batch_size = 4;
+    cfg.steps = scaled_steps(6);
+    cfg.eval_interval = 3;
+    cfg
+}
+
+/// A run record with its wall-clock-dependent fields zeroed, serialised
+/// — the per-scenario comparison form (matches what
+/// [`SweepReport::deterministic_json`] strips).
+///
+/// [`SweepReport::deterministic_json`]: middle_core::SweepReport::deterministic_json
+fn deterministic_record_json(record: &RunRecord) -> String {
+    let mut r = record.clone();
+    r.wall_seconds = 0.0;
+    r.telemetry = None;
+    serde_json::to_string(&r).expect("record serialises")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sweep.json".into());
+
+    let seeds: Vec<u64> = if smoke { vec![7] } else { vec![7, 8] };
+    let grid = ScenarioGrid::new(base_config())
+        .with_selection_sizes([2usize, 3])
+        .with_sync_periods([2usize, 4])
+        .with_seeds(seeds);
+    let scenarios = grid.scenarios().expect("valid grid");
+    eprintln!(
+        "[sweep] {} scenarios (K x T_c x seed), steps = {}",
+        scenarios.len(),
+        grid.base().steps
+    );
+
+    // Pass 1: serial cold runs — one thread, no input sharing. This is
+    // what the repo did before the sweep engine: every scenario pays
+    // dataset + partition + trace construction from scratch.
+    let t0 = Instant::now();
+    let mut serial: Vec<(String, RunRecord)> = Vec::new();
+    for s in &scenarios {
+        let record = SimulationBuilder::new(s.config.clone())
+            .build()
+            .expect("valid scenario config")
+            .run();
+        serial.push((s.label.clone(), record));
+    }
+    let serial_wall_s = t0.elapsed().as_secs_f64();
+
+    // Pass 2: the sweep engine — sharded across threads, immutable
+    // inputs shared through the cache.
+    let t1 = Instant::now();
+    let report = run_sweep(
+        &grid,
+        &SweepOptions {
+            threads: 0,
+            step_mode: StepMode::Fast,
+            ..Default::default()
+        },
+    )
+    .expect("sweep runs");
+    let sweep_wall_s = t1.elapsed().as_secs_f64();
+
+    // Per-scenario determinism: the sharded, cache-backed run must be
+    // bitwise identical to the serial cold run of the same config.
+    assert_eq!(report.scenarios.len(), serial.len());
+    for (sr, (label, cold)) in report.scenarios.iter().zip(&serial) {
+        assert_eq!(&sr.label, label);
+        assert_eq!(
+            deterministic_record_json(&sr.record),
+            deterministic_record_json(cold),
+            "scenario {label} diverged between serial and sweep execution"
+        );
+    }
+    eprintln!("[sweep] sharded results bitwise-match serial cold runs");
+
+    let speedup = serial_wall_s / sweep_wall_s;
+    println!("{:<22} {:>7} {:>9} {:>9}", "cell", "seeds", "final", "ci95");
+    for a in &report.aggregates {
+        println!(
+            "{:<22} {:>7} {:>9.3} {:>9.3}",
+            a.label, a.seeds, a.final_mean, a.final_ci95
+        );
+    }
+    println!(
+        "\nserial cold {serial_wall_s:.2}s, sweep {sweep_wall_s:.2}s \
+         ({} threads, cache {} hits / {} misses) -> speedup {speedup:.2}x",
+        report.threads, report.cache_hits, report.cache_misses
+    );
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"scenarios\": {},\n  \
+         \"serial_cold_wall_s\": {serial_wall_s:.3},\n  \
+         \"sweep_wall_s\": {sweep_wall_s:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"report\": {}\n}}\n",
+        report.scenarios.len(),
+        report.to_json()
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_sweep.json");
+    println!("wrote {out_path}");
+}

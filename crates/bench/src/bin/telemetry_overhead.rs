@@ -23,7 +23,7 @@
 //! cargo run -p middle-bench --release --bin telemetry_overhead [BENCH_hotpath.json]
 //! ```
 
-use middle_core::{Algorithm, SimConfig, Simulation};
+use middle_core::{Algorithm, SimConfig, SimulationBuilder, StepMode};
 use middle_data::Task as DataTask;
 use std::time::Instant;
 
@@ -51,11 +51,13 @@ fn median(mut times: Vec<f64>) -> f64 {
 fn time_step(reference: bool, telemetry: bool) -> f64 {
     let mut cfg = sim_config();
     cfg.telemetry = telemetry;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = SimulationBuilder::new(cfg)
+        .build()
+        .expect("valid overhead config");
     sim.step(0);
     let t = Instant::now();
     if reference {
-        sim.step_reference(1);
+        sim.advance(1, StepMode::Reference);
     } else {
         sim.step(1);
     }

@@ -10,13 +10,18 @@
 //! variable (default `1.0`); values below 1 shrink step counts for smoke
 //! runs (e.g. `MIDDLE_SCALE=0.1` in CI), values above stretch them.
 //!
-//! Telemetry: `MIDDLE_TELEMETRY=1` turns on the per-phase telemetry
-//! plane for every run launched through [`run_logged`] (the phase
-//! summary table goes to stderr); `MIDDLE_TELEMETRY_JSONL=<dir>` also
-//! streams one JSONL event per step to
-//! `<dir>/<algorithm>_<task>.jsonl`.
+//! Telemetry: the first-class switches are
+//! [`SimulationBuilder::telemetry`] and
+//! [`SimulationBuilder::telemetry_jsonl`] (or the corresponding
+//! `SimConfig` fields). The `MIDDLE_TELEMETRY=1` /
+//! `MIDDLE_TELEMETRY_JSONL=<dir>` environment variables are still
+//! honoured by [`run_logged`] for scripted figure regeneration, but are
+//! **deprecated** — prefer the builder options in new code.
+//!
+//! [`SimulationBuilder::telemetry`]: middle_core::SimulationBuilder::telemetry
+//! [`SimulationBuilder::telemetry_jsonl`]: middle_core::SimulationBuilder::telemetry_jsonl
 
-use middle_core::{RunRecord, SimConfig, Simulation};
+use middle_core::{RunRecord, SimConfig, SimulationBuilder};
 use std::fs;
 use std::path::PathBuf;
 
@@ -36,6 +41,10 @@ pub fn scaled_steps(base: usize) -> usize {
 
 /// Applies the `MIDDLE_TELEMETRY` / `MIDDLE_TELEMETRY_JSONL` environment
 /// switches to a config (see the crate docs).
+///
+/// Deprecated in favour of [`SimulationBuilder::telemetry`] and
+/// [`SimulationBuilder::telemetry_jsonl`]; kept so existing
+/// figure-regeneration scripts keep working.
 pub fn apply_telemetry_env(cfg: &mut SimConfig) {
     if std::env::var("MIDDLE_TELEMETRY").is_ok_and(|v| v != "0" && !v.is_empty()) {
         cfg.telemetry = true;
@@ -64,7 +73,10 @@ pub fn run_logged(cfg: SimConfig) -> RunRecord {
         "[middle-bench] {label}: {} edges, {} devices, {} steps ...",
         cfg.num_edges, cfg.num_devices, cfg.steps
     );
-    let record = Simulation::new(cfg).run();
+    let record = SimulationBuilder::new(cfg)
+        .build()
+        .expect("valid bench config")
+        .run();
     eprintln!(
         "[middle-bench] {label}: final {:.3} in {:.1}s",
         record.final_accuracy(),

@@ -1,0 +1,208 @@
+//! Serializable snapshots of a running simulation.
+//!
+//! A [`SimCheckpoint`] captures *everything* a paused run needs to
+//! continue bitwise-identically: model parameters (cloud, edges,
+//! devices — via [`middle_nn::serialize::Checkpoint`]), every RNG
+//! stream's internal state, the fault-plane state (dropout chains and
+//! the pending stale-upload queue), the communication ledger, the
+//! evaluation points recorded so far, and the step cursor. The JSON
+//! encoding uses shortest-round-trip float formatting, so `f32`/`f64`
+//! values survive a save/load cycle bit for bit; the
+//! checkpoint-resume-equivalence tests in
+//! `crates/core/tests/sweep_engine.rs` gate this.
+//!
+//! What is deliberately *not* captured: telemetry latency histograms
+//! (wall-clock measurements of the host that ran the first half —
+//! meaningless to splice into a resumed run; the event counters, which
+//! are deterministic, are captured), and per-step scratch buffers
+//! (rebuilt on first use).
+//!
+//! A checkpoint records a digest of the originating [`SimConfig`]
+//! ([`config_digest`]) and a schema version; [`crate::Simulation::restore`]
+//! rejects a checkpoint whose digest or version disagrees instead of
+//! silently resuming the wrong experiment.
+
+use crate::comm::CommStats;
+use crate::config::SimConfig;
+use crate::faults::PendingStale;
+use crate::metrics::EvalPoint;
+use crate::telemetry::StepCounters;
+use middle_nn::serialize::Checkpoint;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Version of the [`SimCheckpoint`] JSON schema. Bump on any field
+/// change; restore rejects other versions.
+pub const SIM_CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+
+/// Captured xoshiro256** state of one RNG stream.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RngStateCheckpoint {
+    /// State word 0.
+    pub s0: u64,
+    /// State word 1.
+    pub s1: u64,
+    /// State word 2.
+    pub s2: u64,
+    /// State word 3.
+    pub s3: u64,
+}
+
+impl RngStateCheckpoint {
+    /// Captures `rng`'s current state.
+    pub fn capture(rng: &StdRng) -> Self {
+        let s = rng.state();
+        RngStateCheckpoint {
+            s0: s[0],
+            s1: s[1],
+            s2: s[2],
+            s3: s[3],
+        }
+    }
+
+    /// Rebuilds a generator resuming exactly where the captured one
+    /// left off.
+    pub fn restore(&self) -> StdRng {
+        StdRng::from_state([self.s0, self.s1, self.s2, self.s3])
+    }
+}
+
+/// Snapshot of one device's mutable state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DeviceCheckpoint {
+    /// The carried local model's parameters.
+    pub params: Checkpoint,
+    /// Oort statistical utility from the last participation.
+    pub oort_utility: Option<f32>,
+    /// Time step of the last participation.
+    pub last_participation: Option<usize>,
+    /// The device's private batch-sampling RNG stream.
+    pub rng: RngStateCheckpoint,
+}
+
+/// Snapshot of one edge server's mutable state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EdgeCheckpoint {
+    /// The edge model's parameters.
+    pub params: Checkpoint,
+    /// Participating samples since the last cloud sync (`d̂_n`).
+    pub window_samples: f64,
+}
+
+/// Snapshot of the fault plane's mutable state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultPlaneCheckpoint {
+    /// The dedicated fault RNG stream (stream 9).
+    pub rng: RngStateCheckpoint,
+    /// Per-device dropout chain state.
+    pub device_down: Vec<bool>,
+    /// Deadline-missed uploads awaiting their stale merge.
+    pub pending: Vec<PendingStale>,
+}
+
+/// A complete snapshot of a running [`crate::Simulation`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimCheckpoint {
+    /// [`SIM_CHECKPOINT_SCHEMA_VERSION`] at capture time.
+    pub schema_version: u32,
+    /// [`config_digest`] of the originating configuration.
+    pub config_digest: u64,
+    /// Next step to execute (steps `0..next_step` are done).
+    pub next_step: usize,
+    /// Wall-clock seconds accumulated by the run so far.
+    pub elapsed_seconds: f64,
+    /// Cloud model parameters.
+    pub cloud: Checkpoint,
+    /// Per-edge state, in edge order.
+    pub edges: Vec<EdgeCheckpoint>,
+    /// Per-device state, in device order.
+    pub devices: Vec<DeviceCheckpoint>,
+    /// The selection RNG stream (stream 6).
+    pub selection_rng: RngStateCheckpoint,
+    /// The availability RNG stream (stream 8).
+    pub availability_rng: RngStateCheckpoint,
+    /// The fault plane's state (stream 9 plus queues).
+    pub faults: FaultPlaneCheckpoint,
+    /// Communication ledger so far.
+    pub comm: CommStats,
+    /// Cloud synchronisations so far.
+    pub syncs: u64,
+    /// Active steps so far.
+    pub active_steps: u64,
+    /// Evaluation points recorded so far.
+    pub points: Vec<EvalPoint>,
+    /// Telemetry event counters so far (`None` when telemetry is off;
+    /// latency histograms are host wall-clock and are not captured).
+    pub telemetry_counters: Option<StepCounters>,
+}
+
+impl SimCheckpoint {
+    /// Serialises to JSON (bit-exact float round trip).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialisation cannot fail")
+    }
+
+    /// Deserialises from JSON.
+    ///
+    /// # Errors
+    /// Returns the JSON parse error message.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        serde_json::from_str(s).map_err(|e| e.to_string())
+    }
+}
+
+/// FNV-1a digest of a configuration's canonical JSON encoding. Stored
+/// in checkpoints and sweep state files so a snapshot is never applied
+/// to a different experiment.
+pub fn config_digest(config: &SimConfig) -> u64 {
+    let json = serde_json::to_string(config).expect("config serialisation cannot fail");
+    fnv1a(json.as_bytes())
+}
+
+/// FNV-1a over raw bytes (sweep state files digest their scenario list
+/// with the same function).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use middle_data::Task;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn rng_state_round_trips() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..7 {
+            rng.gen::<u64>();
+        }
+        let ck = RngStateCheckpoint::capture(&rng);
+        let mut restored = ck.restore();
+        for _ in 0..16 {
+            assert_eq!(rng.gen::<u64>(), restored.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn config_digest_tracks_config_changes() {
+        let a = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        let mut b = a.clone();
+        assert_eq!(config_digest(&a), config_digest(&b));
+        b.seed = 1234;
+        assert_ne!(config_digest(&a), config_digest(&b));
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vector() {
+        // FNV-1a("a") from the reference implementation.
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -209,6 +209,12 @@ impl SimConfig {
         if self.devices_per_edge == 0 {
             return Err("devices_per_edge (K) must be positive".into());
         }
+        if self.devices_per_edge > self.num_devices {
+            return Err(format!(
+                "devices_per_edge (K = {}) exceeds num_devices ({})",
+                self.devices_per_edge, self.num_devices
+            ));
+        }
         if self.samples_per_device == 0 {
             return Err("samples_per_device must be positive".into());
         }
@@ -303,6 +309,9 @@ mod tests {
         assert!(c.validate().is_err());
         let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
         c.num_devices = 1;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        c.devices_per_edge = c.num_devices + 1;
         assert!(c.validate().is_err());
     }
 

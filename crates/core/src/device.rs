@@ -134,6 +134,16 @@ impl Device {
     pub fn staleness(&self, now: usize) -> Option<usize> {
         self.last_participation.map(|t| now.saturating_sub(t))
     }
+
+    /// The device's private batch-sampling RNG, for checkpoint capture.
+    pub fn rng_ref(&self) -> &StdRng {
+        &self.rng
+    }
+
+    /// Overwrites the batch-sampling RNG from a checkpointed state.
+    pub fn restore_rng(&mut self, rng: StdRng) {
+        self.rng = rng;
+    }
 }
 
 #[cfg(test)]

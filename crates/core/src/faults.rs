@@ -260,7 +260,7 @@ pub struct UploadOutcome {
 }
 
 /// A deadline-missed update awaiting its stale merge at the next step.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PendingStale {
     /// Edge the late upload was addressed to.
     pub edge: usize,
@@ -443,6 +443,35 @@ impl FaultPlane {
     /// Stale updates currently awaiting their merge.
     pub fn pending(&self) -> &[PendingStale] {
         &self.pending
+    }
+
+    /// The dedicated fault RNG stream, for checkpoint capture.
+    pub fn rng_ref(&self) -> &StdRng {
+        &self.rng
+    }
+
+    /// Per-device dropout chain state, for checkpoint capture.
+    pub fn device_down_states(&self) -> &[bool] {
+        &self.device_down
+    }
+
+    /// Overwrites the plane's mutable state (RNG stream, dropout chain
+    /// state and pending stale queue) from a checkpoint. The config —
+    /// and hence `enabled` — is construction-time state and stays.
+    pub fn restore_state(
+        &mut self,
+        rng: StdRng,
+        device_down: Vec<bool>,
+        pending: Vec<PendingStale>,
+    ) {
+        assert_eq!(
+            device_down.len(),
+            self.device_down.len(),
+            "fault-plane device count mismatch"
+        );
+        self.rng = rng;
+        self.device_down = device_down;
+        self.pending = pending;
     }
 }
 

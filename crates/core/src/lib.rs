@@ -10,14 +10,21 @@
 //! ## Quick start
 //!
 //! ```
-//! use middle_core::{Algorithm, SimConfig, Simulation};
+//! use middle_core::{Algorithm, SimConfig, SimulationBuilder};
 //! use middle_data::Task;
 //!
 //! let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
 //! cfg.steps = 4;
-//! let record = Simulation::new(cfg).run();
+//! let record = SimulationBuilder::new(cfg)
+//!     .build()
+//!     .expect("valid config")
+//!     .run();
 //! println!("final accuracy: {:.3}", record.final_accuracy());
 //! ```
+//!
+//! To run a whole grid of scenarios (varying mobility `P`, `K`, `T_c`,
+//! seeds and fault presets) across threads with shared input
+//! construction and checkpoint/resume, see [`sweep`].
 //!
 //! ## Module map
 //!
@@ -31,6 +38,10 @@
 //!   Rayon-parallel across devices;
 //! * [`config`], [`metrics`] — experiment configs and run records
 //!   (time-to-accuracy, speedups);
+//! * [`builder`] — Result-based construction ([`SimulationBuilder`],
+//!   [`SimError`]) and the shared-input cache behind sweep scenarios;
+//! * [`checkpoint`], [`sweep`] — full-state simulation snapshots and the
+//!   sharded multi-scenario orchestrator with checkpoint/resume;
 //! * [`faults`] — deterministic failure models (dropout, stragglers,
 //!   upload loss, WAN outages) with retry/deadline/staleness recovery;
 //! * [`telemetry`] — per-phase step timers, latency histograms and event
@@ -40,6 +51,8 @@
 
 pub mod aggregation;
 pub mod algorithms;
+pub mod builder;
+pub mod checkpoint;
 pub mod comm;
 pub mod config;
 pub mod device;
@@ -49,17 +62,24 @@ pub mod quadratic_sim;
 pub mod selection;
 pub mod sim;
 pub mod similarity;
+pub mod sweep;
 pub mod telemetry;
 pub mod theory;
 
 pub use algorithms::{Algorithm, OnDevicePolicy, SelectionPolicy};
+pub use builder::{input_key, InputCache, SharedInputs, SimError, SimulationBuilder};
+pub use checkpoint::{config_digest, SimCheckpoint, SIM_CHECKPOINT_SCHEMA_VERSION};
 pub use comm::CommStats;
 pub use config::{MobilitySource, SimConfig};
 pub use device::Device;
 pub use faults::{DelayModel, DropoutModel, FaultConfig, FaultPlane};
-pub use metrics::{speedup, EvalPoint, RunRecord};
+pub use metrics::{speedup, EvalPoint, RunRecord, RUN_RECORD_SCHEMA_VERSION};
 pub use selection::{select_devices, SelectionScratch};
-pub use sim::{EdgeState, Simulation};
+pub use sim::{EdgeState, Simulation, StepMode};
 pub use similarity::{model_similarity_utility, similarity_utility};
+pub use sweep::{
+    run_sweep, AggregatePoint, FaultPreset, Scenario, ScenarioGrid, ScenarioRecord, SweepOptions,
+    SweepReport, SWEEP_REPORT_SCHEMA_VERSION,
+};
 pub use telemetry::{Phase, StepCounters, Telemetry, TelemetryReport};
 pub use theory::{BoundParams, QuadraticProblem};

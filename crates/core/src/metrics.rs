@@ -27,9 +27,18 @@ pub struct EvalPoint {
     pub edge0_per_class: Vec<Option<f32>>,
 }
 
+/// Version of the [`RunRecord`] JSON schema. Bump on any
+/// breaking field change so sweep and checkpoint files stay
+/// forward-parseable.
+pub const RUN_RECORD_SCHEMA_VERSION: u32 = 1;
+
 /// The complete measured output of one simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunRecord {
+    /// [`RUN_RECORD_SCHEMA_VERSION`] at the time the record was
+    /// produced (0 when parsed from a pre-versioned file).
+    #[serde(default)]
+    pub schema_version: u32,
     /// Algorithm display name.
     pub algorithm: String,
     /// Task name.
@@ -164,6 +173,7 @@ mod tests {
 
     fn record(accs: &[f32]) -> RunRecord {
         RunRecord {
+            schema_version: RUN_RECORD_SCHEMA_VERSION,
             algorithm: "test".into(),
             task: "mnist".into(),
             points: accs
@@ -254,6 +264,16 @@ mod tests {
         let slow = record(&[0.1, 0.1, 0.1, 0.1, 0.1]);
         let s = speedup(&fast, &slow, 0.8).unwrap();
         assert!(s >= 8.0, "horizon-bound speedup {s}");
+    }
+
+    #[test]
+    fn legacy_record_json_parses_as_version_zero() {
+        let json = serde_json::to_string(&record(&[0.5])).unwrap();
+        let stripped = json.replace("\"schema_version\":1,", "");
+        assert_ne!(json, stripped, "schema_version missing from JSON");
+        let back: RunRecord = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back.schema_version, 0);
+        assert_eq!(back.final_accuracy(), 0.5);
     }
 
     #[test]

@@ -17,29 +17,49 @@ use crate::aggregation::{
     cloud_aggregate, cloud_aggregate_into, edge_aggregate, edge_aggregate_into, on_device_init,
     on_device_init_into,
 };
+use crate::builder::{SharedInputs, SimError, SimulationBuilder};
+use crate::checkpoint::{
+    config_digest, DeviceCheckpoint, EdgeCheckpoint, FaultPlaneCheckpoint, RngStateCheckpoint,
+    SimCheckpoint, SIM_CHECKPOINT_SCHEMA_VERSION,
+};
 use crate::comm::CommStats;
 use crate::config::{MobilitySource, SimConfig};
 use crate::device::Device;
 use crate::faults::FaultPlane;
-use crate::metrics::{EvalPoint, RunRecord};
+use crate::metrics::{EvalPoint, RunRecord, RUN_RECORD_SCHEMA_VERSION};
 use crate::selection::{select_devices_into, select_devices_reference, SelectionScratch};
 use crate::similarity::{aggregation_weights, similarity_utility_cached};
 use crate::telemetry::{Phase, StepProbe, Telemetry};
 use crate::OnDevicePolicy;
-use middle_data::partition::{partition, Partition};
-use middle_data::synthetic::SyntheticSource;
+use middle_data::partition::Partition;
 use middle_data::{Confusion, Dataset};
 use middle_mobility::{
     generate_geometric, generate_markov_hop, generate_markov_hop_homed, MobilityKind, ServiceArea,
     Trace,
 };
 use middle_nn::params::{flatten, FlatView};
-use middle_nn::{zoo, Sequential};
+use middle_nn::serialize::Checkpoint;
+use middle_nn::Sequential;
 use middle_tensor::random::{derive_seed, rng};
 use rand::rngs::StdRng;
 use rand::Rng;
 use rayon::prelude::*;
 use std::time::Instant;
+
+/// Which step implementation [`Simulation::advance`] executes.
+///
+/// The zero-copy fast path and the allocating reference oracle consume
+/// every RNG stream in the same order, so a run may interleave modes
+/// and the equivalence tests can compare them step for step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StepMode {
+    /// The allocation-free production step (DESIGN.md §6).
+    #[default]
+    Fast,
+    /// The clone-based semantic oracle the equivalence tests pin the
+    /// fast path against.
+    Reference,
+}
 
 /// State of one edge server.
 ///
@@ -124,6 +144,12 @@ pub struct Simulation {
     // (and untouched) while the fault plane is disabled.
     delivered_per_edge: Vec<Vec<usize>>,
     wan_up: Vec<bool>,
+    // Run cursor: the next step `tick` executes, the evaluation points
+    // recorded so far, and the accumulated wall-clock — all captured by
+    // checkpoints so a resumed run continues bitwise-identically.
+    next_step: usize,
+    points: Vec<EvalPoint>,
+    elapsed_seconds: f64,
 }
 
 impl Simulation {
@@ -131,49 +157,47 @@ impl Simulation {
     /// devices, generates the mobility trace and initialises every model
     /// from the same seed-derived starting point.
     ///
+    /// Compatibility wrapper over [`SimulationBuilder`], which is the
+    /// Result-based construction path new code should use.
+    ///
     /// # Panics
     /// Panics when the configuration fails [`SimConfig::validate`].
     pub fn new(config: SimConfig) -> Self {
-        if let Err(e) = config.validate() {
-            panic!("invalid SimConfig: {e}");
+        match SimulationBuilder::new(config).build() {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
         }
+    }
+
+    /// Like [`Simulation::new`] but with a caller-supplied mobility
+    /// trace (e.g. the Figure 2 scripted device swap, or an imported
+    /// ONE-simulator trace).
+    ///
+    /// Compatibility wrapper over [`SimulationBuilder::with_trace`].
+    ///
+    /// # Panics
+    /// Panics when the trace's device/edge counts or horizon disagree
+    /// with the configuration.
+    pub fn with_trace(config: SimConfig, trace: Trace) -> Self {
+        match SimulationBuilder::new(config).with_trace(trace).build() {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Assembles the per-run mutable state from validated, possibly
+    /// cache-shared immutable inputs. Only [`SimulationBuilder`] calls
+    /// this; per-run state is *cloned* out of the inputs, so a cache
+    /// hit is bitwise identical to a cold construction.
+    pub(crate) fn from_shared(config: SimConfig, inputs: &SharedInputs) -> Self {
         let seed = config.seed;
-        let source = SyntheticSource::new(config.task, derive_seed(seed, 1));
-        let base = source.generate_balanced(
-            config.num_devices * config.samples_per_device,
-            derive_seed(seed, 2),
-        );
-        let part = partition(
-            &base,
-            config.num_devices,
-            config.samples_per_device,
-            config.scheme,
-            derive_seed(seed, 3),
-        );
-        let test = source.generate_balanced(config.test_samples, derive_seed(seed, 4));
-
-        let spec = config.task.spec();
-        let init = zoo::model_for_task(config.task.name(), &spec, &mut rng(derive_seed(seed, 5)));
-
+        let init = inputs.init.clone();
         let devices: Vec<Device> = (0..config.num_devices)
-            .map(|m| Device::new(m, base.subset(&part.assignments[m]), init.clone(), seed))
+            .map(|m| Device::new(m, inputs.device_data[m].clone(), init.clone(), seed))
             .collect();
-
         let edges: Vec<EdgeState> = (0..config.num_edges)
             .map(|_| EdgeState::new(init.clone()))
             .collect();
-
-        // Home edges: cluster devices by major class so edge-level data
-        // distributions are Non-IID (paper §3.2); devices without a
-        // defined major class get round-robin homes.
-        let homes: Vec<usize> = (0..config.num_devices)
-            .map(|m| match part.major_class[m] {
-                Some(c) => c % config.num_edges,
-                None => m % config.num_edges,
-            })
-            .collect();
-        let trace = build_trace(&config, &homes);
-
         let cloud_flat = FlatView::of(&init);
         let selected_per_edge = (0..config.num_edges).map(|_| Vec::new()).collect();
         let delivered_per_edge = (0..config.num_edges).map(|_| Vec::new()).collect();
@@ -184,9 +208,9 @@ impl Simulation {
             cloud: init,
             devices,
             edges,
-            trace,
-            test,
-            partition: part,
+            trace: inputs.trace.clone(),
+            test: inputs.test.clone(),
+            partition: inputs.partition.clone(),
             rng: rng(derive_seed(seed, 6)),
             availability_rng: rng(derive_seed(seed, 8)),
             comm: CommStats::default(),
@@ -201,27 +225,17 @@ impl Simulation {
             participating,
             delivered_per_edge,
             wan_up: Vec::new(),
+            next_step: 0,
+            points: Vec::new(),
+            elapsed_seconds: 0.0,
             config,
         }
     }
 
-    /// Like [`Simulation::new`] but with a caller-supplied mobility
-    /// trace (e.g. the Figure 2 scripted device swap, or an imported
-    /// ONE-simulator trace).
-    ///
-    /// # Panics
-    /// Panics when the trace's device/edge counts or horizon disagree
-    /// with the configuration.
-    pub fn with_trace(config: SimConfig, trace: Trace) -> Self {
-        assert_eq!(trace.devices(), config.num_devices, "trace device count");
-        assert_eq!(trace.num_edges(), config.num_edges, "trace edge count");
-        assert!(
-            trace.steps() >= config.steps,
-            "trace shorter than the configured horizon"
-        );
-        let mut sim = Simulation::new(config);
-        sim.trace = trace;
-        sim
+    /// Overwrites the generated trace with a pre-validated one (builder
+    /// only; the builder has already checked the shape).
+    pub(crate) fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
     }
 
     /// The simulation's configuration.
@@ -298,7 +312,7 @@ impl Simulation {
     }
 
     /// Fault-plane work at step begin, shared by [`Simulation::step`]
-    /// and [`Simulation::step_reference`] so both consume the fault RNG
+    /// and `Simulation::step_reference` so both consume the fault RNG
     /// stream identically: apply the stale merges queued by last step's
     /// deadline misses (the late upload finally lands and is blended
     /// into its edge with Eq. 9's similarity weighting — a stale update
@@ -429,6 +443,17 @@ impl Simulation {
         true
     }
 
+    /// Executes one time step `t` of Algorithm 1 with the chosen
+    /// implementation — the single entry point behind which the
+    /// fast/reference duality lives. [`Simulation::step`] is shorthand
+    /// for `advance(t, StepMode::Fast)`.
+    pub fn advance(&mut self, t: usize, mode: StepMode) {
+        match mode {
+            StepMode::Fast => self.step(t),
+            StepMode::Reference => self.step_reference(t),
+        }
+    }
+
     /// Executes one time step `t` of Algorithm 1 (0-based; syncs with the
     /// cloud after every `cloud_interval`-th step).
     ///
@@ -438,8 +463,8 @@ impl Simulation {
     /// model (no staged `Vec<Option<Sequential>>`), aggregation runs in
     /// place on the edge/cloud parameter tensors, and the cloud broadcast
     /// copies parameters instead of cloning models. Numerically the step
-    /// tracks [`Simulation::step_reference`]; the equivalence tests pin
-    /// the two together.
+    /// tracks `Simulation::step_reference` ([`StepMode::Reference`]); the
+    /// equivalence tests pin the two together.
     pub fn step(&mut self, t: usize) {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
         let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
@@ -617,7 +642,9 @@ impl Simulation {
     /// the semantic oracle for the hot path. Consumes the rng streams in
     /// exactly the same order as `step`, so a run may interleave the two
     /// and the equivalence tests can compare them step for step.
-    pub fn step_reference(&mut self, t: usize) {
+    /// Reached through [`Simulation::advance`] with
+    /// [`StepMode::Reference`].
+    fn step_reference(&mut self, t: usize) {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
         let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
         let mut probe = self.telemetry.begin_step();
@@ -784,32 +811,195 @@ impl Simulation {
         (conf.accuracy(), loss, conf)
     }
 
-    /// Runs the configured number of steps, recording an [`EvalPoint`]
-    /// every `eval_interval` steps (plus the final step).
-    pub fn run(&mut self) -> RunRecord {
+    /// The next step [`Simulation::tick`] will execute; steps
+    /// `0..next_step` are done.
+    pub fn next_step(&self) -> usize {
+        self.next_step
+    }
+
+    /// Whether the run cursor has reached the configured horizon.
+    pub fn is_finished(&self) -> bool {
+        self.next_step >= self.config.steps
+    }
+
+    /// Evaluation points recorded so far by [`Simulation::tick`].
+    pub fn points(&self) -> &[EvalPoint] {
+        &self.points
+    }
+
+    /// Executes the next step of the run cursor (recording an
+    /// [`EvalPoint`] when the step lands on `eval_interval` or the
+    /// horizon) and accumulates wall-clock. [`Simulation::run`] is a
+    /// loop over `tick`; a sweep worker interleaves `tick` with
+    /// checkpoint captures instead.
+    ///
+    /// # Panics
+    /// Panics when the run is already finished.
+    pub fn tick(&mut self, mode: StepMode) {
+        assert!(!self.is_finished(), "simulation already finished");
         let start = Instant::now();
-        let mut points = Vec::new();
-        for t in 0..self.config.steps {
-            self.step(t);
-            let is_eval = (t + 1) % self.config.eval_interval == 0 || t + 1 == self.config.steps;
-            if is_eval {
-                let es = self.telemetry.phase_timer();
-                points.push(self.eval_point(t));
-                self.telemetry.observe_since(Phase::Evaluation, es);
-            }
+        let t = self.next_step;
+        self.advance(t, mode);
+        self.next_step = t + 1;
+        let is_eval =
+            (t + 1).is_multiple_of(self.config.eval_interval) || t + 1 == self.config.steps;
+        if is_eval {
+            let es = self.telemetry.phase_timer();
+            let point = self.eval_point(t);
+            self.points.push(point);
+            self.telemetry.observe_since(Phase::Evaluation, es);
         }
+        self.elapsed_seconds += start.elapsed().as_secs_f64();
+    }
+
+    /// Runs the remaining steps, recording an [`EvalPoint`] every
+    /// `eval_interval` steps (plus the final step).
+    pub fn run(&mut self) -> RunRecord {
+        self.run_with(StepMode::Fast)
+    }
+
+    /// [`Simulation::run`] with an explicit step implementation.
+    pub fn run_with(&mut self, mode: StepMode) -> RunRecord {
+        while !self.is_finished() {
+            self.tick(mode);
+        }
+        self.finish()
+    }
+
+    /// Flushes telemetry and assembles the run record from the state
+    /// accumulated by [`Simulation::tick`]. Callable mid-run, too — the
+    /// record then covers the steps executed so far.
+    pub fn finish(&mut self) -> RunRecord {
         self.telemetry.flush();
         RunRecord {
+            schema_version: RUN_RECORD_SCHEMA_VERSION,
             algorithm: self.config.algorithm.name.clone(),
             task: self.config.task.name().to_string(),
-            points,
+            points: self.points.clone(),
             empirical_mobility: self.trace.empirical_mobility(),
-            wall_seconds: start.elapsed().as_secs_f64(),
+            wall_seconds: self.elapsed_seconds,
             comm: self.comm,
             syncs: self.syncs,
             active_steps: self.active_steps,
             telemetry: self.telemetry.report(),
         }
+    }
+
+    /// Captures a complete snapshot of the run: model parameters, every
+    /// RNG stream, fault-plane queues, the communication ledger, the
+    /// evaluation points and the step cursor (see [`crate::checkpoint`]
+    /// for what is deliberately excluded). Restoring it into a freshly
+    /// built simulation of the same config resumes bitwise-identically.
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        SimCheckpoint {
+            schema_version: SIM_CHECKPOINT_SCHEMA_VERSION,
+            config_digest: config_digest(&self.config),
+            next_step: self.next_step,
+            elapsed_seconds: self.elapsed_seconds,
+            cloud: Checkpoint::capture(&self.cloud),
+            edges: self
+                .edges
+                .iter()
+                .map(|e| EdgeCheckpoint {
+                    params: Checkpoint::capture(&e.model),
+                    window_samples: e.window_samples,
+                })
+                .collect(),
+            devices: self
+                .devices
+                .iter()
+                .map(|d| DeviceCheckpoint {
+                    params: Checkpoint::capture(&d.model),
+                    oort_utility: d.oort_utility,
+                    last_participation: d.last_participation,
+                    rng: RngStateCheckpoint::capture(d.rng_ref()),
+                })
+                .collect(),
+            selection_rng: RngStateCheckpoint::capture(&self.rng),
+            availability_rng: RngStateCheckpoint::capture(&self.availability_rng),
+            faults: FaultPlaneCheckpoint {
+                rng: RngStateCheckpoint::capture(self.faults.rng_ref()),
+                device_down: self.faults.device_down_states().to_vec(),
+                pending: self.faults.pending().to_vec(),
+            },
+            comm: self.comm,
+            syncs: self.syncs,
+            active_steps: self.active_steps,
+            points: self.points.clone(),
+            telemetry_counters: if self.telemetry.is_enabled() {
+                Some(*self.telemetry.counters())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Restores a snapshot captured by [`Simulation::checkpoint`] into
+    /// this simulation, which must have been built from the same
+    /// configuration.
+    ///
+    /// # Errors
+    /// [`SimError::CheckpointMismatch`] when the schema version, config
+    /// digest, population shape or model architecture disagree; the
+    /// simulation is left unmodified in the version/digest/shape cases.
+    pub fn restore(&mut self, ck: &SimCheckpoint) -> Result<(), SimError> {
+        let mismatch = |message: String| SimError::CheckpointMismatch { message };
+        if ck.schema_version != SIM_CHECKPOINT_SCHEMA_VERSION {
+            return Err(mismatch(format!(
+                "schema version {} (expected {SIM_CHECKPOINT_SCHEMA_VERSION})",
+                ck.schema_version
+            )));
+        }
+        let digest = config_digest(&self.config);
+        if ck.config_digest != digest {
+            return Err(mismatch(format!(
+                "config digest {:016x} (this simulation has {digest:016x})",
+                ck.config_digest
+            )));
+        }
+        if ck.edges.len() != self.edges.len() || ck.devices.len() != self.devices.len() {
+            return Err(mismatch(format!(
+                "population {} edges / {} devices (expected {} / {})",
+                ck.edges.len(),
+                ck.devices.len(),
+                self.edges.len(),
+                self.devices.len()
+            )));
+        }
+        if ck.faults.device_down.len() != self.devices.len() {
+            return Err(mismatch("fault-plane device count".into()));
+        }
+        ck.cloud.restore(&mut self.cloud).map_err(&mismatch)?;
+        self.cloud_flat.refresh(&self.cloud);
+        for (edge, eck) in self.edges.iter_mut().zip(&ck.edges) {
+            eck.params.restore(&mut edge.model).map_err(&mismatch)?;
+            edge.window_samples = eck.window_samples;
+            edge.refresh_flat();
+        }
+        for (dev, dck) in self.devices.iter_mut().zip(&ck.devices) {
+            dck.params.restore(&mut dev.model).map_err(&mismatch)?;
+            dev.refresh_flat();
+            dev.oort_utility = dck.oort_utility;
+            dev.last_participation = dck.last_participation;
+            dev.restore_rng(dck.rng.restore());
+        }
+        self.rng = ck.selection_rng.restore();
+        self.availability_rng = ck.availability_rng.restore();
+        self.faults.restore_state(
+            ck.faults.rng.restore(),
+            ck.faults.device_down.clone(),
+            ck.faults.pending.clone(),
+        );
+        self.comm = ck.comm;
+        self.syncs = ck.syncs;
+        self.active_steps = ck.active_steps;
+        self.points = ck.points.clone();
+        self.next_step = ck.next_step;
+        self.elapsed_seconds = ck.elapsed_seconds;
+        if let Some(counters) = &ck.telemetry_counters {
+            self.telemetry.restore_counters(*counters);
+        }
+        Ok(())
     }
 
     /// Builds the evaluation point for time step `t`.
@@ -841,7 +1031,7 @@ impl Simulation {
 }
 
 /// Builds the mobility trace described by the config.
-fn build_trace(config: &SimConfig, homes: &[usize]) -> Trace {
+pub(crate) fn build_trace(config: &SimConfig, homes: &[usize]) -> Trace {
     let seed = derive_seed(config.seed, 7);
     match config.mobility {
         MobilitySource::MarkovHop { p } => {
@@ -897,12 +1087,17 @@ fn build_trace(config: &SimConfig, homes: &[usize]) -> Trace {
 mod tests {
     use super::*;
     use crate::algorithms::Algorithm;
+    use crate::builder::SimulationBuilder;
     use middle_data::Task;
+
+    fn built(cfg: SimConfig) -> Simulation {
+        SimulationBuilder::new(cfg).build().expect("valid config")
+    }
 
     #[test]
     fn construction_partitions_all_devices() {
         let cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
-        let sim = Simulation::new(cfg.clone());
+        let sim = built(cfg.clone());
         assert_eq!(sim.devices().len(), cfg.num_devices);
         assert_eq!(sim.edges().len(), cfg.num_edges);
         for d in sim.devices() {
@@ -912,7 +1107,7 @@ mod tests {
 
     #[test]
     fn all_models_start_identical() {
-        let sim = Simulation::new(SimConfig::tiny(Task::Mnist, Algorithm::middle()));
+        let sim = built(SimConfig::tiny(Task::Mnist, Algorithm::middle()));
         let cloud = flatten(sim.cloud_model());
         for e in sim.edges() {
             assert_eq!(flatten(&e.model), cloud);
@@ -924,7 +1119,7 @@ mod tests {
 
     #[test]
     fn one_step_changes_participating_edge_models() {
-        let mut sim = Simulation::new(SimConfig::tiny(Task::Mnist, Algorithm::middle()));
+        let mut sim = built(SimConfig::tiny(Task::Mnist, Algorithm::middle()));
         let before = flatten(&sim.edges()[0].model);
         sim.step(0);
         // At least one edge must have trained (8 devices over 2 edges).
@@ -936,7 +1131,7 @@ mod tests {
     fn cloud_syncs_at_interval() {
         let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
         cfg.cloud_interval = 2;
-        let mut sim = Simulation::new(cfg);
+        let mut sim = built(cfg);
         let initial_cloud = flatten(sim.cloud_model());
         sim.step(0);
         assert_eq!(flatten(sim.cloud_model()), initial_cloud, "no sync yet");
@@ -957,7 +1152,7 @@ mod tests {
         let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
         cfg.steps = 6;
         cfg.eval_interval = 2;
-        let record = Simulation::new(cfg).run();
+        let record = built(cfg).run();
         let steps: Vec<usize> = record.points.iter().map(|p| p.step).collect();
         assert_eq!(steps, vec![2, 4, 6]);
         assert!(record.wall_seconds > 0.0);
@@ -971,7 +1166,7 @@ mod tests {
         cfg.eval_interval = 2;
         cfg.eval_edges = true;
         cfg.eval_per_class = true;
-        let record = Simulation::new(cfg.clone()).run();
+        let record = built(cfg.clone()).run();
         let p = &record.points[0];
         assert_eq!(p.edge_accuracy.len(), cfg.num_edges);
         assert_eq!(p.global_per_class.len(), 10);
@@ -982,8 +1177,8 @@ mod tests {
     fn runs_are_seed_reproducible() {
         let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
         cfg.steps = 4;
-        let a = Simulation::new(cfg.clone()).run();
-        let b = Simulation::new(cfg.clone()).run();
+        let a = built(cfg.clone()).run();
+        let b = built(cfg.clone()).run();
         let accs = |r: &RunRecord| {
             r.points
                 .iter()
@@ -992,7 +1187,7 @@ mod tests {
         };
         assert_eq!(accs(&a), accs(&b));
         cfg.seed = 8;
-        let c = Simulation::new(cfg).run();
+        let c = built(cfg).run();
         assert_ne!(accs(&a), accs(&c));
     }
 
@@ -1001,7 +1196,7 @@ mod tests {
         for algo in Algorithm::figure6() {
             let mut cfg = SimConfig::tiny(Task::Mnist, algo);
             cfg.steps = 4;
-            let record = Simulation::new(cfg).run();
+            let record = built(cfg).run();
             assert!(!record.points.is_empty());
             assert!(record.points.iter().all(|p| p.global_accuracy.is_finite()));
         }

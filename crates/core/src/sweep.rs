@@ -1,0 +1,813 @@
+//! The scenario sweep engine: sharded multi-scenario orchestration with
+//! shared-input caching and checkpoint/resume.
+//!
+//! The paper's headline results (Figures 5–8, Remark 1) are *sweeps* —
+//! accuracy versus mobility probability `P`, selection size `K`, sync
+//! period `T_c` — and every point used to require a hand-rolled binary
+//! and a full cold construction of datasets and traces. This module
+//! turns the repo into a batch experiment service:
+//!
+//! * [`ScenarioGrid`] describes a cartesian product over `P`, `K`,
+//!   `T_c`, seeds and named [`FaultPreset`]s on top of a base
+//!   [`SimConfig`]; [`ScenarioGrid::scenarios`] expands and validates
+//!   it up front, so a bad axis fails before any work starts.
+//! * [`run_sweep`] shards the scenarios across a deterministic
+//!   work-stealing pool: workers claim scenarios from a shared atomic
+//!   cursor, and every scenario's result is a pure function of its
+//!   config — *independent of shard assignment and thread count* —
+//!   because each run owns its models and RNG streams and immutable
+//!   inputs are shared read-only through an [`InputCache`].
+//! * With [`SweepOptions::checkpoint_dir`] set, workers periodically
+//!   serialise full simulation state ([`crate::SimCheckpoint`]) and the
+//!   sweep's completion ledger (`sweep_state.json`), so a killed sweep
+//!   resumes from where it stopped and reproduces the uninterrupted
+//!   sweep's [`SweepReport`] bitwise (excluding wall-clock fields;
+//!   [`SweepReport::deterministic_json`] is the comparison form).
+//!
+//! Results aggregate into a versioned, serde-serialisable
+//! [`SweepReport`]: one [`ScenarioRecord`] per scenario plus cross-seed
+//! mean/std/95%-CI [`AggregatePoint`]s per grid cell. The
+//! `crates/bench/src/bin/sweep.rs` bin emits it as `BENCH_sweep.json`
+//! together with the measured caching + sharding speedup over serial
+//! cold runs.
+
+use crate::builder::{InputCache, SimError, SimulationBuilder};
+use crate::checkpoint::{fnv1a, SimCheckpoint};
+use crate::config::{MobilitySource, SimConfig};
+use crate::faults::FaultConfig;
+use crate::metrics::RunRecord;
+use crate::sim::StepMode;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use std::{fs, thread};
+
+/// Version of the [`SweepReport`] / sweep-state JSON schema.
+pub const SWEEP_REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// A named fault configuration for one grid axis entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPreset {
+    /// Label used in scenario names and aggregates (e.g. `"clean"`,
+    /// `"dropout30"`).
+    pub name: String,
+    /// The failure models the preset enables.
+    pub faults: FaultConfig,
+}
+
+impl FaultPreset {
+    /// The all-off preset every grid falls back to.
+    pub fn clean() -> Self {
+        FaultPreset {
+            name: "clean".to_string(),
+            faults: FaultConfig::default(),
+        }
+    }
+}
+
+/// A cartesian scenario grid over a base configuration.
+///
+/// Empty axes inherit the base config's value, so the default grid is
+/// the single base scenario; each `with_*` setter replaces one axis.
+/// The mobility axis requires the base mobility to be `MarkovHop` or
+/// `HomedMarkovHop` (the only sources with a `P` knob).
+#[derive(Debug, Clone)]
+pub struct ScenarioGrid {
+    base: SimConfig,
+    mobility_ps: Vec<f64>,
+    selection_sizes: Vec<usize>,
+    sync_periods: Vec<usize>,
+    seeds: Vec<u64>,
+    fault_presets: Vec<FaultPreset>,
+}
+
+impl ScenarioGrid {
+    /// A grid holding just the base scenario.
+    pub fn new(base: SimConfig) -> Self {
+        ScenarioGrid {
+            base,
+            mobility_ps: Vec::new(),
+            selection_sizes: Vec::new(),
+            sync_periods: Vec::new(),
+            seeds: Vec::new(),
+            fault_presets: Vec::new(),
+        }
+    }
+
+    /// The base configuration the grid varies.
+    pub fn base(&self) -> &SimConfig {
+        &self.base
+    }
+
+    /// Sweeps the global mobility probability `P`.
+    pub fn with_mobility_ps(mut self, ps: impl Into<Vec<f64>>) -> Self {
+        self.mobility_ps = ps.into();
+        self
+    }
+
+    /// Sweeps the per-edge selection size `K`.
+    pub fn with_selection_sizes(mut self, ks: impl Into<Vec<usize>>) -> Self {
+        self.selection_sizes = ks.into();
+        self
+    }
+
+    /// Sweeps the cloud synchronisation period `T_c`.
+    pub fn with_sync_periods(mut self, tcs: impl Into<Vec<usize>>) -> Self {
+        self.sync_periods = tcs.into();
+        self
+    }
+
+    /// Sweeps the master seed (the cross-seed axis the aggregates
+    /// average over).
+    pub fn with_seeds(mut self, seeds: impl Into<Vec<u64>>) -> Self {
+        self.seeds = seeds.into();
+        self
+    }
+
+    /// Sweeps named fault presets.
+    pub fn with_fault_presets(mut self, presets: impl Into<Vec<FaultPreset>>) -> Self {
+        self.fault_presets = presets.into();
+        self
+    }
+
+    /// Expands the grid into its scenario list (fixed order: `P`
+    /// outermost, then `K`, `T_c`, preset, seed innermost) and
+    /// validates every derived configuration.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidConfig`] when the mobility axis is set on a
+    /// base without a `P` knob, or when any derived config fails
+    /// [`SimConfig::validate`].
+    pub fn scenarios(&self) -> Result<Vec<Scenario>, SimError> {
+        if !self.mobility_ps.is_empty()
+            && !matches!(
+                self.base.mobility,
+                MobilitySource::MarkovHop { .. } | MobilitySource::HomedMarkovHop { .. }
+            )
+        {
+            return Err(SimError::InvalidConfig {
+                message: format!(
+                    "mobility axis requires a MarkovHop/HomedMarkovHop base, got {:?}",
+                    self.base.mobility
+                ),
+            });
+        }
+        let ps: Vec<Option<f64>> = if self.mobility_ps.is_empty() {
+            vec![None]
+        } else {
+            self.mobility_ps.iter().copied().map(Some).collect()
+        };
+        let ks = if self.selection_sizes.is_empty() {
+            vec![self.base.devices_per_edge]
+        } else {
+            self.selection_sizes.clone()
+        };
+        let tcs = if self.sync_periods.is_empty() {
+            vec![self.base.cloud_interval]
+        } else {
+            self.sync_periods.clone()
+        };
+        let seeds = if self.seeds.is_empty() {
+            vec![self.base.seed]
+        } else {
+            self.seeds.clone()
+        };
+        let presets = if self.fault_presets.is_empty() {
+            vec![FaultPreset {
+                name: "base".to_string(),
+                faults: self.base.faults,
+            }]
+        } else {
+            self.fault_presets.clone()
+        };
+        let mut out =
+            Vec::with_capacity(ps.len() * ks.len() * tcs.len() * presets.len() * seeds.len());
+        for &p in &ps {
+            for &k in &ks {
+                for &tc in &tcs {
+                    for preset in &presets {
+                        for &seed in &seeds {
+                            let mut config = self.base.clone();
+                            if let Some(p) = p {
+                                config.mobility = match config.mobility {
+                                    MobilitySource::MarkovHop { .. } => {
+                                        MobilitySource::MarkovHop { p }
+                                    }
+                                    MobilitySource::HomedMarkovHop { home_bias, .. } => {
+                                        MobilitySource::HomedMarkovHop { p, home_bias }
+                                    }
+                                    other => other,
+                                };
+                            }
+                            config.devices_per_edge = k;
+                            config.cloud_interval = tc;
+                            config.seed = seed;
+                            config.faults = preset.faults;
+                            let label = match p {
+                                Some(p) => format!("p{p}-k{k}-tc{tc}-{}-s{seed}", preset.name),
+                                None => format!("k{k}-tc{tc}-{}-s{seed}", preset.name),
+                            };
+                            config
+                                .validate()
+                                .map_err(|message| SimError::InvalidConfig {
+                                    message: format!("scenario {label}: {message}"),
+                                })?;
+                            out.push(Scenario {
+                                index: out.len(),
+                                label,
+                                p,
+                                k,
+                                sync_period: tc,
+                                seed,
+                                preset: preset.name.clone(),
+                                config,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// FNV-1a digest of the expanded scenario list (labels + configs).
+    /// Stored in sweep state files so a resume is never applied to a
+    /// different grid.
+    ///
+    /// # Errors
+    /// Propagates [`ScenarioGrid::scenarios`] errors.
+    pub fn digest(&self) -> Result<u64, SimError> {
+        Ok(scenarios_digest(&self.scenarios()?))
+    }
+}
+
+fn scenarios_digest(scenarios: &[Scenario]) -> u64 {
+    let mut bytes = Vec::new();
+    for s in scenarios {
+        bytes.extend_from_slice(s.label.as_bytes());
+        bytes.push(b'\n');
+        bytes.extend_from_slice(
+            serde_json::to_string(&s.config)
+                .expect("config serialisation cannot fail")
+                .as_bytes(),
+        );
+        bytes.push(b'\n');
+    }
+    fnv1a(&bytes)
+}
+
+/// One expanded grid point: the derived config plus the axis values
+/// that produced it.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Position in the grid's fixed expansion order.
+    pub index: usize,
+    /// Human-readable scenario name (`p0.5-k3-tc4-clean-s7`).
+    pub label: String,
+    /// The mobility-axis value (`None` when the axis was not swept).
+    pub p: Option<f64>,
+    /// Selection size `K`.
+    pub k: usize,
+    /// Cloud sync period `T_c`.
+    pub sync_period: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fault preset name.
+    pub preset: String,
+    /// The fully derived, validated configuration.
+    pub config: SimConfig,
+}
+
+/// How [`run_sweep`] executes.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads; `0` uses the host's available parallelism.
+    pub threads: usize,
+    /// Step implementation every scenario runs with.
+    pub step_mode: StepMode,
+    /// Directory for per-scenario checkpoints and the sweep completion
+    /// ledger; `None` disables persistence (no resume).
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Steps between mid-run checkpoints of each scenario (`0` = only
+    /// the completion ledger, no mid-run snapshots). Ignored without a
+    /// `checkpoint_dir`.
+    pub checkpoint_every: usize,
+    /// Cap on scenarios *completed this invocation* (earliest pending
+    /// first — deterministic, used to simulate a killed sweep). `None`
+    /// runs everything.
+    pub limit: Option<usize>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            threads: 0,
+            step_mode: StepMode::Fast,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            limit: None,
+        }
+    }
+}
+
+/// One completed scenario: its axis values plus the full
+/// [`RunRecord`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioRecord {
+    /// Position in the grid's expansion order.
+    pub index: usize,
+    /// Scenario name.
+    pub label: String,
+    /// Mobility-axis value, when swept.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub p: Option<f64>,
+    /// Selection size `K`.
+    pub k: usize,
+    /// Cloud sync period `T_c`.
+    pub sync_period: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Fault preset name.
+    pub preset: String,
+    /// The run's measured output.
+    pub record: RunRecord,
+}
+
+/// Cross-seed statistics for one grid cell (same `P`, `K`, `T_c` and
+/// preset; averaged over the seed axis).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregatePoint {
+    /// Cell label without the seed suffix.
+    pub label: String,
+    /// Mobility-axis value, when swept.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub p: Option<f64>,
+    /// Selection size `K`.
+    pub k: usize,
+    /// Cloud sync period `T_c`.
+    pub sync_period: usize,
+    /// Fault preset name.
+    pub preset: String,
+    /// Seeds aggregated.
+    pub seeds: usize,
+    /// Mean final accuracy across seeds.
+    pub final_mean: f64,
+    /// Sample standard deviation (n−1) of the final accuracy.
+    pub final_std: f64,
+    /// 95% confidence half-width (`1.96·std/√n`) of the final accuracy.
+    pub final_ci95: f64,
+    /// Mean tail(3) accuracy across seeds (Figure 7's smoothed bars).
+    pub tail_mean: f64,
+    /// Sample standard deviation of the tail accuracy.
+    pub tail_std: f64,
+    /// 95% confidence half-width of the tail accuracy.
+    pub tail_ci95: f64,
+}
+
+/// The sweep's completion ledger, persisted as `sweep_state.json` in
+/// the checkpoint directory after every scenario completion (atomic
+/// tmp-then-rename writes).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SweepState {
+    schema_version: u32,
+    grid_digest: u64,
+    records: Vec<Option<ScenarioRecord>>,
+}
+
+/// The versioned output of [`run_sweep`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// [`SWEEP_REPORT_SCHEMA_VERSION`] at emission time.
+    pub schema_version: u32,
+    /// Digest of the grid the report covers.
+    pub grid_digest: u64,
+    /// Whether every scenario in the grid has completed (a limited or
+    /// interrupted sweep reports `false`).
+    pub complete: bool,
+    /// Completed scenarios in grid order.
+    pub scenarios: Vec<ScenarioRecord>,
+    /// Cross-seed statistics per grid cell, over the completed
+    /// scenarios.
+    pub aggregates: Vec<AggregatePoint>,
+    /// Wall-clock seconds of this `run_sweep` invocation.
+    pub wall_seconds: f64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Input-cache hits observed this invocation.
+    pub cache_hits: u64,
+    /// Input-cache misses observed this invocation.
+    pub cache_misses: u64,
+}
+
+impl SweepReport {
+    /// Serialises the report with every wall-clock-dependent field
+    /// zeroed (per-run `wall_seconds`, telemetry latency summaries, the
+    /// sweep's own wall clock, thread count and cache counters), so two
+    /// reports over the same grid compare bitwise regardless of
+    /// scheduling, interruption or host speed.
+    pub fn deterministic_json(&self) -> String {
+        let mut clean = self.clone();
+        clean.wall_seconds = 0.0;
+        clean.threads = 0;
+        clean.cache_hits = 0;
+        clean.cache_misses = 0;
+        for s in &mut clean.scenarios {
+            s.record.wall_seconds = 0.0;
+            s.record.telemetry = None;
+        }
+        serde_json::to_string(&clean).expect("report serialisation cannot fail")
+    }
+
+    /// Serialises the full report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("report serialisation cannot fail")
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> SimError {
+    SimError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    }
+}
+
+/// Writes `contents` to `path` atomically (tmp file + rename), so a
+/// kill mid-write never leaves a truncated state file behind.
+fn write_atomic(path: &Path, contents: &str) -> Result<(), SimError> {
+    let tmp = path.with_extension("json.tmp");
+    fs::write(&tmp, contents).map_err(|e| io_err(&tmp, e))?;
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    Ok(())
+}
+
+fn mean_std_ci(values: &[f64]) -> (f64, f64, f64) {
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    if values.len() < 2 {
+        return (mean, 0.0, 0.0);
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1.0);
+    let std = var.sqrt();
+    (mean, std, 1.96 * std / n.sqrt())
+}
+
+/// Groups the completed scenarios by grid cell (everything but the
+/// seed) in first-appearance order and computes cross-seed statistics.
+fn aggregate(records: &[ScenarioRecord]) -> Vec<AggregatePoint> {
+    let mut cells: Vec<(String, Vec<&ScenarioRecord>)> = Vec::new();
+    for r in records {
+        let key = match r.p {
+            Some(p) => format!("p{p}-k{}-tc{}-{}", r.k, r.sync_period, r.preset),
+            None => format!("k{}-tc{}-{}", r.k, r.sync_period, r.preset),
+        };
+        match cells.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, members)) => members.push(r),
+            None => cells.push((key, vec![r])),
+        }
+    }
+    cells
+        .into_iter()
+        .map(|(label, members)| {
+            let finals: Vec<f64> = members
+                .iter()
+                .map(|r| f64::from(r.record.final_accuracy()))
+                .collect();
+            let tails: Vec<f64> = members
+                .iter()
+                .map(|r| f64::from(r.record.tail_accuracy(3)))
+                .collect();
+            let (final_mean, final_std, final_ci95) = mean_std_ci(&finals);
+            let (tail_mean, tail_std, tail_ci95) = mean_std_ci(&tails);
+            let first = members[0];
+            AggregatePoint {
+                label,
+                p: first.p,
+                k: first.k,
+                sync_period: first.sync_period,
+                preset: first.preset.clone(),
+                seeds: members.len(),
+                final_mean,
+                final_std,
+                final_ci95,
+                tail_mean,
+                tail_std,
+                tail_ci95,
+            }
+        })
+        .collect()
+}
+
+/// Runs (or resumes) a scenario grid.
+///
+/// Workers claim pending scenarios from a shared cursor; immutable
+/// inputs are shared through one [`InputCache`]; per-scenario results
+/// are deterministic functions of their configs, independent of shard
+/// assignment and thread count. With a checkpoint directory configured,
+/// completed scenarios are recorded in `sweep_state.json` and long runs
+/// snapshot mid-flight state every [`SweepOptions::checkpoint_every`]
+/// steps, so a killed sweep resumes without redoing finished work and
+/// reproduces the uninterrupted report bitwise
+/// ([`SweepReport::deterministic_json`]).
+///
+/// # Errors
+/// [`SimError::InvalidConfig`] from grid expansion, or the first
+/// builder/checkpoint/[`SimError::Io`] error any worker hits (remaining
+/// workers stop claiming new scenarios).
+pub fn run_sweep(grid: &ScenarioGrid, opts: &SweepOptions) -> Result<SweepReport, SimError> {
+    let start = Instant::now();
+    let scenarios = grid.scenarios()?;
+    let digest = scenarios_digest(&scenarios);
+
+    let state_path = opts
+        .checkpoint_dir
+        .as_ref()
+        .map(|d| d.join("sweep_state.json"));
+    if let Some(dir) = &opts.checkpoint_dir {
+        fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    }
+    let mut records: Vec<Option<ScenarioRecord>> = vec![None; scenarios.len()];
+    if let Some(path) = &state_path {
+        if let Ok(text) = fs::read_to_string(path) {
+            if let Ok(state) = serde_json::from_str::<SweepState>(&text) {
+                if state.schema_version == SWEEP_REPORT_SCHEMA_VERSION
+                    && state.grid_digest == digest
+                    && state.records.len() == scenarios.len()
+                {
+                    records = state.records;
+                }
+            }
+        }
+    }
+
+    let mut todo: Vec<usize> = (0..scenarios.len())
+        .filter(|&i| records[i].is_none())
+        .collect();
+    if let Some(limit) = opts.limit {
+        todo.truncate(limit);
+    }
+
+    let threads = if opts.threads == 0 {
+        thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        opts.threads
+    }
+    .min(todo.len().max(1));
+
+    let cache = InputCache::new();
+    let cursor = AtomicUsize::new(0);
+    let results = Mutex::new(records);
+    let first_error: Mutex<Option<SimError>> = Mutex::new(None);
+    let scenarios = Arc::new(scenarios);
+
+    thread::scope(|scope| {
+        for _ in 0..threads {
+            let cache = Arc::clone(&cache);
+            let scenarios = Arc::clone(&scenarios);
+            let (cursor, todo, results, first_error) = (&cursor, &todo, &results, &first_error);
+            let state_path = state_path.as_deref();
+            scope.spawn(move || loop {
+                let claim = cursor.fetch_add(1, Ordering::Relaxed);
+                if claim >= todo.len() {
+                    return;
+                }
+                if first_error.lock().expect("error slot poisoned").is_some() {
+                    return;
+                }
+                let scenario = &scenarios[todo[claim]];
+                match run_scenario(scenario, &cache, opts) {
+                    Ok(record) => {
+                        let mut recs = results.lock().expect("result slot poisoned");
+                        recs[scenario.index] = Some(record);
+                        if let Some(path) = state_path {
+                            let state = SweepState {
+                                schema_version: SWEEP_REPORT_SCHEMA_VERSION,
+                                grid_digest: digest,
+                                records: recs.clone(),
+                            };
+                            let json = serde_json::to_string(&state)
+                                .expect("state serialisation cannot fail");
+                            if let Err(e) = write_atomic(path, &json) {
+                                let mut slot = first_error.lock().expect("error slot poisoned");
+                                slot.get_or_insert(e);
+                                return;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        let mut slot = first_error.lock().expect("error slot poisoned");
+                        slot.get_or_insert(e);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some(e) = first_error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+    let records = results.into_inner().expect("result slot poisoned");
+    let complete = records.iter().all(Option::is_some);
+    let completed: Vec<ScenarioRecord> = records.into_iter().flatten().collect();
+    let aggregates = aggregate(&completed);
+    Ok(SweepReport {
+        schema_version: SWEEP_REPORT_SCHEMA_VERSION,
+        grid_digest: digest,
+        complete,
+        scenarios: completed,
+        aggregates,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        threads,
+        cache_hits: cache.hits(),
+        cache_misses: cache.misses(),
+    })
+}
+
+/// Runs one scenario to completion: builds through the shared cache,
+/// resumes from an existing mid-run checkpoint when one matches, ticks
+/// with periodic snapshots, and removes the snapshot on completion.
+fn run_scenario(
+    scenario: &Scenario,
+    cache: &Arc<InputCache>,
+    opts: &SweepOptions,
+) -> Result<ScenarioRecord, SimError> {
+    let mut sim = SimulationBuilder::new(scenario.config.clone())
+        .with_shared_inputs(Arc::clone(cache))
+        .build()
+        .map_err(|e| match e {
+            SimError::InvalidConfig { message } => SimError::InvalidConfig {
+                message: format!("scenario {}: {message}", scenario.label),
+            },
+            other => other,
+        })?;
+    let ckpt_path = opts
+        .checkpoint_dir
+        .as_ref()
+        .map(|d| d.join(format!("scenario_{}.ckpt.json", scenario.index)));
+    if let Some(path) = &ckpt_path {
+        if let Ok(text) = fs::read_to_string(path) {
+            if let Ok(ck) = SimCheckpoint::from_json(&text) {
+                // A mismatching snapshot (different grid reusing the
+                // directory) is ignored: the scenario restarts cold.
+                let _ = sim.restore(&ck);
+            }
+        }
+    }
+    while !sim.is_finished() {
+        sim.tick(opts.step_mode);
+        if let Some(path) = &ckpt_path {
+            if opts.checkpoint_every > 0
+                && sim.next_step() % opts.checkpoint_every == 0
+                && !sim.is_finished()
+            {
+                write_atomic(path, &sim.checkpoint().to_json())?;
+            }
+        }
+    }
+    let record = sim.finish();
+    if let Some(path) = &ckpt_path {
+        let _ = fs::remove_file(path);
+    }
+    Ok(ScenarioRecord {
+        index: scenario.index,
+        label: scenario.label.clone(),
+        p: scenario.p,
+        k: scenario.k,
+        sync_period: scenario.sync_period,
+        seed: scenario.seed,
+        preset: scenario.preset.clone(),
+        record,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use middle_data::Task;
+
+    fn tiny() -> SimConfig {
+        SimConfig::tiny(Task::Mnist, Algorithm::middle())
+    }
+
+    #[test]
+    fn empty_axes_expand_to_the_base_scenario() {
+        let grid = ScenarioGrid::new(tiny());
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 1);
+        let s = &scenarios[0];
+        assert_eq!(s.k, 2);
+        assert_eq!(s.sync_period, 4);
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.preset, "base");
+        assert_eq!(s.p, None);
+        assert_eq!(s.label, "k2-tc4-base-s7");
+    }
+
+    #[test]
+    fn cartesian_expansion_covers_every_combination() {
+        let grid = ScenarioGrid::new(tiny())
+            .with_mobility_ps([0.1, 0.9])
+            .with_selection_sizes([2usize, 3])
+            .with_sync_periods([2usize, 4])
+            .with_seeds([7u64, 8, 9]);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 2 * 2 * 2 * 3);
+        // Labels are unique and indices match positions.
+        for (i, s) in scenarios.iter().enumerate() {
+            assert_eq!(s.index, i);
+        }
+        let mut labels: Vec<&str> = scenarios.iter().map(|s| s.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), scenarios.len());
+        // Seed is the innermost axis.
+        assert_eq!(scenarios[0].seed, 7);
+        assert_eq!(scenarios[1].seed, 8);
+        assert_eq!(scenarios[2].seed, 9);
+        assert_eq!(scenarios[0].p, Some(0.1));
+    }
+
+    #[test]
+    fn mobility_axis_rejects_bases_without_a_p_knob() {
+        let mut cfg = tiny();
+        cfg.mobility = MobilitySource::Stationary;
+        let err = ScenarioGrid::new(cfg)
+            .with_mobility_ps([0.5])
+            .scenarios()
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn invalid_derived_configs_fail_expansion_with_the_label() {
+        let err = ScenarioGrid::new(tiny())
+            .with_selection_sizes([1000usize])
+            .scenarios()
+            .unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("k1000"), "{text}");
+    }
+
+    #[test]
+    fn digest_tracks_the_grid() {
+        let a = ScenarioGrid::new(tiny()).digest().unwrap();
+        let b = ScenarioGrid::new(tiny())
+            .with_seeds([8u64])
+            .digest()
+            .unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a, ScenarioGrid::new(tiny()).digest().unwrap());
+    }
+
+    #[test]
+    fn mean_std_ci_handles_single_and_multiple_samples() {
+        let (m, s, c) = mean_std_ci(&[0.5]);
+        assert_eq!((m, s, c), (0.5, 0.0, 0.0));
+        let (m, s, c) = mean_std_ci(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert!((c - 1.96 / 3f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregates_group_across_seeds_only() {
+        let mk = |k: usize, seed: u64, acc: f32| ScenarioRecord {
+            index: 0,
+            label: format!("k{k}-tc4-base-s{seed}"),
+            p: None,
+            k,
+            sync_period: 4,
+            seed,
+            preset: "base".to_string(),
+            record: RunRecord {
+                schema_version: crate::metrics::RUN_RECORD_SCHEMA_VERSION,
+                algorithm: "MIDDLE".to_string(),
+                task: "mnist".to_string(),
+                points: vec![crate::metrics::EvalPoint {
+                    step: 1,
+                    global_accuracy: acc,
+                    global_loss: 0.0,
+                    edge_accuracy: Vec::new(),
+                    global_per_class: Vec::new(),
+                    edge0_per_class: Vec::new(),
+                }],
+                empirical_mobility: 0.5,
+                wall_seconds: 1.0,
+                comm: Default::default(),
+                syncs: 0,
+                active_steps: 0,
+                telemetry: None,
+            },
+        };
+        let records = vec![mk(2, 7, 0.4), mk(2, 8, 0.6), mk(3, 7, 0.8)];
+        let aggs = aggregate(&records);
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].seeds, 2);
+        assert!((aggs[0].final_mean - 0.5).abs() < 1e-6);
+        assert_eq!(aggs[1].seeds, 1);
+        assert_eq!(aggs[1].k, 3);
+    }
+}

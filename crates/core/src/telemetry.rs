@@ -656,6 +656,14 @@ impl Telemetry {
         &self.counters
     }
 
+    /// Overwrites the event counters from a checkpoint. Counters are
+    /// deterministic and resumable; the latency histograms are host
+    /// wall-clock measurements and deliberately start empty after a
+    /// restore (see [`crate::checkpoint`]).
+    pub fn restore_counters(&mut self, counters: StepCounters) {
+        self.counters = counters;
+    }
+
     /// The per-phase latency histogram.
     pub fn phase_histogram(&self, phase: Phase) -> &LatencyHistogram {
         &self.phase_hist[phase.index()]

@@ -4,13 +4,26 @@
 //! clouds, and pathological model states.
 
 use middle_core::aggregation::{cloud_aggregate, on_device_init};
-use middle_core::{Algorithm, MobilitySource, OnDevicePolicy, SimConfig, Simulation};
+use middle_core::{
+    Algorithm, MobilitySource, OnDevicePolicy, SimConfig, SimError, Simulation, SimulationBuilder,
+};
 use middle_data::Task;
 use middle_mobility::Trace;
 use middle_nn::params::{flatten, unflatten};
 
 fn tiny(algorithm: Algorithm) -> SimConfig {
     SimConfig::tiny(Task::Mnist, algorithm)
+}
+
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
+}
+
+fn built_with_trace(cfg: SimConfig, trace: Trace) -> Simulation {
+    SimulationBuilder::new(cfg)
+        .with_trace(trace)
+        .build()
+        .expect("valid trace")
 }
 
 #[test]
@@ -23,7 +36,7 @@ fn edges_with_no_candidates_are_skipped() {
     cfg.steps = 3;
     cfg.cloud_interval = 10; // no sync within the horizon
     let trace = Trace::new(2, vec![vec![0; 6]; 3]);
-    let mut sim = Simulation::with_trace(cfg, trace);
+    let mut sim = built_with_trace(cfg, trace);
     let edge1_before = flatten(&sim.edges()[1].model);
     for t in 0..3 {
         sim.step(t);
@@ -37,9 +50,11 @@ fn k_larger_than_any_edge_population_still_trains() {
     let mut cfg = tiny(Algorithm::oort());
     cfg.num_devices = 4;
     cfg.num_edges = 2;
-    cfg.devices_per_edge = 50; // K >> devices
+    // K equal to the whole population still exceeds every per-edge
+    // candidate set (~2 devices each); larger K now fails validation.
+    cfg.devices_per_edge = 4;
     cfg.steps = 2;
-    let record = Simulation::new(cfg).run();
+    let record = built(cfg).run();
     assert!(record.final_accuracy().is_finite());
 }
 
@@ -50,7 +65,7 @@ fn single_edge_degenerates_to_vanilla_fl() {
     cfg.num_edges = 1;
     cfg.num_devices = 6;
     cfg.steps = 4;
-    let sim = Simulation::new(cfg);
+    let sim = built(cfg);
     assert_eq!(sim.trace().empirical_mobility(), 0.0);
 }
 
@@ -61,7 +76,7 @@ fn single_device_per_edge_works() {
     cfg.num_edges = 2;
     cfg.devices_per_edge = 1;
     cfg.steps = 3;
-    let record = Simulation::new(cfg).run();
+    let record = built(cfg).run();
     assert!(record.final_accuracy().is_finite());
 }
 
@@ -70,7 +85,7 @@ fn never_syncing_cloud_keeps_initial_cloud_model() {
     let mut cfg = tiny(Algorithm::middle());
     cfg.cloud_interval = 1000;
     cfg.steps = 4;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = built(cfg);
     let cloud0 = flatten(sim.cloud_model());
     for t in 0..4 {
         sim.step(t);
@@ -85,7 +100,7 @@ fn sync_every_step_is_valid() {
     let mut cfg = tiny(Algorithm::middle());
     cfg.cloud_interval = 1;
     cfg.steps = 3;
-    let record = Simulation::new(cfg).run();
+    let record = built(cfg).run();
     assert!(record.final_accuracy().is_finite());
 }
 
@@ -94,7 +109,7 @@ fn full_mobility_probability_one() {
     let mut cfg = tiny(Algorithm::middle());
     cfg.mobility = MobilitySource::MarkovHop { p: 1.0 };
     cfg.steps = 5;
-    let sim = Simulation::new(cfg);
+    let sim = built(cfg);
     assert!(sim.trace().empirical_mobility() > 0.9);
 }
 
@@ -110,7 +125,7 @@ fn zero_mobility_never_triggers_on_device_aggregation() {
         ));
         cfg.mobility = MobilitySource::MarkovHop { p: 0.0 };
         cfg.steps = 4;
-        Simulation::new(cfg).run()
+        built(cfg).run()
     };
     let blended = mk(OnDevicePolicy::SimilarityWeighted);
     let general = mk(OnDevicePolicy::EdgeModel);
@@ -160,19 +175,25 @@ fn trace_exactly_as_long_as_horizon_is_accepted() {
     cfg.num_devices = 8;
     cfg.num_edges = 2;
     let trace = Trace::new(2, vec![vec![0, 1, 0, 1, 0, 1, 0, 1]; 5]);
-    let record = Simulation::with_trace(cfg, trace).run();
+    let record = built_with_trace(cfg, trace).run();
     assert!(record.final_accuracy().is_finite());
 }
 
 #[test]
-#[should_panic(expected = "shorter than the configured horizon")]
 fn too_short_trace_is_rejected() {
     let mut cfg = tiny(Algorithm::middle());
     cfg.steps = 9;
     cfg.num_devices = 8;
     cfg.num_edges = 2;
     let trace = Trace::new(2, vec![vec![0; 8]; 3]);
-    Simulation::with_trace(cfg, trace);
+    let err = match SimulationBuilder::new(cfg).with_trace(trace).build() {
+        Ok(_) => panic!("short trace must not build"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, SimError::TraceMismatch { .. }));
+    assert!(err
+        .to_string()
+        .contains("shorter than the configured horizon"));
 }
 
 #[test]
@@ -181,7 +202,7 @@ fn extreme_class_imbalance_on_speech_task() {
     let mut cfg = SimConfig::tiny(Task::Speech, Algorithm::greedy());
     cfg.scheme = middle_data::Scheme::SingleClass;
     cfg.steps = 3;
-    let record = Simulation::new(cfg).run();
+    let record = built(cfg).run();
     assert!(record.final_accuracy().is_finite());
 }
 
@@ -193,7 +214,7 @@ fn comm_stats_accumulate_per_step_and_sync() {
     cfg.devices_per_edge = 2;
     cfg.cloud_interval = 2;
     cfg.steps = 4;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = built(cfg);
     for t in 0..4 {
         sim.step(t);
     }
@@ -214,7 +235,7 @@ fn larger_tc_reduces_wan_traffic() {
         let mut cfg = tiny(Algorithm::oort());
         cfg.cloud_interval = tc;
         cfg.steps = 8;
-        Simulation::new(cfg).run()
+        built(cfg).run()
     };
     let frequent = run(2);
     let rare = run(8);
@@ -227,7 +248,7 @@ fn zero_availability_blocks_all_training() {
     let mut cfg = tiny(Algorithm::middle());
     cfg.availability = 0.0;
     cfg.steps = 3;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = built(cfg);
     let before = flatten(&sim.edges()[0].model);
     for t in 0..3 {
         sim.step(t);
@@ -241,7 +262,7 @@ fn partial_availability_still_converges_run() {
     let mut cfg = tiny(Algorithm::middle());
     cfg.availability = 0.5;
     cfg.steps = 6;
-    let record = Simulation::new(cfg).run();
+    let record = built(cfg).run();
     assert!(record.final_accuracy().is_finite());
     assert!(record.comm.total() > 0);
 }

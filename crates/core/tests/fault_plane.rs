@@ -6,7 +6,8 @@
 //! stay interchangeable with faults enabled.
 
 use middle_core::{
-    Algorithm, DelayModel, DropoutModel, FaultConfig, SimConfig, Simulation, StepCounters,
+    Algorithm, DelayModel, DropoutModel, FaultConfig, SimConfig, Simulation, SimulationBuilder,
+    StepCounters, StepMode,
 };
 use middle_data::Task;
 use middle_nn::params::flatten;
@@ -14,6 +15,9 @@ use proptest::prelude::*;
 
 fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
+}
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
 }
 
 fn base_config() -> SimConfig {
@@ -28,7 +32,7 @@ fn base_config() -> SimConfig {
 /// Full end-state fingerprint of a run: every model's parameter bits
 /// plus the communication ledger.
 fn run_fingerprint(cfg: &SimConfig) -> (Vec<Vec<u32>>, middle_core::CommStats, u64, u64) {
-    let mut sim = Simulation::new(cfg.clone());
+    let mut sim = built(cfg.clone());
     for t in 0..cfg.steps {
         sim.step(t);
     }
@@ -39,7 +43,7 @@ fn run_fingerprint(cfg: &SimConfig) -> (Vec<Vec<u32>>, middle_core::CommStats, u
 }
 
 fn run_counters(cfg: &SimConfig) -> (StepCounters, middle_core::CommStats, u64) {
-    let mut sim = Simulation::new(cfg.clone());
+    let mut sim = built(cfg.clone());
     for t in 0..cfg.steps {
         sim.step(t);
     }
@@ -102,7 +106,7 @@ proptest! {
         cfg.steps = 6;
         cfg.seed = seed;
         cfg.faults.dropout = DropoutModel::Iid { p: 1.0 };
-        let mut sim = Simulation::new(cfg.clone());
+        let mut sim = built(cfg.clone());
         let init = bits(&flatten(sim.cloud_model()));
         for t in 0..cfg.steps {
             sim.step(t);
@@ -168,7 +172,7 @@ fn deadline_misses_become_stale_merges_next_step() {
         max_s: 2.0,
     };
     cfg.faults.deadline_s = 1.0;
-    let mut sim = Simulation::new(cfg.clone());
+    let mut sim = built(cfg.clone());
     let init = bits(&flatten(sim.cloud_model()));
 
     // Step 0: everyone trains, everyone misses the deadline — edge
@@ -220,7 +224,7 @@ fn deadline_misses_become_stale_merges_next_step() {
 fn total_wan_outage_suppresses_every_sync() {
     let mut cfg = base_config();
     cfg.faults.wan_outage = 1.0;
-    let mut sim = Simulation::new(cfg.clone());
+    let mut sim = built(cfg.clone());
     let init = bits(&flatten(sim.cloud_model()));
     for t in 0..cfg.steps {
         sim.step(t);
@@ -282,11 +286,11 @@ fn faulty_trace_is_bitwise_identical_to_reference() {
         upload_retries: 2,
         wan_outage: 0.4,
     };
-    let mut fast = Simulation::new(cfg.clone());
-    let mut slow = Simulation::new(cfg.clone());
+    let mut fast = built(cfg.clone());
+    let mut slow = built(cfg.clone());
     for t in 0..cfg.steps {
         fast.step(t);
-        slow.step_reference(t);
+        slow.advance(t, StepMode::Reference);
         assert_eq!(
             bits(&flatten(fast.cloud_model())),
             bits(&flatten(slow.cloud_model())),

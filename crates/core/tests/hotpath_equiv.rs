@@ -10,7 +10,9 @@ use middle_core::selection::{
     select_devices, select_devices_reference, update_similarity, update_similarity_reference,
 };
 use middle_core::similarity::similarity_utility;
-use middle_core::{Algorithm, Device, SelectionPolicy, SimConfig, Simulation};
+use middle_core::{
+    Algorithm, Device, SelectionPolicy, SimConfig, Simulation, SimulationBuilder, StepMode,
+};
 use middle_data::synthetic::{SyntheticSource, Task};
 use middle_data::Task as DataTask;
 use middle_nn::params::{flatten, unflatten, weighted_average, weighted_average_into};
@@ -18,6 +20,10 @@ use middle_nn::{zoo, Sequential};
 use middle_tensor::ops::{cosine_similarity_slices, dot3_slices, dot_slices};
 use middle_tensor::random::rng;
 use proptest::prelude::*;
+
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
+}
 
 fn model_from(vals: &[f32]) -> Sequential {
     let mut m = Sequential::new().push(middle_nn::layers::Dense::new(3, 2, &mut rng(1)));
@@ -192,12 +198,12 @@ fn twenty_step_trace_is_bitwise_identical_to_reference() {
     cfg.steps = 20;
     cfg.cloud_interval = 4;
     cfg.eval_interval = 2;
-    let mut fast = Simulation::new(cfg.clone());
-    let mut slow = Simulation::new(cfg.clone());
+    let mut fast = built(cfg.clone());
+    let mut slow = built(cfg.clone());
 
     for t in 0..cfg.steps {
         fast.step(t);
-        slow.step_reference(t);
+        slow.advance(t, StepMode::Reference);
 
         let (cf, cs) = (flatten(fast.cloud_model()), flatten(slow.cloud_model()));
         assert_eq!(bits(&cf), bits(&cs), "cloud diverged at step {t}");
@@ -248,11 +254,11 @@ fn availability_trace_is_bitwise_identical_to_reference() {
     cfg.steps = 16;
     cfg.cloud_interval = 4;
     cfg.availability = 0.5;
-    let mut fast = Simulation::new(cfg.clone());
-    let mut slow = Simulation::new(cfg.clone());
+    let mut fast = built(cfg.clone());
+    let mut slow = built(cfg.clone());
     for t in 0..cfg.steps {
         fast.step(t);
-        slow.step_reference(t);
+        slow.advance(t, StepMode::Reference);
         let (cf, cs) = (flatten(fast.cloud_model()), flatten(slow.cloud_model()));
         assert_eq!(bits(&cf), bits(&cs), "cloud diverged at step {t}");
         for (df, ds) in fast.devices().iter().zip(slow.devices()) {
@@ -287,11 +293,11 @@ fn keep_local_trace_is_bitwise_identical_to_reference() {
     let mut cfg = SimConfig::tiny(DataTask::Mnist, algo);
     cfg.steps = 12;
     cfg.cloud_interval = 4;
-    let mut fast = Simulation::new(cfg.clone());
-    let mut slow = Simulation::new(cfg.clone());
+    let mut fast = built(cfg.clone());
+    let mut slow = built(cfg.clone());
     for t in 0..cfg.steps {
         fast.step(t);
-        slow.step_reference(t);
+        slow.advance(t, StepMode::Reference);
         let (cf, cs) = (flatten(fast.cloud_model()), flatten(slow.cloud_model()));
         assert_eq!(bits(&cf), bits(&cs), "cloud diverged at step {t}");
         for (df, ds) in fast.devices().iter().zip(slow.devices()) {
@@ -325,11 +331,11 @@ fn oort_trace_is_bitwise_identical_to_reference() {
     let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::oort());
     cfg.steps = 12;
     cfg.cloud_interval = 3;
-    let mut fast = Simulation::new(cfg.clone());
-    let mut slow = Simulation::new(cfg.clone());
+    let mut fast = built(cfg.clone());
+    let mut slow = built(cfg.clone());
     for t in 0..cfg.steps {
         fast.step(t);
-        slow.step_reference(t);
+        slow.advance(t, StepMode::Reference);
     }
     assert_eq!(
         bits(&flatten(fast.cloud_model())),
@@ -374,7 +380,7 @@ fn default_fault_config_is_bitwise_identical_to_pre_fault_plane_main() {
     cfg.cloud_interval = 4;
     cfg.eval_interval = 2;
     assert_eq!(cfg.faults, middle_core::FaultConfig::default());
-    let mut sim = Simulation::new(cfg);
+    let mut sim = built(cfg);
     for t in 0..20 {
         sim.step(t);
     }

@@ -3,8 +3,14 @@
 //! agree exactly with the simulation's communication accounting, and
 //! enabling the recorder must not perturb the simulation itself.
 
-use middle_core::{Algorithm, OnDevicePolicy, SelectionPolicy, SimConfig, Simulation};
+use middle_core::{
+    Algorithm, OnDevicePolicy, SelectionPolicy, SimConfig, Simulation, SimulationBuilder,
+};
 use middle_data::Task as DataTask;
+
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
+}
 
 /// A config that exercises every counter: availability dropout (so some
 /// candidates are filtered and steps can go inactive) plus `KeepLocal`
@@ -27,7 +33,7 @@ fn instrumented_config() -> SimConfig {
 fn report_absent_when_disabled() {
     let cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
     assert!(!cfg.telemetry_enabled());
-    let record = Simulation::new(cfg).run();
+    let record = built(cfg).run();
     assert!(record.telemetry.is_none());
     // active_steps is tracked regardless of telemetry.
     assert!(record.active_steps > 0);
@@ -35,7 +41,7 @@ fn report_absent_when_disabled() {
 
 #[test]
 fn phase_totals_account_for_step_time() {
-    let record = Simulation::new(instrumented_config()).run();
+    let record = built(instrumented_config()).run();
     let report = record.telemetry.expect("telemetry enabled");
     let step_total = report.step.total_ns;
     let phase_total = report.step_phase_total_ns();
@@ -58,7 +64,7 @@ fn phase_totals_account_for_step_time() {
 fn counters_match_comm_stats_exactly() {
     let cfg = instrumented_config();
     let (num_edges, num_devices) = (cfg.num_edges as u64, cfg.num_devices as u64);
-    let mut sim = Simulation::new(cfg.clone());
+    let mut sim = built(cfg.clone());
     let record = sim.run();
     let report = record.telemetry.as_ref().expect("telemetry enabled");
     let c = report.counters;
@@ -85,8 +91,8 @@ fn counters_match_comm_stats_exactly() {
 fn telemetry_does_not_perturb_the_run() {
     let mut plain = instrumented_config();
     plain.telemetry = false;
-    let instrumented = Simulation::new(instrumented_config()).run();
-    let bare = Simulation::new(plain).run();
+    let instrumented = built(instrumented_config()).run();
+    let bare = built(plain).run();
     assert_eq!(instrumented.points.len(), bare.points.len());
     for (a, b) in instrumented.points.iter().zip(&bare.points) {
         assert_eq!(a.global_accuracy.to_bits(), b.global_accuracy.to_bits());
@@ -107,7 +113,7 @@ fn jsonl_sink_writes_one_line_per_step() {
     cfg.steps = 6;
     cfg.telemetry_jsonl = Some(path.to_string_lossy().into_owned());
     assert!(cfg.telemetry_enabled(), "jsonl path implies telemetry");
-    let record = Simulation::new(cfg.clone()).run();
+    let record = built(cfg.clone()).run();
     assert!(record.telemetry.is_some());
 
     #[derive(serde::Deserialize)]
@@ -137,7 +143,7 @@ fn jsonl_sink_writes_one_line_per_step() {
 
 #[test]
 fn report_summary_table_names_every_phase() {
-    let record = Simulation::new(instrumented_config()).run();
+    let record = built(instrumented_config()).run();
     let report = record.telemetry.expect("telemetry enabled");
     let table = report.summary_table();
     for phase in [

@@ -207,6 +207,20 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state, for checkpointing.
+        /// Restoring it with [`StdRng::from_state`] resumes the stream
+        /// exactly where it left off.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[1]
@@ -237,6 +251,19 @@ mod tests {
         for _ in 0..100 {
             assert_eq!(a.gen::<u64>(), b.gen::<u64>());
         }
+    }
+
+    #[test]
+    fn state_capture_and_restore_resume_the_stream() {
+        let mut a = StdRng::seed_from_u64(9);
+        for _ in 0..13 {
+            a.gen::<u64>();
+        }
+        let snapshot = a.state();
+        let expected: Vec<u64> = (0..32).map(|_| a.gen()).collect();
+        let mut b = StdRng::from_state(snapshot);
+        let resumed: Vec<u64> = (0..32).map(|_| b.gen()).collect();
+        assert_eq!(expected, resumed);
     }
 
     #[test]

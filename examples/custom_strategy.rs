@@ -42,7 +42,10 @@ fn main() {
         cfg.samples_per_device = 30;
         cfg.steps = 30;
         cfg.test_samples = 200;
-        let record = Simulation::new(cfg).run();
+        let record = SimulationBuilder::new(cfg)
+            .build()
+            .expect("valid config")
+            .run();
         println!(
             "  {:<18} final {:.3}  best {:.3}",
             record.algorithm,

@@ -33,7 +33,10 @@ fn main() {
     cfg.mobility = MobilitySource::Stationary; // Figure 1 has no movement
 
     println!("\ntraining hierarchical FedAvg with stationary devices ...\n");
-    let record = Simulation::new(cfg).run();
+    let record = SimulationBuilder::new(cfg)
+        .build()
+        .expect("valid config")
+        .run();
 
     println!("step | global | edge0 | edge0 major(0-4) | edge0 minor(5-9)");
     for p in &record.points {

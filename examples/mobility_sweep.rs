@@ -23,7 +23,10 @@ fn main() {
         cfg.steps = 30;
         cfg.test_samples = 200;
         cfg.mobility = MobilitySource::MarkovHop { p };
-        let record = Simulation::new(cfg).run();
+        let record = SimulationBuilder::new(cfg)
+            .build()
+            .expect("valid config")
+            .run();
         println!(
             "  P = {p:.1}: final accuracy {:.3} (tail {:.3}), empirical mobility {:.2}",
             record.final_accuracy(),

@@ -33,7 +33,10 @@ fn main() {
             "running {name} — {} edges, {} devices, {} steps ...",
             cfg.num_edges, cfg.num_devices, cfg.steps
         );
-        let record = Simulation::new(cfg).run();
+        let record = SimulationBuilder::new(cfg)
+            .build()
+            .expect("valid config")
+            .run();
         println!(
             "  final accuracy {:.3}, empirical mobility {:.2}, {:.1}s\n",
             record.final_accuracy(),

@@ -73,7 +73,10 @@ fn main() {
     for (name, faults) in scenarios {
         let mut cfg = base_config();
         cfg.faults = faults;
-        let record = Simulation::new(cfg).run();
+        let record = SimulationBuilder::new(cfg)
+            .build()
+            .expect("valid config")
+            .run();
         println!(
             "{:>16} {:>8.3} {:>9} {:>6} {:>6} {:>6} {:>8} {:>10.1}",
             name,

@@ -70,7 +70,11 @@ fn main() {
     cfg.num_devices = 60;
     cfg.num_edges = 4;
     cfg.steps = 10;
-    let record = Simulation::with_trace(cfg, parsed).run();
+    let record = SimulationBuilder::new(cfg)
+        .with_trace(parsed)
+        .build()
+        .expect("trace matches the config")
+        .run();
     println!(
         "simulation on the imported trace: final accuracy {:.3}",
         record.final_accuracy()

@@ -49,4 +49,9 @@ if [[ "$FAST" -eq 0 ]]; then
     cargo run -q -p middle-bench --release --bin telemetry_overhead
 fi
 
+if [[ "$CI" -eq 1 ]]; then
+    echo "==> sweep engine smoke run (4 scenarios, writes BENCH_sweep.json)"
+    cargo run -q -p middle-bench --release --bin sweep -- --smoke
+fi
+
 echo "All checks passed."

@@ -12,6 +12,10 @@ use middle::mobility::{generate_markov_hop, Trace};
 use middle::nn::params::flatten;
 use middle::prelude::*;
 
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
+}
+
 fn small_cfg(task: Task, algorithm: Algorithm) -> SimConfig {
     let mut cfg = SimConfig::tiny(task, algorithm);
     cfg.steps = 6;
@@ -22,7 +26,7 @@ fn small_cfg(task: Task, algorithm: Algorithm) -> SimConfig {
 #[test]
 fn full_pipeline_all_tasks() {
     for task in Task::ALL {
-        let record = Simulation::new(small_cfg(task, Algorithm::middle())).run();
+        let record = built(small_cfg(task, Algorithm::middle())).run();
         assert_eq!(record.task, task.name());
         assert!(!record.points.is_empty());
         assert!(record.points.iter().all(|p| p.global_accuracy.is_finite()));
@@ -53,7 +57,7 @@ fn all_algorithms_run_on_all_selection_aggregation_combos() {
             let mut cfg = SimConfig::tiny(Task::Mnist, algo);
             cfg.steps = 3;
             cfg.eval_interval = 3;
-            let record = Simulation::new(cfg).run();
+            let record = built(cfg).run();
             assert!(
                 record.final_accuracy().is_finite(),
                 "combo {sel:?} + {od:?} produced NaN"
@@ -74,7 +78,7 @@ fn training_beats_random_guessing() {
     cfg.steps = 20;
     cfg.eval_interval = 20;
     cfg.test_samples = 150;
-    let record = Simulation::new(cfg).run();
+    let record = built(cfg).run();
     assert!(
         record.final_accuracy() > 0.2,
         "final accuracy {} not above chance",
@@ -104,18 +108,25 @@ fn custom_trace_scripts_device_movement() {
     cfg.num_edges = 2;
     cfg.devices_per_edge = 2;
     cfg.steps = 3;
-    let mut sim = Simulation::with_trace(cfg, trace);
+    let mut sim = SimulationBuilder::new(cfg)
+        .with_trace(trace)
+        .build()
+        .expect("valid trace");
     for t in 0..3 {
         sim.step(t);
     }
 }
 
 #[test]
-#[should_panic(expected = "trace device count")]
 fn mismatched_trace_is_rejected() {
     let trace = generate_markov_hop(2, 99, 8, 0.5, 1);
     let cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
-    Simulation::with_trace(cfg, trace);
+    let err = match SimulationBuilder::new(cfg).with_trace(trace).build() {
+        Ok(_) => panic!("mismatched trace must not build"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, SimError::TraceMismatch { .. }));
+    assert!(err.to_string().contains("trace device count"));
 }
 
 #[test]
@@ -123,7 +134,7 @@ fn broadcast_resets_all_models_to_cloud() {
     let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::fedmes());
     cfg.cloud_interval = 3;
     cfg.steps = 3;
-    let mut sim = Simulation::new(cfg);
+    let mut sim = built(cfg);
     for t in 0..3 {
         sim.step(t);
     }
@@ -156,7 +167,7 @@ fn mobility_probability_flows_through_config() {
     cfg.devices_per_edge = 2;
     for p in [0.1f64, 0.6] {
         cfg.mobility = MobilitySource::MarkovHop { p };
-        let sim = Simulation::new(cfg.clone());
+        let sim = built(cfg.clone());
         let emp = sim.trace().empirical_mobility();
         assert!((emp - p).abs() < 0.12, "requested P={p}, trace has {emp}");
     }
@@ -185,7 +196,7 @@ fn quadratic_theory_end_to_end() {
 
 #[test]
 fn run_record_serialises_end_to_end() {
-    let record = Simulation::new(small_cfg(Task::Mnist, Algorithm::oort())).run();
+    let record = built(small_cfg(Task::Mnist, Algorithm::oort())).run();
     let json = serde_json::to_string(&record).unwrap();
     let back: RunRecord = serde_json::from_str(&json).unwrap();
     assert_eq!(back.algorithm, record.algorithm);
