@@ -1,0 +1,197 @@
+//! Compression-plane sweep, emitting machine-readable results to
+//! `BENCH_compress.json`.
+//!
+//! Runs one MIDDLE configuration through a bits × top-K grid of uplink
+//! compression settings (QSGD-style stochastic quantization + top-K
+//! sparsification with per-sender error feedback), each under a clean
+//! link and under a hostile fault preset, and records per cell the
+//! final accuracy, the accuracy delta against the uncompressed baseline
+//! of the same fault regime, the byte-accurate uplink ledger and the
+//! achieved uplink compression ratio.
+//!
+//! Two invariants are asserted on every invocation, so the sweep doubles
+//! as an end-to-end gate:
+//!
+//! - an *enabled but lossless* plane (bits = 32, top_frac = 1.0) is
+//!   bitwise identical to compression off, and
+//! - at least one lossy cell cuts uplink payload bytes by >= 4x.
+//!
+//! ```sh
+//! cargo run -p middle-bench --release --bin compress_sweep [--smoke] [out.json]
+//! ```
+//!
+//! `--smoke` shrinks the grid and the scenario to a seconds-long CI
+//! check that still exercises both invariants.
+
+use middle_core::comm::{WAN_SECS_PER_TRANSFER, WIRELESS_SECS_PER_TRANSFER};
+use middle_core::{
+    Algorithm, CompressionConfig, DelayModel, DropoutModel, FaultConfig, RunRecord, SimConfig,
+    SimulationBuilder,
+};
+use middle_data::Task;
+
+fn sim_config(smoke: bool, compression: CompressionConfig, faults: FaultConfig) -> SimConfig {
+    let mut cfg = if smoke {
+        let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        c.steps = 12;
+        c.cloud_interval = 4;
+        c.eval_interval = 4;
+        c
+    } else {
+        let mut c = SimConfig::paper_default(Task::Mnist, Algorithm::middle());
+        c.num_edges = 4;
+        c.num_devices = 24;
+        c.devices_per_edge = 3;
+        c.samples_per_device = 30;
+        c.steps = 30;
+        c.cloud_interval = 5;
+        c.test_samples = 200;
+        c.eval_interval = 5;
+        c
+    };
+    cfg.compression = compression;
+    cfg.faults = faults;
+    cfg
+}
+
+fn hostile() -> FaultConfig {
+    FaultConfig {
+        dropout: DropoutModel::Iid { p: 0.2 },
+        straggler_delay: DelayModel::Uniform {
+            min_s: 0.0,
+            max_s: 2.0,
+        },
+        deadline_s: 1.5,
+        upload_loss: 0.15,
+        upload_retries: 2,
+        wan_outage: 0.2,
+    }
+}
+
+fn lossy(bits: u32, frac: f64) -> CompressionConfig {
+    CompressionConfig {
+        enabled: true,
+        quantize_bits: bits,
+        top_frac: frac,
+        ..CompressionConfig::default()
+    }
+}
+
+/// (label, config) cells of the grid. `None` compression means plane off.
+fn grid(smoke: bool) -> Vec<(String, Option<CompressionConfig>)> {
+    let mut cells: Vec<(String, Option<CompressionConfig>)> = vec![
+        ("off".into(), None),
+        ("lossless".into(), Some(lossy(32, 1.0))),
+    ];
+    let (bit_axis, frac_axis): (&[u32], &[f64]) = if smoke {
+        (&[8], &[0.25])
+    } else {
+        (&[8, 4], &[1.0, 0.25, 0.05])
+    };
+    for &bits in bit_axis {
+        for &frac in frac_axis {
+            cells.push((
+                format!("q{bits}k{:02}", (frac * 100.0) as u32),
+                Some(lossy(bits, frac)),
+            ));
+        }
+    }
+    cells
+}
+
+fn run(smoke: bool, compression: Option<CompressionConfig>, faults: FaultConfig) -> RunRecord {
+    let comp = compression.unwrap_or_default();
+    SimulationBuilder::new(sim_config(smoke, comp, faults))
+        .build()
+        .expect("valid sweep config")
+        .run()
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_compress.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+
+    println!(
+        "{:<10} {:<8} {:>7} {:>8} {:>14} {:>7} {:>9}",
+        "cell", "faults", "final", "dacc", "uplink bytes", "ratio", "comm s"
+    );
+    let mut rows = Vec::new();
+    let mut best_ratio = 0.0f64;
+    for (regime, faults) in [("clean", FaultConfig::default()), ("hostile", hostile())] {
+        let mut baseline: Option<RunRecord> = None;
+        for (cell, compression) in grid(smoke) {
+            let record = run(smoke, compression.clone(), faults);
+            let comm = &record.comm;
+            let base = baseline.get_or_insert_with(|| {
+                assert_eq!(
+                    cell, "off",
+                    "grid must start with the uncompressed baseline"
+                );
+                record.clone()
+            });
+            let dacc = record.final_accuracy() - base.final_accuracy();
+            let base_uplink = base.comm.uplink_bytes();
+            let ratio = base_uplink as f64 / comm.uplink_bytes().max(1) as f64;
+            let comm_s = record.comm_wall_clock(WIRELESS_SECS_PER_TRANSFER, WAN_SECS_PER_TRANSFER);
+            if cell == "lossless" {
+                // Gate: enabled-but-lossless must be bitwise identical to off.
+                assert_eq!(
+                    record.final_accuracy().to_bits(),
+                    base.final_accuracy().to_bits(),
+                    "lossless compression diverged from off ({regime})"
+                );
+                assert_eq!(
+                    &record.comm, &base.comm,
+                    "lossless comm ledger diverged ({regime})"
+                );
+            }
+            if compression.is_some() && cell != "lossless" {
+                best_ratio = best_ratio.max(ratio);
+            }
+            println!(
+                "{:<10} {:<8} {:>7.3} {:>+8.3} {:>14} {:>6.2}x {:>9.1}",
+                cell,
+                regime,
+                record.final_accuracy(),
+                dacc,
+                comm.uplink_bytes(),
+                ratio,
+                comm_s,
+            );
+            rows.push(format!(
+                "    {{\"cell\": \"{cell}\", \"faults\": \"{regime}\", \
+                 \"quantize_bits\": {}, \"top_frac\": {}, \
+                 \"final_accuracy\": {:.6}, \"accuracy_delta\": {dacc:.6}, \
+                 \"uplink_bytes\": {}, \"uplink_ratio\": {ratio:.3}, \
+                 \"comm\": {}, \"syncs\": {}, \"comm_wall_s\": {comm_s:.3}}}",
+                compression.as_ref().map_or(32, |c| c.quantize_bits),
+                compression.as_ref().map_or(1.0, |c| c.top_frac),
+                record.final_accuracy(),
+                comm.uplink_bytes(),
+                serde_json::to_string(comm).expect("comm stats serialise"),
+                record.syncs,
+            ));
+        }
+    }
+
+    assert!(
+        best_ratio >= 4.0,
+        "no lossy cell reached a 4x uplink cut (best {best_ratio:.2}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"smoke\": {smoke},\n  \"best_uplink_ratio\": {best_ratio:.3},\n  \
+         \"wireless_secs_per_transfer\": {WIRELESS_SECS_PER_TRANSFER},\n  \
+         \"wan_secs_per_transfer\": {WAN_SECS_PER_TRANSFER},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_compress.json");
+    println!("\nbest uplink ratio {best_ratio:.2}x; wrote {out_path}");
+}

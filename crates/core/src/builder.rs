@@ -413,6 +413,9 @@ mod tests {
         b.devices_per_edge = 4;
         b.cloud_interval = 2;
         b.telemetry = true;
+        b.compression.enabled = true;
+        b.compression.quantize_bits = 4;
+        b.compression.top_frac = 0.1;
         assert_eq!(input_key(&a), input_key(&b));
         let mut c = tiny();
         c.seed = 99;

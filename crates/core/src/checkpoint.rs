@@ -89,6 +89,21 @@ pub struct EdgeCheckpoint {
     pub window_samples: f64,
 }
 
+/// Snapshot of the compression plane's mutable state. Only present
+/// when the plane is lossy-active (an inert plane has no state; keeping
+/// the field absent keeps pre-compression checkpoints readable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionPlaneCheckpoint {
+    /// The dedicated compression RNG stream (stream 10).
+    pub rng: RngStateCheckpoint,
+    /// Per-device error-feedback residuals, in device order. An empty
+    /// vector means the device has not uploaded yet (all-zero residual).
+    pub device_residuals: Vec<Vec<f64>>,
+    /// Per-edge error-feedback residuals, in edge order, same
+    /// convention.
+    pub edge_residuals: Vec<Vec<f64>>,
+}
+
 /// Snapshot of the fault plane's mutable state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FaultPlaneCheckpoint {
@@ -123,6 +138,10 @@ pub struct SimCheckpoint {
     pub availability_rng: RngStateCheckpoint,
     /// The fault plane's state (stream 9 plus queues).
     pub faults: FaultPlaneCheckpoint,
+    /// The compression plane's state (stream 10 plus error-feedback
+    /// residuals); `None` when compression is off or lossless.
+    #[serde(default)]
+    pub compression: Option<CompressionPlaneCheckpoint>,
     /// Communication ledger so far.
     pub comm: CommStats,
     /// Cloud synchronisations so far.

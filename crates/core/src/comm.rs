@@ -17,9 +17,14 @@ pub const WIRELESS_SECS_PER_TRANSFER: f64 = 1.0;
 /// Reference seconds for one model transfer on the edge↔cloud WAN.
 pub const WAN_SECS_PER_TRANSFER: f64 = 10.0;
 
-/// Transmission counters for one simulation run, in *model units*
-/// (one unit = one full parameter vector). Multiply by
-/// `4 × param_count` for bytes.
+/// Transmission counters for one simulation run.
+///
+/// The `*_to_*` counters are in *model units* (one unit = one payload,
+/// compressed or not); the `*_bytes` counters are the actual wire bytes
+/// those payloads occupied. Without the compression plane every payload
+/// is dense (`4 × param_count` bytes), so byte counters are count ×
+/// dense size; under compression the uplink classes (`device_to_edge`,
+/// `edge_to_cloud`) shrink while downlinks stay dense.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
     /// Edge → device model downloads (one per selected device per step).
@@ -51,6 +56,24 @@ pub struct CommStats {
     /// [`Self::retry_backoff_seconds`].
     #[serde(default)]
     pub retry_backoff_slots: u64,
+    /// Wire bytes of all edge → device downloads (always dense).
+    #[serde(default)]
+    pub edge_to_device_bytes: u64,
+    /// Wire bytes of all device → edge uploads, including
+    /// retransmissions and stale deliveries — compressed size when the
+    /// compression plane is lossy-active.
+    #[serde(default)]
+    pub device_to_edge_bytes: u64,
+    /// Wire bytes of all edge → cloud sync uploads — compressed size
+    /// when the compression plane is lossy-active.
+    #[serde(default)]
+    pub edge_to_cloud_bytes: u64,
+    /// Wire bytes of all cloud → edge broadcasts (always dense).
+    #[serde(default)]
+    pub cloud_to_edge_bytes: u64,
+    /// Wire bytes of all cloud → device broadcasts (always dense).
+    #[serde(default)]
+    pub cloud_to_device_bytes: u64,
 }
 
 impl CommStats {
@@ -69,9 +92,33 @@ impl CommStats {
         self.wireless_total() + self.wan_total()
     }
 
-    /// Total bytes for a model with `param_count` f32 parameters.
+    /// Total bytes for a model with `param_count` f32 parameters,
+    /// assuming every payload is dense.
+    #[deprecated(note = "assumes full-f32 payloads; use payload_total_bytes() \
+                (exact, compression-aware) instead")]
     pub fn total_bytes(&self, param_count: usize) -> u64 {
         self.total() * 4 * param_count as u64
+    }
+
+    /// Exact wire bytes moved over device-edge wireless links.
+    pub fn wireless_bytes(&self) -> u64 {
+        self.edge_to_device_bytes + self.device_to_edge_bytes + self.cloud_to_device_bytes
+    }
+
+    /// Exact wire bytes moved over the edge-cloud WAN.
+    pub fn wan_bytes(&self) -> u64 {
+        self.edge_to_cloud_bytes + self.cloud_to_edge_bytes
+    }
+
+    /// Exact wire bytes moved on the two uplink classes the compression
+    /// plane rewrites (device→edge uploads and edge→cloud syncs).
+    pub fn uplink_bytes(&self) -> u64 {
+        self.device_to_edge_bytes + self.edge_to_cloud_bytes
+    }
+
+    /// Exact total wire bytes moved, all transfer classes.
+    pub fn payload_total_bytes(&self) -> u64 {
+        self.wireless_bytes() + self.wan_bytes()
     }
 
     /// Simulated communication wall-clock under a two-tier link model.
@@ -98,6 +145,38 @@ impl CommStats {
         wireless_rounds as f64 * wireless_s + wan_rounds as f64 * wan_s
     }
 
+    /// Byte-accurate variant of [`Self::wall_clock`]: each round's cost
+    /// scales with the mean payload size of its transfer class relative
+    /// to a dense `4 × param_count`-byte model, so compressed uplink
+    /// rounds finish proportionally faster. With every class dense the
+    /// result equals [`Self::wall_clock`] exactly; classes that never
+    /// transferred contribute nothing.
+    pub fn wall_clock_bytes(
+        &self,
+        active_steps: u64,
+        syncs: u64,
+        wireless_s: f64,
+        wan_s: f64,
+        param_count: u64,
+    ) -> f64 {
+        let dense = (4 * param_count) as f64;
+        let ratio = |bytes: u64, count: u64| {
+            if count == 0 || dense == 0.0 {
+                0.0
+            } else {
+                bytes as f64 / (count as f64 * dense)
+            }
+        };
+        let down = ratio(self.edge_to_device_bytes, self.edge_to_device);
+        let up = ratio(self.device_to_edge_bytes, self.device_to_edge);
+        let bcast = ratio(self.cloud_to_device_bytes, self.cloud_to_device);
+        let sync_up = ratio(self.edge_to_cloud_bytes, self.edge_to_cloud);
+        let sync_down = ratio(self.cloud_to_edge_bytes, self.cloud_to_edge);
+        let wireless_rounds = active_steps as f64 * (down + up) + syncs as f64 * bcast;
+        let wan_rounds = syncs as f64 * (sync_up + sync_down);
+        wireless_rounds * wireless_s + wan_rounds * wan_s
+    }
+
     /// Wall-clock seconds spent in retry backoff, given the length of
     /// one backoff slot in seconds. Backoff waits are per-device and
     /// overlap with other devices' transfers, so this is reported
@@ -117,6 +196,11 @@ impl CommStats {
         self.lost_uploads += other.lost_uploads;
         self.stale_uploads += other.stale_uploads;
         self.retry_backoff_slots += other.retry_backoff_slots;
+        self.edge_to_device_bytes += other.edge_to_device_bytes;
+        self.device_to_edge_bytes += other.device_to_edge_bytes;
+        self.edge_to_cloud_bytes += other.edge_to_cloud_bytes;
+        self.cloud_to_edge_bytes += other.cloud_to_edge_bytes;
+        self.cloud_to_device_bytes += other.cloud_to_device_bytes;
     }
 }
 
@@ -144,10 +228,61 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn bytes_scale_with_model_size() {
         let s = stats();
         assert_eq!(s.total_bytes(1000), 32 * 4000);
         assert_eq!(s.total_bytes(0), 0);
+    }
+
+    #[test]
+    fn payload_byte_counters_partition_by_tier() {
+        let s = CommStats {
+            edge_to_device_bytes: 100,
+            device_to_edge_bytes: 30,
+            edge_to_cloud_bytes: 7,
+            cloud_to_edge_bytes: 200,
+            cloud_to_device_bytes: 1000,
+            ..stats()
+        };
+        assert_eq!(s.wireless_bytes(), 1130);
+        assert_eq!(s.wan_bytes(), 207);
+        assert_eq!(s.uplink_bytes(), 37);
+        assert_eq!(s.payload_total_bytes(), 1337);
+    }
+
+    #[test]
+    fn wall_clock_bytes_matches_rounds_model_when_dense() {
+        let mut s = stats();
+        let d = 250u64; // dense payload = 1000 bytes
+        s.edge_to_device_bytes = s.edge_to_device * 4 * d;
+        s.device_to_edge_bytes = s.device_to_edge * 4 * d;
+        s.edge_to_cloud_bytes = s.edge_to_cloud * 4 * d;
+        s.cloud_to_edge_bytes = s.cloud_to_edge * 4 * d;
+        s.cloud_to_device_bytes = s.cloud_to_device * 4 * d;
+        let rounds = s.wall_clock(10, 2, 1.0, 10.0);
+        let bytes = s.wall_clock_bytes(10, 2, 1.0, 10.0, d);
+        assert!((rounds - bytes).abs() < 1e-9, "{rounds} vs {bytes}");
+    }
+
+    #[test]
+    fn wall_clock_bytes_scales_uplinks_with_compression() {
+        let mut s = stats();
+        let d = 250u64;
+        s.edge_to_device_bytes = s.edge_to_device * 4 * d;
+        // Uplinks compressed 4×.
+        s.device_to_edge_bytes = s.device_to_edge * d;
+        s.edge_to_cloud_bytes = s.edge_to_cloud * d;
+        s.cloud_to_edge_bytes = s.cloud_to_edge * 4 * d;
+        s.cloud_to_device_bytes = s.cloud_to_device * 4 * d;
+        // wireless = 10·(1 + 0.25) + 2·1 = 14.5; wan = 2·(0.25 + 1) = 2.5.
+        let t = s.wall_clock_bytes(10, 2, 1.0, 10.0, d);
+        assert!((t - (14.5 + 25.0)).abs() < 1e-9, "{t}");
+        // Untransferred classes cost nothing.
+        assert_eq!(
+            CommStats::default().wall_clock_bytes(5, 5, 1.0, 10.0, d),
+            0.0
+        );
     }
 
     #[test]
@@ -205,6 +340,25 @@ mod tests {
         assert_eq!(s.lost_uploads, 0);
         assert_eq!(s.stale_uploads, 0);
         assert_eq!(s.retry_backoff_slots, 0);
+        // Pre-compression records default every byte counter to zero.
+        assert_eq!(s.payload_total_bytes(), 0);
+    }
+
+    #[test]
+    fn merge_adds_byte_counters() {
+        let mut a = CommStats {
+            device_to_edge_bytes: 10,
+            edge_to_cloud_bytes: 3,
+            ..CommStats::default()
+        };
+        a.merge(&CommStats {
+            device_to_edge_bytes: 5,
+            cloud_to_device_bytes: 2,
+            ..CommStats::default()
+        });
+        assert_eq!(a.device_to_edge_bytes, 15);
+        assert_eq!(a.edge_to_cloud_bytes, 3);
+        assert_eq!(a.cloud_to_device_bytes, 2);
     }
 
     #[test]

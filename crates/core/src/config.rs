@@ -1,6 +1,7 @@
 //! Experiment configuration.
 
 use crate::algorithms::Algorithm;
+use crate::compress::CompressionConfig;
 use crate::faults::FaultConfig;
 use middle_data::{Scheme, Task};
 use middle_nn::OptimizerKind;
@@ -104,6 +105,11 @@ pub struct SimConfig {
     /// identical to a fault-free simulation (see [`crate::faults`]).
     #[serde(default)]
     pub faults: FaultConfig,
+    /// Uplink compression (quantization + top-K sparsification with
+    /// error feedback). Off by default; a default config is bitwise
+    /// identical to an uncompressed simulation (see [`crate::compress`]).
+    #[serde(default)]
+    pub compression: CompressionConfig,
     /// Enable the telemetry plane: per-phase step timers, latency
     /// histograms and event counters, surfaced as
     /// [`crate::telemetry::TelemetryReport`] on the run record. Off by
@@ -154,6 +160,7 @@ impl SimConfig {
             eval_per_class: false,
             availability: 1.0,
             faults: FaultConfig::default(),
+            compression: CompressionConfig::default(),
             telemetry: false,
             telemetry_jsonl: None,
             seed: 2023,
@@ -183,6 +190,7 @@ impl SimConfig {
             eval_per_class: false,
             availability: 1.0,
             faults: FaultConfig::default(),
+            compression: CompressionConfig::default(),
             telemetry: false,
             telemetry_jsonl: None,
             seed: 7,
@@ -243,6 +251,7 @@ impl SimConfig {
             ));
         }
         self.faults.validate()?;
+        self.compression.validate()?;
         if self.telemetry_jsonl.as_deref() == Some("") {
             return Err("telemetry_jsonl path must be non-empty".into());
         }

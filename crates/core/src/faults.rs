@@ -267,10 +267,17 @@ pub struct PendingStale {
     /// Device that produced the update.
     pub device: usize,
     /// Snapshot of the trained parameters at upload time (the device
-    /// may retrain before the merge lands).
+    /// may retrain before the merge lands). When the compression plane
+    /// is lossy-active this is the *reconstructed* model the edge
+    /// decodes, compressed once at upload time.
     pub flat: Vec<f32>,
     /// Cached squared L2 norm of `flat`.
     pub norm_sq: f32,
+    /// Wire bytes the late delivery occupies (compressed size under a
+    /// lossy-active compression plane, dense otherwise). Charged to
+    /// [`crate::CommStats::device_to_edge_bytes`] when the merge lands.
+    #[serde(default)]
+    pub payload_bytes: u64,
 }
 
 /// Runtime state of the fault plane for one simulation: the failure
@@ -426,12 +433,21 @@ impl FaultPlane {
     }
 
     /// Queues a deadline-missed update for its stale merge next step.
-    pub fn push_stale(&mut self, edge: usize, device: usize, flat: Vec<f32>, norm_sq: f32) {
+    /// `payload_bytes` is the wire size of the late delivery.
+    pub fn push_stale(
+        &mut self,
+        edge: usize,
+        device: usize,
+        flat: Vec<f32>,
+        norm_sq: f32,
+        payload_bytes: u64,
+    ) {
         self.pending.push(PendingStale {
             edge,
             device,
             flat,
             norm_sq,
+            payload_bytes,
         });
     }
 
@@ -672,8 +688,8 @@ mod tests {
     #[test]
     fn stale_queue_drains_in_fifo_order() {
         let mut plane = FaultPlane::disabled(4);
-        plane.push_stale(1, 2, vec![1.0], 1.0);
-        plane.push_stale(0, 3, vec![2.0], 4.0);
+        plane.push_stale(1, 2, vec![1.0], 1.0, 4);
+        plane.push_stale(0, 3, vec![2.0], 4.0, 4);
         assert_eq!(plane.pending().len(), 2);
         let drained = plane.take_pending();
         assert_eq!(drained.len(), 2);

@@ -44,6 +44,8 @@
 //!   sharded multi-scenario orchestrator with checkpoint/resume;
 //! * [`faults`] — deterministic failure models (dropout, stragglers,
 //!   upload loss, WAN outages) with retry/deadline/staleness recovery;
+//! * [`compress`] — uplink compression (QSGD-style quantization + top-K
+//!   sparsification with error feedback) and byte-accurate accounting;
 //! * [`telemetry`] — per-phase step timers, latency histograms and event
 //!   counters (no-op unless enabled in the config);
 //! * [`theory`], [`quadratic_sim`] — the Theorem 1 bound, Remark 1, and
@@ -54,6 +56,7 @@ pub mod algorithms;
 pub mod builder;
 pub mod checkpoint;
 pub mod comm;
+pub mod compress;
 pub mod config;
 pub mod device;
 pub mod faults;
@@ -70,6 +73,7 @@ pub use algorithms::{Algorithm, OnDevicePolicy, SelectionPolicy};
 pub use builder::{input_key, InputCache, SharedInputs, SimError, SimulationBuilder};
 pub use checkpoint::{config_digest, SimCheckpoint, SIM_CHECKPOINT_SCHEMA_VERSION};
 pub use comm::CommStats;
+pub use compress::{CompressionConfig, CompressionPlane, RoundingMode};
 pub use config::{MobilitySource, SimConfig};
 pub use device::Device;
 pub use faults::{DelayModel, DropoutModel, FaultConfig, FaultPlane};
@@ -78,8 +82,8 @@ pub use selection::{select_devices, SelectionScratch};
 pub use sim::{EdgeState, Simulation, StepMode};
 pub use similarity::{model_similarity_utility, similarity_utility};
 pub use sweep::{
-    run_sweep, AggregatePoint, FaultPreset, Scenario, ScenarioGrid, ScenarioRecord, SweepOptions,
-    SweepReport, SWEEP_REPORT_SCHEMA_VERSION,
+    run_sweep, AggregatePoint, CompressionPreset, FaultPreset, Scenario, ScenarioGrid,
+    ScenarioRecord, SweepOptions, SweepReport, SWEEP_REPORT_SCHEMA_VERSION,
 };
 pub use telemetry::{Phase, StepCounters, Telemetry, TelemetryReport};
 pub use theory::{BoundParams, QuadraticProblem};

@@ -60,6 +60,11 @@ pub struct RunRecord {
     /// filtering can leave steps fully inactive.
     #[serde(default)]
     pub active_steps: u64,
+    /// Number of f32 parameters in the model the run trained (0 when
+    /// parsed from a pre-compression record). Lets byte-exact wall
+    /// clocks be recomputed from the record alone.
+    #[serde(default)]
+    pub param_count: u64,
     /// Telemetry summary, when the run was instrumented
     /// (`SimConfig::telemetry` / `telemetry_jsonl`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -97,11 +102,26 @@ impl RunRecord {
     }
 
     /// Simulated communication wall-clock of this run under the
-    /// two-tier link model of [`CommStats::wall_clock`], charging
-    /// wireless rounds only for the steps that actually moved models.
+    /// two-tier link model, charging wireless rounds only for the steps
+    /// that actually moved models. When the record carries byte-exact
+    /// payload counters (every run since the compression plane), rounds
+    /// scale with the bytes actually moved
+    /// ([`CommStats::wall_clock_bytes`]); older records fall back to
+    /// the dense rounds model ([`CommStats::wall_clock`]), which the
+    /// byte model reproduces exactly for dense payloads.
     pub fn comm_wall_clock(&self, wireless_s: f64, wan_s: f64) -> f64 {
-        self.comm
-            .wall_clock(self.active_steps, self.syncs, wireless_s, wan_s)
+        if self.param_count > 0 && self.comm.payload_total_bytes() > 0 {
+            self.comm.wall_clock_bytes(
+                self.active_steps,
+                self.syncs,
+                wireless_s,
+                wan_s,
+                self.param_count,
+            )
+        } else {
+            self.comm
+                .wall_clock(self.active_steps, self.syncs, wireless_s, wan_s)
+        }
     }
 
     /// First time step whose *smoothed* accuracy reaches `target`
@@ -193,6 +213,7 @@ mod tests {
             comm: CommStats::default(),
             syncs: 0,
             active_steps: 0,
+            param_count: 0,
             telemetry: None,
         }
     }
@@ -219,6 +240,29 @@ mod tests {
         r.active_steps = 4;
         // 2·4 + 1 wireless rounds, 2 WAN rounds.
         assert!((r.comm_wall_clock(1.0, 10.0) - 29.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn comm_wall_clock_uses_byte_model_when_counters_present() {
+        let mut r = record(&[0.5]);
+        r.syncs = 1;
+        r.active_steps = 4;
+        r.param_count = 100;
+        // Dense byte counters must reproduce the rounds model exactly.
+        r.comm.edge_to_device = 8;
+        r.comm.device_to_edge = 8;
+        r.comm.edge_to_cloud = 2;
+        r.comm.cloud_to_edge = 2;
+        r.comm.cloud_to_device = 8;
+        r.comm.edge_to_device_bytes = 8 * 400;
+        r.comm.device_to_edge_bytes = 8 * 400;
+        r.comm.edge_to_cloud_bytes = 2 * 400;
+        r.comm.cloud_to_edge_bytes = 2 * 400;
+        r.comm.cloud_to_device_bytes = 8 * 400;
+        assert!((r.comm_wall_clock(1.0, 10.0) - 29.0).abs() < 1e-9);
+        // Halving uplink bytes shrinks the clock.
+        r.comm.device_to_edge_bytes = 8 * 200;
+        assert!(r.comm_wall_clock(1.0, 10.0) < 29.0 - 1.0);
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::checkpoint::{
     SimCheckpoint, SIM_CHECKPOINT_SCHEMA_VERSION,
 };
 use crate::comm::CommStats;
+use crate::compress::CompressionPlane;
 use crate::config::{MobilitySource, SimConfig};
 use crate::device::Device;
 use crate::faults::FaultPlane;
@@ -40,6 +41,7 @@ use middle_mobility::{
 use middle_nn::params::{flatten, FlatView};
 use middle_nn::serialize::Checkpoint;
 use middle_nn::Sequential;
+use middle_tensor::ops::dot_slices;
 use middle_tensor::random::{derive_seed, rng};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -131,6 +133,12 @@ pub struct Simulation {
     active_steps: u64,
     telemetry: Telemetry,
     faults: FaultPlane,
+    // Uplink compression (quantization + top-K sparsification with
+    // error feedback) and its aggregation scratch buffer. Inert — no
+    // draws, no residuals, dense byte accounting — unless the config
+    // makes the plane lossy-active.
+    compression: CompressionPlane,
+    agg_scratch: Vec<f32>,
     // Hot-path state: the cloud's cached flat view (refreshed only when
     // the cloud model actually changes) and per-step scratch buffers that
     // persist across steps so the steady-state loop never allocates.
@@ -204,6 +212,13 @@ impl Simulation {
         let participating = vec![false; config.num_devices];
         let telemetry = Telemetry::from_config(&config);
         let faults = FaultPlane::new(config.faults, config.num_devices, seed);
+        let compression = CompressionPlane::new(
+            config.compression.clone(),
+            config.num_devices,
+            config.num_edges,
+            cloud_flat.flat().len(),
+            seed,
+        );
         Simulation {
             cloud: init,
             devices,
@@ -218,6 +233,8 @@ impl Simulation {
             active_steps: 0,
             telemetry,
             faults,
+            compression,
+            agg_scratch: Vec::new(),
             cloud_flat,
             selection_scratch: SelectionScratch::new(),
             candidates: Vec::new(),
@@ -302,6 +319,12 @@ impl Simulation {
         &self.faults
     }
 
+    /// The run's compression plane (inert unless the config enables a
+    /// lossy setting; see [`crate::compress`]).
+    pub fn compression_plane(&self) -> &CompressionPlane {
+        &self.compression
+    }
+
     /// The *virtual* global model `w̄^t` (Eq. 13): the `d̂`-weighted
     /// average of the current edge models. Equals the cloud model right
     /// after a synchronisation.
@@ -335,8 +358,10 @@ impl Simulation {
             middle_nn::params::unflatten(&mut edge.model, &blend);
             edge.refresh_flat();
             // The late upload is charged when it arrives, not when it
-            // was scheduled.
+            // was scheduled — at the (possibly compressed) payload size
+            // recorded when the deadline was missed.
             self.comm.device_to_edge += 1;
+            self.comm.device_to_edge_bytes += p.payload_bytes;
             self.comm.stale_uploads += 1;
             probe.uploads(1);
             probe.stale_merge();
@@ -355,18 +380,43 @@ impl Simulation {
     /// transmission attempt is charged to [`CommStats`].
     fn fault_upload_pass(&mut self, selected_per_edge: &[Vec<usize>], probe: &mut StepProbe) {
         probe.start();
+        let lossy = self.compression.lossy_active();
+        let payload = self.compression.payload_bytes();
         for (n, selected) in selected_per_edge.iter().enumerate() {
             self.delivered_per_edge[n].clear();
             for &m in selected {
                 if self.faults.misses_deadline() {
                     probe.deadline_miss();
-                    let dev = &self.devices[m];
-                    self.faults
-                        .push_stale(n, m, dev.flat().to_vec(), dev.flat_norm_sq());
+                    if lossy {
+                        // The device compresses at miss time (advancing
+                        // its residual and the compression RNG exactly
+                        // once, like any other upload); the stale merge
+                        // next step lands the *reconstructed* model and
+                        // charges the compressed payload.
+                        let recon = self.compression.compress_device_upload(
+                            m,
+                            self.devices[m].flat(),
+                            self.edges[n].flat(),
+                        );
+                        probe.compressed_uploads(1);
+                        let norm_sq = dot_slices(recon, recon);
+                        let flat = recon.to_vec();
+                        self.faults.push_stale(n, m, flat, norm_sq, payload);
+                    } else {
+                        let dev = &self.devices[m];
+                        self.faults.push_stale(
+                            n,
+                            m,
+                            dev.flat().to_vec(),
+                            dev.flat_norm_sq(),
+                            payload,
+                        );
+                    }
                     continue;
                 }
                 let o = self.faults.upload_attempts();
                 self.comm.device_to_edge += u64::from(o.attempts);
+                self.comm.device_to_edge_bytes += u64::from(o.attempts) * payload;
                 self.comm.upload_retransmissions += u64::from(o.attempts - 1);
                 self.comm.retry_backoff_slots += o.backoff_slots;
                 probe.uploads(u64::from(o.attempts));
@@ -375,6 +425,19 @@ impl Simulation {
                     self.delivered_per_edge[n].push(m);
                 } else {
                     self.comm.lost_uploads += 1;
+                    if lossy {
+                        // Sender-side error feedback: the device did
+                        // compress and transmit — the loss happens on
+                        // the wire — so its residual and the RNG
+                        // advance even though no edge consumes the
+                        // reconstruction.
+                        let _ = self.compression.compress_device_upload(
+                            m,
+                            self.devices[m].flat(),
+                            self.edges[n].flat(),
+                        );
+                        probe.compressed_uploads(1);
+                    }
                 }
             }
             // Graceful degradation: an edge whose whole cohort failed
@@ -411,7 +474,16 @@ impl Simulation {
         }
         self.syncs += 1;
         self.comm.edge_to_cloud += up_edges;
+        self.comm.edge_to_cloud_bytes += up_edges * self.compression.payload_bytes();
         self.comm.cloud_to_edge += up_edges;
+        self.comm.cloud_to_edge_bytes += up_edges * self.compression.dense_payload_bytes();
+        if self.compression.lossy_active() {
+            probe.stop(Phase::CloudSync);
+            let wan_up = std::mem::take(&mut self.wan_up);
+            self.compressed_cloud_sync(t, Some(&wan_up), probe);
+            self.wan_up = wan_up;
+            return true;
+        }
         let wan_up = &self.wan_up;
         cloud_aggregate_into(
             &mut self.cloud,
@@ -434,6 +506,7 @@ impl Simulation {
             .filter(|&m| wan_up[trace.edge_of(t, m)])
             .count() as u64;
         self.comm.cloud_to_device += reached;
+        self.comm.cloud_to_device_bytes += reached * self.compression.dense_payload_bytes();
         self.devices.par_iter_mut().for_each(|d| {
             if wan_up[trace.edge_of(t, d.id)] {
                 d.load_flat(flat, norm_sq);
@@ -441,6 +514,111 @@ impl Simulation {
         });
         probe.stop(Phase::CloudSync);
         true
+    }
+
+    /// Edge aggregation (Eq. 6) through the lossy compression plane,
+    /// shared by both step implementations so the compression RNG and
+    /// residual updates are consumed identically: each cohort member's
+    /// upload is compressed against its edge's pre-aggregation model
+    /// `w_n^t` and the edge FedAvg-aggregates the *reconstructions*
+    /// with the same `d_m / d` weighting as the dense path. Only called
+    /// while [`CompressionPlane::lossy_active`].
+    fn compressed_edge_pass(&mut self, cohorts: &[Vec<usize>], probe: &mut StepProbe) {
+        probe.start();
+        let len = self.cloud_flat.flat().len();
+        for (n, cohort) in cohorts.iter().enumerate() {
+            if cohort.is_empty() {
+                continue;
+            }
+            let total: usize = cohort.iter().map(|&m| self.devices[m].num_samples()).sum();
+            let total_f = total as f32;
+            self.agg_scratch.clear();
+            self.agg_scratch.resize(len, 0.0);
+            for &m in cohort {
+                let w = self.devices[m].num_samples() as f32 / total_f;
+                let recon = self.compression.compress_device_upload(
+                    m,
+                    self.devices[m].flat(),
+                    self.edges[n].flat(),
+                );
+                probe.compressed_uploads(1);
+                for (a, &r) in self.agg_scratch.iter_mut().zip(recon) {
+                    *a += w * r;
+                }
+            }
+            let norm_sq = dot_slices(&self.agg_scratch, &self.agg_scratch);
+            self.edges[n].load_flat(&self.agg_scratch, norm_sq);
+            self.edges[n].window_samples += total as f64;
+        }
+        probe.stop(Phase::Compress);
+    }
+
+    /// Cloud synchronisation (Eq. 7 + broadcast) through the lossy
+    /// compression plane, shared by both step implementations. Each
+    /// participating edge's sync upload is compressed against the
+    /// current cloud model and the cloud aggregates the
+    /// *reconstructions* with the dense path's `d̂_n`-weighting
+    /// (uniform when every window is empty). `wan_up` masks the edges
+    /// whose WAN link is up (`None` = no fault plane, everyone
+    /// participates); down edges keep their window and miss the
+    /// broadcast, exactly like [`Simulation::fault_cloud_sync`]. The
+    /// caller has already charged the sync's edge↔cloud transfers.
+    fn compressed_cloud_sync(&mut self, t: usize, wan_up: Option<&[bool]>, probe: &mut StepProbe) {
+        let up = |n: usize| wan_up.is_none_or(|w| w[n]);
+        probe.start();
+        let len = self.cloud_flat.flat().len();
+        let up_count = (0..self.edges.len()).filter(|&n| up(n)).count();
+        let total: f64 = self
+            .edges
+            .iter()
+            .enumerate()
+            .filter(|&(n, _)| up(n))
+            .map(|(_, e)| e.window_samples)
+            .sum();
+        self.agg_scratch.clear();
+        self.agg_scratch.resize(len, 0.0);
+        for n in 0..self.edges.len() {
+            if !up(n) {
+                continue;
+            }
+            let w = if total > 0.0 {
+                (self.edges[n].window_samples / total) as f32
+            } else {
+                (1.0 / up_count as f64) as f32
+            };
+            let recon = self.compression.compress_edge_sync(
+                n,
+                self.edges[n].flat(),
+                self.cloud_flat.flat(),
+            );
+            probe.compressed_syncs(1);
+            for (a, &r) in self.agg_scratch.iter_mut().zip(recon) {
+                *a += w * r;
+            }
+        }
+        probe.stop(Phase::Compress);
+        probe.start();
+        middle_nn::params::unflatten(&mut self.cloud, &self.agg_scratch);
+        self.cloud_flat.refresh(&self.cloud);
+        let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
+        for (n, edge) in self.edges.iter_mut().enumerate() {
+            if up(n) {
+                edge.load_flat(flat, norm_sq);
+                edge.window_samples = 0.0;
+            }
+        }
+        let trace = &self.trace;
+        let reached = (0..self.devices.len())
+            .filter(|&m| up(trace.edge_of(t, m)))
+            .count() as u64;
+        self.comm.cloud_to_device += reached;
+        self.comm.cloud_to_device_bytes += reached * self.compression.dense_payload_bytes();
+        self.devices.par_iter_mut().for_each(|d| {
+            if up(trace.edge_of(t, d.id)) {
+                d.load_flat(flat, norm_sq);
+            }
+        });
+        probe.stop(Phase::CloudSync);
     }
 
     /// Executes one time step `t` of Algorithm 1 with the chosen
@@ -521,6 +699,8 @@ impl Simulation {
             // deadline misses change the count).
             if !self.faults.enabled() {
                 self.comm.device_to_edge += selected.len() as u64;
+                self.comm.device_to_edge_bytes +=
+                    selected.len() as u64 * self.compression.payload_bytes();
                 probe.uploads(selected.len() as u64);
             }
             let mut downloads = 0u64;
@@ -545,6 +725,7 @@ impl Simulation {
                 self.participating[m] = true;
             }
             self.comm.edge_to_device += downloads;
+            self.comm.edge_to_device_bytes += downloads * self.compression.dense_payload_bytes();
             probe.downloads(downloads);
             probe.stop(Phase::DeviceInit);
         }
@@ -578,30 +759,46 @@ impl Simulation {
         }
 
         // Phase 3 — edge aggregation (Eq. 6), in place on the edge model.
-        probe.start();
-        let devices = &self.devices;
-        let cohorts: &[Vec<usize>] = if self.faults.enabled() {
-            &self.delivered_per_edge
-        } else {
-            &self.selected_per_edge
-        };
-        for (edge, cohort) in self.edges.iter_mut().zip(cohorts) {
-            if cohort.is_empty() {
-                continue;
+        // Under a lossy compression plane the shared compressed pass
+        // aggregates reconstructed uploads instead.
+        if self.compression.lossy_active() {
+            let cohorts = if self.faults.enabled() {
+                std::mem::take(&mut self.delivered_per_edge)
+            } else {
+                std::mem::take(&mut self.selected_per_edge)
+            };
+            self.compressed_edge_pass(&cohorts, &mut probe);
+            if self.faults.enabled() {
+                self.delivered_per_edge = cohorts;
+            } else {
+                self.selected_per_edge = cohorts;
             }
-            edge_aggregate_into(
-                &mut edge.model,
-                cohort
+        } else {
+            probe.start();
+            let devices = &self.devices;
+            let cohorts: &[Vec<usize>] = if self.faults.enabled() {
+                &self.delivered_per_edge
+            } else {
+                &self.selected_per_edge
+            };
+            for (edge, cohort) in self.edges.iter_mut().zip(cohorts) {
+                if cohort.is_empty() {
+                    continue;
+                }
+                edge_aggregate_into(
+                    &mut edge.model,
+                    cohort
+                        .iter()
+                        .map(|&m| (&devices[m].model, devices[m].num_samples())),
+                );
+                edge.window_samples += cohort
                     .iter()
-                    .map(|&m| (&devices[m].model, devices[m].num_samples())),
-            );
-            edge.window_samples += cohort
-                .iter()
-                .map(|&m| devices[m].num_samples())
-                .sum::<usize>() as f64;
-            edge.refresh_flat();
+                    .map(|&m| devices[m].num_samples())
+                    .sum::<usize>() as f64;
+                edge.refresh_flat();
+            }
+            probe.stop(Phase::EdgeAggregation);
         }
-        probe.stop(Phase::EdgeAggregation);
 
         // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
         // The broadcast copies the cloud's flat parameters (and their
@@ -609,12 +806,25 @@ impl Simulation {
         let scheduled = (t + 1).is_multiple_of(self.config.cloud_interval);
         let synced = if scheduled && self.faults.wan_active() {
             self.fault_cloud_sync(t, &mut probe)
+        } else if scheduled && self.compression.lossy_active() {
+            self.syncs += 1;
+            let edges = self.edges.len() as u64;
+            self.comm.edge_to_cloud += edges;
+            self.comm.edge_to_cloud_bytes += edges * self.compression.payload_bytes();
+            self.comm.cloud_to_edge += edges;
+            self.comm.cloud_to_edge_bytes += edges * self.compression.dense_payload_bytes();
+            self.compressed_cloud_sync(t, None, &mut probe);
+            true
         } else if scheduled {
             probe.start();
             self.syncs += 1;
+            let dense = self.compression.dense_payload_bytes();
             self.comm.edge_to_cloud += self.edges.len() as u64;
+            self.comm.edge_to_cloud_bytes += self.edges.len() as u64 * dense;
             self.comm.cloud_to_edge += self.edges.len() as u64;
+            self.comm.cloud_to_edge_bytes += self.edges.len() as u64 * dense;
             self.comm.cloud_to_device += self.devices.len() as u64;
+            self.comm.cloud_to_device_bytes += self.devices.len() as u64 * dense;
             cloud_aggregate_into(
                 &mut self.cloud,
                 self.edges.iter().map(|e| (&e.model, e.window_samples)),
@@ -690,6 +900,8 @@ impl Simulation {
             // plane on, uploads are charged in the upload pass instead.
             if !self.faults.enabled() {
                 self.comm.device_to_edge += selected.len() as u64;
+                self.comm.device_to_edge_bytes +=
+                    selected.len() as u64 * self.compression.payload_bytes();
                 probe.uploads(selected.len() as u64);
             }
             let mut downloads = 0u64;
@@ -711,6 +923,7 @@ impl Simulation {
                 inits[m] = Some(init);
             }
             self.comm.edge_to_device += downloads;
+            self.comm.edge_to_device_bytes += downloads * self.compression.dense_payload_bytes();
             probe.downloads(downloads);
             probe.stop(Phase::DeviceInit);
             selected_per_edge.push(selected);
@@ -745,28 +958,41 @@ impl Simulation {
             self.fault_upload_pass(&selected_per_edge, &mut probe);
         }
 
-        // Phase 3 — edge aggregation (Eq. 6).
-        probe.start();
+        // Phase 3 — edge aggregation (Eq. 6). Under a lossy compression
+        // plane both implementations share `compressed_edge_pass`, so
+        // equivalence holds by construction.
         let faults_enabled = self.faults.enabled();
-        for (n, selected) in selected_per_edge.iter().enumerate() {
-            let cohort = if faults_enabled {
-                &self.delivered_per_edge[n]
+        if self.compression.lossy_active() {
+            if faults_enabled {
+                let cohorts = std::mem::take(&mut self.delivered_per_edge);
+                self.compressed_edge_pass(&cohorts, &mut probe);
+                self.delivered_per_edge = cohorts;
             } else {
-                selected
-            };
-            if cohort.is_empty() {
-                continue;
+                self.compressed_edge_pass(&selected_per_edge, &mut probe);
             }
-            let models: Vec<&Sequential> = cohort.iter().map(|&m| &self.devices[m].model).collect();
-            let counts: Vec<usize> = cohort
-                .iter()
-                .map(|&m| self.devices[m].num_samples())
-                .collect();
-            self.edges[n].model = edge_aggregate(&models, &counts);
-            self.edges[n].window_samples += counts.iter().sum::<usize>() as f64;
-            self.edges[n].refresh_flat();
+        } else {
+            probe.start();
+            for (n, selected) in selected_per_edge.iter().enumerate() {
+                let cohort = if faults_enabled {
+                    &self.delivered_per_edge[n]
+                } else {
+                    selected
+                };
+                if cohort.is_empty() {
+                    continue;
+                }
+                let models: Vec<&Sequential> =
+                    cohort.iter().map(|&m| &self.devices[m].model).collect();
+                let counts: Vec<usize> = cohort
+                    .iter()
+                    .map(|&m| self.devices[m].num_samples())
+                    .collect();
+                self.edges[n].model = edge_aggregate(&models, &counts);
+                self.edges[n].window_samples += counts.iter().sum::<usize>() as f64;
+                self.edges[n].refresh_flat();
+            }
+            probe.stop(Phase::EdgeAggregation);
         }
-        probe.stop(Phase::EdgeAggregation);
 
         // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
         // Under WAN faults both step implementations share
@@ -774,12 +1000,25 @@ impl Simulation {
         let scheduled = (t + 1).is_multiple_of(self.config.cloud_interval);
         let synced = if scheduled && self.faults.wan_active() {
             self.fault_cloud_sync(t, &mut probe)
+        } else if scheduled && self.compression.lossy_active() {
+            self.syncs += 1;
+            let edges = self.edges.len() as u64;
+            self.comm.edge_to_cloud += edges;
+            self.comm.edge_to_cloud_bytes += edges * self.compression.payload_bytes();
+            self.comm.cloud_to_edge += edges;
+            self.comm.cloud_to_edge_bytes += edges * self.compression.dense_payload_bytes();
+            self.compressed_cloud_sync(t, None, &mut probe);
+            true
         } else if scheduled {
             probe.start();
             self.syncs += 1;
+            let dense = self.compression.dense_payload_bytes();
             self.comm.edge_to_cloud += self.edges.len() as u64;
+            self.comm.edge_to_cloud_bytes += self.edges.len() as u64 * dense;
             self.comm.cloud_to_edge += self.edges.len() as u64;
+            self.comm.cloud_to_edge_bytes += self.edges.len() as u64 * dense;
             self.comm.cloud_to_device += self.devices.len() as u64;
+            self.comm.cloud_to_device_bytes += self.devices.len() as u64 * dense;
             let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
             let weights: Vec<f64> = self.edges.iter().map(|e| e.window_samples).collect();
             self.cloud = cloud_aggregate(&models, &weights);
@@ -881,6 +1120,7 @@ impl Simulation {
             comm: self.comm,
             syncs: self.syncs,
             active_steps: self.active_steps,
+            param_count: self.cloud_flat.flat().len() as u64,
             telemetry: self.telemetry.report(),
         }
     }
@@ -922,6 +1162,7 @@ impl Simulation {
                 device_down: self.faults.device_down_states().to_vec(),
                 pending: self.faults.pending().to_vec(),
             },
+            compression: self.compression.state_checkpoint(),
             comm: self.comm,
             syncs: self.syncs,
             active_steps: self.active_steps,
@@ -990,6 +1231,20 @@ impl Simulation {
             ck.faults.device_down.clone(),
             ck.faults.pending.clone(),
         );
+        match (self.compression.lossy_active(), &ck.compression) {
+            (true, Some(c)) => self.compression.restore_state(c).map_err(&mismatch)?,
+            (false, None) => {}
+            (true, None) => {
+                return Err(mismatch(
+                    "checkpoint lacks compression state but the plane is lossy-active".into(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(mismatch(
+                    "checkpoint carries compression state but the plane is inert".into(),
+                ))
+            }
+        }
         self.comm = ck.comm;
         self.syncs = ck.syncs;
         self.active_steps = ck.active_steps;

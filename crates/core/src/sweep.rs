@@ -8,9 +8,10 @@
 //! turns the repo into a batch experiment service:
 //!
 //! * [`ScenarioGrid`] describes a cartesian product over `P`, `K`,
-//!   `T_c`, seeds and named [`FaultPreset`]s on top of a base
-//!   [`SimConfig`]; [`ScenarioGrid::scenarios`] expands and validates
-//!   it up front, so a bad axis fails before any work starts.
+//!   `T_c`, seeds, named [`FaultPreset`]s and named
+//!   [`CompressionPreset`]s on top of a base [`SimConfig`];
+//!   [`ScenarioGrid::scenarios`] expands and validates it up front, so
+//!   a bad axis fails before any work starts.
 //! * [`run_sweep`] shards the scenarios across a deterministic
 //!   work-stealing pool: workers claim scenarios from a shared atomic
 //!   cursor, and every scenario's result is a pure function of its
@@ -33,6 +34,7 @@
 
 use crate::builder::{InputCache, SimError, SimulationBuilder};
 use crate::checkpoint::{fnv1a, SimCheckpoint};
+use crate::compress::CompressionConfig;
 use crate::config::{MobilitySource, SimConfig};
 use crate::faults::FaultConfig;
 use crate::metrics::RunRecord;
@@ -67,6 +69,26 @@ impl FaultPreset {
     }
 }
 
+/// A named compression configuration for one grid axis entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressionPreset {
+    /// Label used in scenario names and aggregates (e.g. `"dense"`,
+    /// `"q8k25"`).
+    pub name: String,
+    /// The uplink compression settings the preset applies.
+    pub compression: CompressionConfig,
+}
+
+impl CompressionPreset {
+    /// The compression-off preset (dense uplinks).
+    pub fn dense() -> Self {
+        CompressionPreset {
+            name: "dense".to_string(),
+            compression: CompressionConfig::default(),
+        }
+    }
+}
+
 /// A cartesian scenario grid over a base configuration.
 ///
 /// Empty axes inherit the base config's value, so the default grid is
@@ -81,6 +103,7 @@ pub struct ScenarioGrid {
     sync_periods: Vec<usize>,
     seeds: Vec<u64>,
     fault_presets: Vec<FaultPreset>,
+    compression_presets: Vec<CompressionPreset>,
 }
 
 impl ScenarioGrid {
@@ -93,6 +116,7 @@ impl ScenarioGrid {
             sync_periods: Vec::new(),
             seeds: Vec::new(),
             fault_presets: Vec::new(),
+            compression_presets: Vec::new(),
         }
     }
 
@@ -132,9 +156,17 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sweeps named compression presets. An unset axis inherits the
+    /// base config's compression settings and leaves scenario labels
+    /// unchanged.
+    pub fn with_compression_presets(mut self, presets: impl Into<Vec<CompressionPreset>>) -> Self {
+        self.compression_presets = presets.into();
+        self
+    }
+
     /// Expands the grid into its scenario list (fixed order: `P`
-    /// outermost, then `K`, `T_c`, preset, seed innermost) and
-    /// validates every derived configuration.
+    /// outermost, then `K`, `T_c`, fault preset, compression preset,
+    /// seed innermost) and validates every derived configuration.
     ///
     /// # Errors
     /// [`SimError::InvalidConfig`] when the mobility axis is set on a
@@ -182,48 +214,63 @@ impl ScenarioGrid {
         } else {
             self.fault_presets.clone()
         };
-        let mut out =
-            Vec::with_capacity(ps.len() * ks.len() * tcs.len() * presets.len() * seeds.len());
+        let comps: Vec<Option<&CompressionPreset>> = if self.compression_presets.is_empty() {
+            vec![None]
+        } else {
+            self.compression_presets.iter().map(Some).collect()
+        };
+        let mut out = Vec::with_capacity(
+            ps.len() * ks.len() * tcs.len() * presets.len() * comps.len() * seeds.len(),
+        );
         for &p in &ps {
             for &k in &ks {
                 for &tc in &tcs {
                     for preset in &presets {
-                        for &seed in &seeds {
-                            let mut config = self.base.clone();
-                            if let Some(p) = p {
-                                config.mobility = match config.mobility {
-                                    MobilitySource::MarkovHop { .. } => {
-                                        MobilitySource::MarkovHop { p }
+                        for &comp in &comps {
+                            for &seed in &seeds {
+                                let mut config = self.base.clone();
+                                if let Some(p) = p {
+                                    config.mobility = match config.mobility {
+                                        MobilitySource::MarkovHop { .. } => {
+                                            MobilitySource::MarkovHop { p }
+                                        }
+                                        MobilitySource::HomedMarkovHop { home_bias, .. } => {
+                                            MobilitySource::HomedMarkovHop { p, home_bias }
+                                        }
+                                        other => other,
+                                    };
+                                }
+                                config.devices_per_edge = k;
+                                config.cloud_interval = tc;
+                                config.seed = seed;
+                                config.faults = preset.faults;
+                                if let Some(comp) = comp {
+                                    config.compression = comp.compression.clone();
+                                }
+                                let c = comp.map(|c| format!("-c{}", c.name)).unwrap_or_default();
+                                let label = match p {
+                                    Some(p) => {
+                                        format!("p{p}-k{k}-tc{tc}-{}{c}-s{seed}", preset.name)
                                     }
-                                    MobilitySource::HomedMarkovHop { home_bias, .. } => {
-                                        MobilitySource::HomedMarkovHop { p, home_bias }
-                                    }
-                                    other => other,
+                                    None => format!("k{k}-tc{tc}-{}{c}-s{seed}", preset.name),
                                 };
+                                config
+                                    .validate()
+                                    .map_err(|message| SimError::InvalidConfig {
+                                        message: format!("scenario {label}: {message}"),
+                                    })?;
+                                out.push(Scenario {
+                                    index: out.len(),
+                                    label,
+                                    p,
+                                    k,
+                                    sync_period: tc,
+                                    seed,
+                                    preset: preset.name.clone(),
+                                    compression: comp.map(|c| c.name.clone()),
+                                    config,
+                                });
                             }
-                            config.devices_per_edge = k;
-                            config.cloud_interval = tc;
-                            config.seed = seed;
-                            config.faults = preset.faults;
-                            let label = match p {
-                                Some(p) => format!("p{p}-k{k}-tc{tc}-{}-s{seed}", preset.name),
-                                None => format!("k{k}-tc{tc}-{}-s{seed}", preset.name),
-                            };
-                            config
-                                .validate()
-                                .map_err(|message| SimError::InvalidConfig {
-                                    message: format!("scenario {label}: {message}"),
-                                })?;
-                            out.push(Scenario {
-                                index: out.len(),
-                                label,
-                                p,
-                                k,
-                                sync_period: tc,
-                                seed,
-                                preset: preset.name.clone(),
-                                config,
-                            });
                         }
                     }
                 }
@@ -276,6 +323,8 @@ pub struct Scenario {
     pub seed: u64,
     /// Fault preset name.
     pub preset: String,
+    /// Compression preset name (`None` when the axis was not swept).
+    pub compression: Option<String>,
     /// The fully derived, validated configuration.
     pub config: SimConfig,
 }
@@ -331,6 +380,9 @@ pub struct ScenarioRecord {
     pub seed: u64,
     /// Fault preset name.
     pub preset: String,
+    /// Compression preset name, when swept.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub compression: Option<String>,
     /// The run's measured output.
     pub record: RunRecord,
 }
@@ -350,6 +402,9 @@ pub struct AggregatePoint {
     pub sync_period: usize,
     /// Fault preset name.
     pub preset: String,
+    /// Compression preset name, when swept.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub compression: Option<String>,
     /// Seeds aggregated.
     pub seeds: usize,
     /// Mean final accuracy across seeds.
@@ -458,9 +513,14 @@ fn mean_std_ci(values: &[f64]) -> (f64, f64, f64) {
 fn aggregate(records: &[ScenarioRecord]) -> Vec<AggregatePoint> {
     let mut cells: Vec<(String, Vec<&ScenarioRecord>)> = Vec::new();
     for r in records {
+        let c = r
+            .compression
+            .as_ref()
+            .map(|c| format!("-c{c}"))
+            .unwrap_or_default();
         let key = match r.p {
-            Some(p) => format!("p{p}-k{}-tc{}-{}", r.k, r.sync_period, r.preset),
-            None => format!("k{}-tc{}-{}", r.k, r.sync_period, r.preset),
+            Some(p) => format!("p{p}-k{}-tc{}-{}{c}", r.k, r.sync_period, r.preset),
+            None => format!("k{}-tc{}-{}{c}", r.k, r.sync_period, r.preset),
         };
         match cells.iter_mut().find(|(k, _)| *k == key) {
             Some((_, members)) => members.push(r),
@@ -487,6 +547,7 @@ fn aggregate(records: &[ScenarioRecord]) -> Vec<AggregatePoint> {
                 k: first.k,
                 sync_period: first.sync_period,
                 preset: first.preset.clone(),
+                compression: first.compression.clone(),
                 seeds: members.len(),
                 final_mean,
                 final_std,
@@ -678,6 +739,7 @@ fn run_scenario(
         sync_period: scenario.sync_period,
         seed: scenario.seed,
         preset: scenario.preset.clone(),
+        compression: scenario.compression.clone(),
         record,
     })
 }
@@ -728,6 +790,34 @@ mod tests {
         assert_eq!(scenarios[1].seed, 8);
         assert_eq!(scenarios[2].seed, 9);
         assert_eq!(scenarios[0].p, Some(0.1));
+    }
+
+    #[test]
+    fn compression_axis_expands_and_labels_scenarios() {
+        let lossy = CompressionConfig {
+            enabled: true,
+            quantize_bits: 8,
+            top_frac: 0.25,
+            ..CompressionConfig::default()
+        };
+        let grid = ScenarioGrid::new(tiny()).with_compression_presets([
+            CompressionPreset::dense(),
+            CompressionPreset {
+                name: "q8k25".to_string(),
+                compression: lossy.clone(),
+            },
+        ]);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].label, "k2-tc4-base-cdense-s7");
+        assert_eq!(scenarios[0].compression.as_deref(), Some("dense"));
+        assert!(!scenarios[0].config.compression.lossy_active());
+        assert_eq!(scenarios[1].label, "k2-tc4-base-cq8k25-s7");
+        assert_eq!(scenarios[1].config.compression, lossy);
+        // An unset axis leaves labels untouched (pinned elsewhere too).
+        let plain = ScenarioGrid::new(tiny()).scenarios().unwrap();
+        assert_eq!(plain[0].label, "k2-tc4-base-s7");
+        assert_eq!(plain[0].compression, None);
     }
 
     #[test]
@@ -782,6 +872,7 @@ mod tests {
             sync_period: 4,
             seed,
             preset: "base".to_string(),
+            compression: None,
             record: RunRecord {
                 schema_version: crate::metrics::RUN_RECORD_SCHEMA_VERSION,
                 algorithm: "MIDDLE".to_string(),
@@ -799,6 +890,7 @@ mod tests {
                 comm: Default::default(),
                 syncs: 0,
                 active_steps: 0,
+                param_count: 0,
                 telemetry: None,
             },
         };

@@ -52,6 +52,9 @@ pub enum Phase {
     LocalTraining,
     /// Edge FedAvg of the uploaded local models (Eq. 6).
     EdgeAggregation,
+    /// Compressing uplink deltas and reconstructing them receiver-side
+    /// (quantization + top-K + error feedback; see [`crate::compress`]).
+    Compress,
     /// Cloud aggregation + broadcast every `T_c` steps (Eq. 7).
     CloudSync,
     /// Held-out evaluation of the (virtual) global model.
@@ -60,7 +63,7 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// Every phase, in loop order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -69,6 +72,7 @@ impl Phase {
         Phase::DeviceInit,
         Phase::LocalTraining,
         Phase::EdgeAggregation,
+        Phase::Compress,
         Phase::CloudSync,
         Phase::Evaluation,
     ];
@@ -81,6 +85,7 @@ impl Phase {
             Phase::DeviceInit => "device_init",
             Phase::LocalTraining => "local_training",
             Phase::EdgeAggregation => "edge_aggregation",
+            Phase::Compress => "compress",
             Phase::CloudSync => "cloud_sync",
             Phase::Evaluation => "evaluation",
         }
@@ -251,6 +256,14 @@ pub struct StepCounters {
     /// Edge syncs skipped because the edge's WAN link was down.
     #[serde(default)]
     pub wan_outages: u64,
+    /// Device → edge uploads rewritten by the compression plane
+    /// (quantized + sparsified, counted once per compressed payload —
+    /// retransmissions of the same payload are not recompressed).
+    #[serde(default)]
+    pub compressed_uploads: u64,
+    /// Edge → cloud sync uploads rewritten by the compression plane.
+    #[serde(default)]
+    pub compressed_syncs: u64,
 }
 
 impl StepCounters {
@@ -271,6 +284,8 @@ impl StepCounters {
         self.lost_uploads += other.lost_uploads;
         self.empty_cohorts += other.empty_cohorts;
         self.wan_outages += other.wan_outages;
+        self.compressed_uploads += other.compressed_uploads;
+        self.compressed_syncs += other.compressed_syncs;
     }
 }
 
@@ -410,6 +425,22 @@ impl StepProbe {
             self.counters.wan_outages += 1;
         }
     }
+
+    /// Records `n` device → edge uploads compressed this step.
+    #[inline]
+    pub fn compressed_uploads(&mut self, n: u64) {
+        if self.enabled {
+            self.counters.compressed_uploads += n;
+        }
+    }
+
+    /// Records `n` edge → cloud sync uploads compressed this step.
+    #[inline]
+    pub fn compressed_syncs(&mut self, n: u64) {
+        if self.enabled {
+            self.counters.compressed_syncs += n;
+        }
+    }
 }
 
 /// Latency summary of one phase (or of the whole step).
@@ -512,6 +543,12 @@ impl TelemetryReport {
                 c.wan_outages,
             ));
         }
+        if c.compressed_uploads + c.compressed_syncs > 0 {
+            out.push_str(&format!(
+                "\ncompression: compressed uploads {}, compressed syncs {}",
+                c.compressed_uploads, c.compressed_syncs,
+            ));
+        }
         out
     }
 }
@@ -602,15 +639,18 @@ impl Telemetry {
                 w,
                 "{{\"step\":{t},\"active\":{active},\"sync\":{synced},\"step_ns\":{step_ns},\
                  \"selection_ns\":{},\"device_init_ns\":{},\"local_training_ns\":{},\
-                 \"edge_aggregation_ns\":{},\"cloud_sync_ns\":{},\"fault_recovery_ns\":{},\
+                 \"edge_aggregation_ns\":{},\"compress_ns\":{},\"cloud_sync_ns\":{},\
+                 \"fault_recovery_ns\":{},\
                  \"candidates\":{},\"dropped\":{},\"selected\":{},\"moved_inits\":{},\
                  \"downloads\":{},\"uploads\":{},\"dropout_drops\":{},\"deadline_misses\":{},\
                  \"stale_merges\":{},\"retransmissions\":{},\"lost_uploads\":{},\
-                 \"empty_cohorts\":{},\"wan_outages\":{}}}",
+                 \"empty_cohorts\":{},\"wan_outages\":{},\
+                 \"compressed_uploads\":{},\"compressed_syncs\":{}}}",
                 p[Phase::Selection.index()],
                 p[Phase::DeviceInit.index()],
                 p[Phase::LocalTraining.index()],
                 p[Phase::EdgeAggregation.index()],
+                p[Phase::Compress.index()],
                 p[Phase::CloudSync.index()],
                 p[Phase::FaultRecovery.index()],
                 c.candidates_seen,
@@ -626,6 +666,8 @@ impl Telemetry {
                 c.lost_uploads,
                 c.empty_cohorts,
                 c.wan_outages,
+                c.compressed_uploads,
+                c.compressed_syncs,
             );
             if let Err(e) = line {
                 eprintln!("[telemetry] JSONL sink write failed, disabling: {e}");

@@ -425,6 +425,213 @@ fn default_fault_config_is_bitwise_identical_to_pre_fault_plane_main() {
     assert_eq!(sim.active_steps(), 20);
 }
 
+/// The compression no-op gate: with `CompressionConfig::default()`
+/// (plane off) a 20-step MIDDLE run must stay bitwise identical to the
+/// pre-compression-plane implementation — same fingerprints as the
+/// fault-plane gate above (captured on commit a927eae; the compression
+/// plane owns RNG stream `derive_seed(seed, 10)` and an inert plane
+/// draws nothing). On top of the parameter/accuracy fingerprints this
+/// pins the new byte ledger: with dense payloads every per-tier byte
+/// counter must equal its transfer count times `4 · param_count`.
+#[test]
+fn default_compression_config_is_bitwise_identical_to_pre_compression_main() {
+    fn fnv(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn fnv_params(flat: &[f32]) -> u64 {
+        let mut h = 0xcbf29ce484222325u64;
+        for v in flat {
+            fnv(&mut h, &v.to_bits().to_le_bytes());
+        }
+        h
+    }
+
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
+    cfg.steps = 20;
+    cfg.cloud_interval = 4;
+    cfg.eval_interval = 2;
+    assert_eq!(cfg.compression, middle_core::CompressionConfig::default());
+    assert!(!cfg.compression.enabled);
+    let mut sim = built(cfg);
+    for t in 0..20 {
+        sim.step(t);
+    }
+
+    assert_eq!(fnv_params(&flatten(sim.cloud_model())), 0x75a18b3f9d2c2c47);
+    let mut devices_fnv = 0xcbf29ce484222325u64;
+    for d in sim.devices() {
+        fnv(
+            &mut devices_fnv,
+            &fnv_params(&flatten(&d.model)).to_le_bytes(),
+        );
+    }
+    assert_eq!(devices_fnv, 0x94105ab3ced3cd05);
+    let (acc, loss, _) = sim.evaluate(&sim.virtual_global());
+    assert_eq!(acc.to_bits(), 0x3e19999a);
+    assert_eq!(loss.to_bits(), 0x4018f3e4);
+
+    let dense = 4 * flatten(sim.cloud_model()).len() as u64;
+    let comm = *sim.comm_stats();
+    assert_eq!(
+        (
+            comm.edge_to_device,
+            comm.device_to_edge,
+            comm.edge_to_cloud,
+            comm.cloud_to_edge,
+            comm.cloud_to_device,
+        ),
+        (79, 79, 10, 10, 40)
+    );
+    assert_eq!(comm.edge_to_device_bytes, 79 * dense);
+    assert_eq!(comm.device_to_edge_bytes, 79 * dense);
+    assert_eq!(comm.edge_to_cloud_bytes, 10 * dense);
+    assert_eq!(comm.cloud_to_edge_bytes, 10 * dense);
+    assert_eq!(comm.cloud_to_device_bytes, 40 * dense);
+    assert_eq!(comm.payload_total_bytes(), (79 + 79 + 10 + 10 + 40) * dense);
+    assert_eq!(sim.syncs(), 5);
+
+    let record = sim.finish();
+    assert_eq!(record.param_count, dense / 4);
+}
+
+/// Enabling the plane at a lossless setting (`bits ≥ 32`, `top_frac =
+/// 1.0`) short-circuits it entirely, so the run must be bitwise
+/// identical to compression-off — including the byte ledger.
+#[test]
+fn lossless_compression_run_is_bitwise_identical_to_off() {
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
+    cfg.steps = 12;
+    cfg.cloud_interval = 4;
+    let mut off = built(cfg.clone());
+    cfg.compression.enabled = true;
+    cfg.compression.quantize_bits = 32;
+    cfg.compression.top_frac = 1.0;
+    assert!(!cfg.compression.lossy_active());
+    let mut lossless = built(cfg.clone());
+    for t in 0..cfg.steps {
+        off.step(t);
+        lossless.step(t);
+    }
+    assert_eq!(
+        bits(&flatten(off.cloud_model())),
+        bits(&flatten(lossless.cloud_model()))
+    );
+    for (a, b) in off.devices().iter().zip(lossless.devices()) {
+        assert_eq!(bits(&flatten(&a.model)), bits(&flatten(&b.model)));
+    }
+    for (a, b) in off.edges().iter().zip(lossless.edges()) {
+        assert_eq!(bits(&flatten(&a.model)), bits(&flatten(&b.model)));
+    }
+    assert_eq!(off.comm_stats(), lossless.comm_stats());
+}
+
+/// Lossy compression consumes its RNG stream and rewrites every uplink
+/// identically on both step implementations (shared
+/// `compressed_edge_pass` / `compressed_cloud_sync` helpers), so a
+/// quantized + sparsified run must stay bitwise identical step for
+/// step.
+#[test]
+fn lossy_compression_trace_is_bitwise_identical_to_reference() {
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
+    cfg.steps = 20;
+    cfg.cloud_interval = 4;
+    cfg.compression.enabled = true;
+    cfg.compression.quantize_bits = 6;
+    cfg.compression.top_frac = 0.3;
+    assert!(cfg.compression.lossy_active());
+    let mut fast = built(cfg.clone());
+    let mut slow = built(cfg.clone());
+    for t in 0..cfg.steps {
+        fast.step(t);
+        slow.advance(t, StepMode::Reference);
+        let (cf, cs) = (flatten(fast.cloud_model()), flatten(slow.cloud_model()));
+        assert_eq!(bits(&cf), bits(&cs), "cloud diverged at step {t}");
+        for (n, (ef, es)) in fast.edges().iter().zip(slow.edges()).enumerate() {
+            assert_eq!(
+                bits(&flatten(&ef.model)),
+                bits(&flatten(&es.model)),
+                "edge {n} diverged at step {t}"
+            );
+            assert_eq!(ef.window_samples.to_bits(), es.window_samples.to_bits());
+        }
+        for (df, ds) in fast.devices().iter().zip(slow.devices()) {
+            assert_eq!(
+                bits(&flatten(&df.model)),
+                bits(&flatten(&ds.model)),
+                "device {} diverged at step {t}",
+                df.id
+            );
+        }
+    }
+    assert_eq!(fast.syncs(), slow.syncs());
+    assert_eq!(fast.comm_stats(), slow.comm_stats());
+    // Compressed uplinks must actually shrink the ledger: uplink bytes
+    // sit strictly below count × dense.
+    let comm = fast.comm_stats();
+    let dense = 4 * flatten(fast.cloud_model()).len() as u64;
+    assert!(comm.device_to_edge_bytes < comm.device_to_edge * dense);
+    assert!(comm.edge_to_cloud_bytes < comm.edge_to_cloud * dense);
+    // Downlinks stay dense.
+    assert_eq!(comm.edge_to_device_bytes, comm.edge_to_device * dense);
+    assert_eq!(comm.cloud_to_device_bytes, comm.cloud_to_device * dense);
+}
+
+/// The full-interaction gate: lossy compression with *every* failure
+/// model enabled at once (i.i.d. dropout, uniform straggler delays
+/// with a deadline, lossy retried uploads and WAN outages) must stay
+/// bitwise identical between the two step implementations — deadline
+/// misses compress at miss time, lost uploads advance the residual and
+/// RNG, and masked cloud syncs compress only the up edges, all through
+/// the shared helpers.
+#[test]
+fn lossy_compression_with_all_faults_is_bitwise_identical_to_reference() {
+    use middle_core::{DelayModel, DropoutModel};
+    let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
+    cfg.steps = 20;
+    cfg.cloud_interval = 4;
+    cfg.compression.enabled = true;
+    cfg.compression.quantize_bits = 4;
+    cfg.compression.top_frac = 0.25;
+    cfg.faults.dropout = DropoutModel::Iid { p: 0.2 };
+    cfg.faults.straggler_delay = DelayModel::Uniform {
+        min_s: 0.0,
+        max_s: 2.0,
+    };
+    cfg.faults.deadline_s = 1.5;
+    cfg.faults.upload_loss = 0.15;
+    cfg.faults.upload_retries = 2;
+    cfg.faults.wan_outage = 0.3;
+    let mut fast = built(cfg.clone());
+    let mut slow = built(cfg.clone());
+    for t in 0..cfg.steps {
+        fast.step(t);
+        slow.advance(t, StepMode::Reference);
+        let (cf, cs) = (flatten(fast.cloud_model()), flatten(slow.cloud_model()));
+        assert_eq!(bits(&cf), bits(&cs), "cloud diverged at step {t}");
+        for (n, (ef, es)) in fast.edges().iter().zip(slow.edges()).enumerate() {
+            assert_eq!(
+                bits(&flatten(&ef.model)),
+                bits(&flatten(&es.model)),
+                "edge {n} diverged at step {t}"
+            );
+        }
+        for (df, ds) in fast.devices().iter().zip(slow.devices()) {
+            assert_eq!(
+                bits(&flatten(&df.model)),
+                bits(&flatten(&ds.model)),
+                "device {} diverged at step {t}",
+                df.id
+            );
+        }
+    }
+    assert_eq!(fast.syncs(), slow.syncs());
+    assert_eq!(fast.comm_stats(), slow.comm_stats());
+    assert_eq!(fast.active_steps(), slow.active_steps());
+}
+
 fn bits(v: &[f32]) -> Vec<u32> {
     v.iter().map(|x| x.to_bits()).collect()
 }

@@ -33,11 +33,10 @@ if [[ "$CI" -eq 1 ]]; then
     cargo build --release --examples
 fi
 
-echo "==> cargo test -q"
-cargo test -q
-
-echo "==> cargo test -q -p middle --test integration"
-cargo test -q -p middle --test integration
+# --workspace matters: a bare `cargo test` only runs the root facade
+# package, silently skipping every member crate's gate suite.
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
 
 if [[ "$CI" -eq 1 ]]; then
     echo "==> cargo doc --workspace --no-deps (warnings denied)"
@@ -52,6 +51,9 @@ fi
 if [[ "$CI" -eq 1 ]]; then
     echo "==> sweep engine smoke run (4 scenarios, writes BENCH_sweep.json)"
     cargo run -q -p middle-bench --release --bin sweep -- --smoke
+
+    echo "==> compression smoke run (lossless identity + 4x uplink gate, writes BENCH_compress.json)"
+    cargo run -q -p middle-bench --release --bin compress_sweep -- --smoke
 fi
 
 echo "All checks passed."

@@ -29,8 +29,8 @@ pub use middle_tensor as tensor;
 /// The most common imports in one place.
 pub mod prelude {
     pub use middle_core::{
-        Algorithm, DelayModel, DropoutModel, FaultConfig, MobilitySource, RunRecord, SimConfig,
-        SimError, Simulation, SimulationBuilder, StepMode,
+        Algorithm, CompressionConfig, DelayModel, DropoutModel, FaultConfig, MobilitySource,
+        RunRecord, SimConfig, SimError, Simulation, SimulationBuilder, StepMode,
     };
     pub use middle_data::{Scheme, Task};
     pub use middle_mobility::Trace;
