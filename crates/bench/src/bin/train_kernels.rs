@@ -1,0 +1,332 @@
+//! Training-kernel before/after microbenchmarks, emitting
+//! machine-readable medians to `BENCH_train.json`.
+//!
+//! Each component pairs the pre-overhaul kernel ("before") with the
+//! blocked/batched/zero-alloc kernel ("after"); the two sides are
+//! bitwise-identical by construction (see the tensor and nn proptest
+//! batteries plus `hotpath_equiv`), so the entries measure pure speed:
+//!
+//! * blocked GEMM vs the straightforward reference kernel at the batched
+//!   conv shapes of the cnn2 model;
+//! * batched whole-batch im2col convolution (fwd + bwd) vs the
+//!   per-sample oracle kernels;
+//! * one optimizer step via `train_batch_ws` (persistent scratch) vs the
+//!   allocating `train_batch`;
+//! * one full simulation step — Reference mode (per-sample kernels,
+//!   allocating train loop) vs Fast mode (workspace train path).
+//!
+//! ```sh
+//! cargo run -p middle-bench --release --bin train_kernels [out.json]
+//! cargo run -p middle-bench --release --bin train_kernels -- --smoke
+//! ```
+//!
+//! `--smoke` runs a reduced sample count and gates each component's
+//! speedup against the committed `BENCH_train.json`: a measured speedup
+//! below half the committed one fails the run (CI regression gate).
+
+use middle_core::{Algorithm, SimConfig, Simulation, SimulationBuilder, StepMode};
+use middle_data::Task as DataTask;
+use middle_nn::optim::OptimizerKind;
+use middle_nn::{zoo, NetScratch};
+use middle_tensor::conv::{
+    conv2d_backward, conv2d_backward_into, conv2d_forward, conv2d_forward_into, ConvGeometry,
+    ConvScratch,
+};
+use middle_tensor::matmul::{matmul_into, matmul_into_reference};
+use middle_tensor::random::{rng, uniform};
+use middle_tensor::Tensor;
+use std::time::Instant;
+
+/// Interleaved before/after medians (ns per iteration); see
+/// `bench_baseline` for the pairing rationale.
+fn measure_pair<B: FnMut(), A: FnMut()>(
+    samples: usize,
+    iters_per_sample: usize,
+    mut before: B,
+    mut after: A,
+) -> (f64, f64) {
+    for _ in 0..iters_per_sample.max(1) {
+        before();
+        after();
+    }
+    let mut before_times = Vec::with_capacity(samples);
+    let mut after_times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            before();
+        }
+        before_times.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        let t = Instant::now();
+        for _ in 0..iters_per_sample {
+            after();
+        }
+        after_times.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+    }
+    (median(before_times), median(after_times))
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+    times[times.len() / 2]
+}
+
+/// Extracts `"component": {..., "speedup": X}` from the committed file.
+/// The file is this binary's own flat single-level output, so plain
+/// string scanning suffices (the vendored serde_json shim exposes no
+/// generic `Value`).
+fn committed_speedup(json: &str, component: &str) -> Option<f64> {
+    let key = format!("\"{component}\"");
+    let obj = &json[json.find(&key)? + key.len()..];
+    let tail = &obj[obj.find("\"speedup\":")? + "\"speedup\":".len()..];
+    let end = tail.find('}')?;
+    tail[..end].trim().parse().ok()
+}
+
+fn sim_config() -> SimConfig {
+    let mut cfg = SimConfig::paper_default(DataTask::Mnist, Algorithm::middle());
+    cfg.num_edges = 3;
+    cfg.num_devices = 12;
+    cfg.devices_per_edge = 2;
+    cfg.samples_per_device = 16;
+    cfg.local_steps = 3;
+    cfg.batch_size = 8;
+    cfg.steps = 6;
+    cfg.test_samples = 60;
+    cfg.eval_interval = 6;
+    cfg
+}
+
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
+}
+
+struct Entry {
+    component: String,
+    before_ns: f64,
+    after_ns: f64,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_train.json");
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    // Committed numbers, read before this run overwrites the file; the
+    // smoke gate compares against them.
+    let committed = std::fs::read_to_string(&out_path).ok();
+    let samples = if smoke { 7 } else { 21 };
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // --- Blocked GEMM vs reference at the batched cnn2 conv shapes
+    // (batch 16 on the 1x16x16 MNIST stand-in: conv1 lowers to
+    // 8x9 . 9x4096, conv2 to 16x72 . 72x1024). ---
+    for (label, m, k, n) in [
+        ("gemm_conv1_8x9x4096", 8usize, 9usize, 4096usize),
+        ("gemm_conv2_16x72x1024", 16, 72, 1024),
+    ] {
+        let a = uniform([m * k], -1.0, 1.0, &mut rng(1)).data().to_vec();
+        let b = uniform([k * n], -1.0, 1.0, &mut rng(2)).data().to_vec();
+        let mut c_ref = vec![0.0f32; m * n];
+        let mut c_fast = vec![0.0f32; m * n];
+        let iters = if smoke { 40 } else { 200 };
+        let (before, after) = measure_pair(
+            samples,
+            iters,
+            || {
+                matmul_into_reference(&a, &b, &mut c_ref, m, k, n);
+                std::hint::black_box(&c_ref);
+            },
+            || {
+                matmul_into(&a, &b, &mut c_fast, m, k, n);
+                std::hint::black_box(&c_fast);
+            },
+        );
+        entries.push(Entry {
+            component: label.into(),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // --- Batched convolution (fwd + bwd) vs the per-sample oracle, at
+    // the cnn2 first-conv geometry, batch 16. ---
+    {
+        let g = ConvGeometry {
+            in_c: 1,
+            out_c: 8,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            in_h: 16,
+            in_w: 16,
+        };
+        let n = 16usize;
+        let input = uniform([n, g.in_c, g.in_h, g.in_w], -1.0, 1.0, &mut rng(3));
+        let weight = uniform([g.out_c, g.patch_len()], -0.5, 0.5, &mut rng(4));
+        let bias = uniform([g.out_c], -0.1, 0.1, &mut rng(5));
+        let dout = uniform([n, g.out_c, g.out_h(), g.out_w()], -1.0, 1.0, &mut rng(6));
+        let mut scratch = ConvScratch::default();
+        let mut out = Tensor::zeros([0]);
+        let mut dw = Tensor::zeros([0]);
+        let mut db = Tensor::zeros([0]);
+        let mut di = Tensor::zeros([0]);
+        let iters = if smoke { 10 } else { 50 };
+        let (before, after) = measure_pair(
+            samples,
+            iters,
+            || {
+                let y = conv2d_forward(&input, &weight, &bias, &g);
+                let grads = conv2d_backward(&input, &weight, &dout, &g);
+                std::hint::black_box((&y, &grads));
+            },
+            || {
+                conv2d_forward_into(&input, &weight, &bias, &g, &mut scratch, &mut out);
+                conv2d_backward_into(
+                    &input,
+                    &weight,
+                    &dout,
+                    &g,
+                    &mut scratch,
+                    &mut dw,
+                    &mut db,
+                    Some(&mut di),
+                );
+                std::hint::black_box((&out, &dw, &db, &di));
+            },
+        );
+        entries.push(Entry {
+            component: "conv_fwd_bwd_batch16".into(),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // --- One cnn2 training step: allocating vs workspace path. Both
+    // sides keep training their own model so the work stays realistic
+    // (non-degenerate activations) and identical across sides. ---
+    {
+        let spec = middle_data::Task::Mnist.spec();
+        let mut ma = zoo::cnn2(&spec, &mut rng(7));
+        let mut mb = ma.clone();
+        let kind = OptimizerKind::Momentum {
+            lr: 0.01,
+            momentum: 0.9,
+        };
+        let mut oa = kind.build();
+        let mut ob = kind.build();
+        let mut scratch = NetScratch::new();
+        let x = uniform([16, 1, 16, 16], -1.0, 1.0, &mut rng(8));
+        let y: Vec<usize> = (0..16).map(|i| i % 10).collect();
+        let iters = if smoke { 5 } else { 20 };
+        let (before, after) = measure_pair(
+            samples,
+            iters,
+            || {
+                std::hint::black_box(ma.train_batch(&x, &y, oa.as_mut()));
+            },
+            || {
+                std::hint::black_box(mb.train_batch_ws(&x, &y, ob.as_mut(), &mut scratch));
+            },
+        );
+        entries.push(Entry {
+            component: "train_batch_cnn2_batch16".into(),
+            before_ns: before,
+            after_ns: after,
+        });
+    }
+
+    // --- One full simulation step: Reference mode (per-sample kernels,
+    // allocating local training) vs Fast mode (workspace path). Steps
+    // 0..WARM warm each side in its own mode and are excluded: a
+    // device's first participation faults in its scratch/model pages,
+    // and the steady state is what the zero-alloc path actually claims.
+    // Selection trajectories are mode-independent (bitwise-equal model
+    // state), so both sides time the identical participant set at the
+    // identical step index. ---
+    {
+        const WARM: usize = 5;
+        let step_samples = if smoke { 5 } else { 21 };
+        let mut before_times = Vec::new();
+        let mut after_times = Vec::new();
+        for _ in 0..step_samples {
+            let mut sim = built(sim_config());
+            for s in 0..WARM {
+                sim.advance(s, StepMode::Reference);
+            }
+            let t = Instant::now();
+            sim.advance(WARM, StepMode::Reference);
+            before_times.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(&sim);
+
+            let mut sim = built(sim_config());
+            for s in 0..WARM {
+                sim.step(s);
+            }
+            let t = Instant::now();
+            sim.step(WARM);
+            after_times.push(t.elapsed().as_nanos() as f64);
+            std::hint::black_box(&sim);
+        }
+        entries.push(Entry {
+            component: "full_sim_step".into(),
+            before_ns: median(before_times),
+            after_ns: median(after_times),
+        });
+    }
+
+    let mut json = String::from("{\n");
+    for (i, e) in entries.iter().enumerate() {
+        let speedup = e.before_ns / e.after_ns;
+        println!(
+            "{:<28} before {:>12.0} ns   after {:>12.0} ns   speedup {:>5.2}x",
+            e.component, e.before_ns, e.after_ns, speedup
+        );
+        json.push_str(&format!(
+            "  \"{}\": {{\"before_ns\": {:.0}, \"after_ns\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            e.component,
+            e.before_ns,
+            e.after_ns,
+            speedup,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    println!("\nwrote {out_path}");
+
+    if smoke {
+        let committed = committed.expect("smoke gate needs a committed BENCH_train.json");
+        let mut failures = Vec::new();
+        for e in &entries {
+            let Some(base) = committed_speedup(&committed, &e.component) else {
+                continue; // new component, nothing committed yet
+            };
+            let measured = e.before_ns / e.after_ns;
+            // Half the committed speedup tolerates noisy shared CI
+            // runners while still catching a real kernel regression.
+            if measured < 0.5 * base {
+                failures.push(format!(
+                    "{}: measured {:.2}x < gate {:.2}x (committed {:.2}x)",
+                    e.component,
+                    measured,
+                    0.5 * base,
+                    base
+                ));
+            }
+        }
+        if !failures.is_empty() {
+            eprintln!("train-kernel regression gate FAILED:");
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            std::process::exit(1);
+        }
+        println!("smoke gate passed ({} components)", entries.len());
+    }
+}

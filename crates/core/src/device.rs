@@ -1,13 +1,49 @@
 //! A mobile device: local data, the carried local model, and local
 //! training (paper Eqs. 1 and 5).
 
-use middle_data::batch::random_batch;
+use middle_data::batch::{random_batch, random_batch_into};
 use middle_data::Dataset;
-use middle_nn::loss::per_sample_cross_entropy;
+use middle_nn::loss::{per_sample_cross_entropy, per_sample_cross_entropy_into};
+use middle_nn::optim::Optimizer;
 use middle_nn::params::{unflatten, FlatView};
-use middle_nn::{OptimizerKind, Sequential};
+use middle_nn::{NetScratch, OptimizerKind, Sequential};
 use middle_tensor::random::{derive_seed, rng};
+use middle_tensor::Tensor;
 use rand::rngs::StdRng;
+
+/// Persistent per-device training workspace: batch-gather buffers, the
+/// network scratch for the train and evaluation passes, the per-sample
+/// loss buffer, and a cached optimizer. After the first participation a
+/// device's local training allocates nothing in steady state.
+///
+/// The scratch holds no semantic state: the cached optimizer is reset on
+/// every participation (bitwise-equivalent to a fresh build — see the
+/// `optimizer_reset_matches_fresh_build` property test), and every buffer
+/// is fully overwritten before being read. Checkpoints therefore never
+/// capture it.
+struct TrainScratch {
+    net: NetScratch,
+    eval: NetScratch,
+    batch_idx: Vec<usize>,
+    batch_x: Tensor,
+    batch_y: Vec<usize>,
+    losses: Vec<f32>,
+    opt: Option<(OptimizerKind, Box<dyn Optimizer>)>,
+}
+
+impl TrainScratch {
+    fn new() -> Self {
+        TrainScratch {
+            net: NetScratch::new(),
+            eval: NetScratch::new(),
+            batch_idx: Vec::new(),
+            batch_x: Tensor::zeros([0]),
+            batch_y: Vec::new(),
+            losses: Vec::new(),
+            opt: None,
+        }
+    }
+}
 
 /// One mobile device.
 ///
@@ -33,6 +69,7 @@ pub struct Device {
     data: Dataset,
     rng: StdRng,
     flat: FlatView,
+    scratch: TrainScratch,
 }
 
 impl Device {
@@ -48,6 +85,7 @@ impl Device {
             data,
             rng: rng(derive_seed(seed, 0xD0_0000 + id as u64)),
             flat,
+            scratch: TrainScratch::new(),
         }
     }
 
@@ -105,8 +143,56 @@ impl Device {
         time_step: usize,
     ) -> f32 {
         assert!(local_steps > 0, "need at least one local step");
-        // Fresh optimizer per participation: momentum/Adam state cannot
-        // meaningfully persist across model replacement by aggregation.
+        let bs = batch_size.min(self.data.len()).max(1);
+        let TrainScratch {
+            net,
+            batch_idx,
+            batch_x,
+            batch_y,
+            opt: opt_slot,
+            ..
+        } = &mut self.scratch;
+        // Optimizer state must not persist across participations
+        // (momentum/Adam state is meaningless after the model is replaced
+        // by aggregation), so the cached optimizer is reset — which is
+        // bitwise-equivalent to a fresh `build` — and rebuilt only when
+        // the configured kind changes.
+        let opt = match opt_slot {
+            Some((kind, o)) if kind == optimizer => {
+                o.reset();
+                o
+            }
+            slot => {
+                *slot = Some((*optimizer, optimizer.build()));
+                &mut slot.as_mut().expect("just stored").1
+            }
+        };
+        let mut loss = 0.0f32;
+        for _ in 0..local_steps {
+            random_batch_into(&self.data, bs, &mut self.rng, batch_idx, batch_x, batch_y);
+            loss = self
+                .model
+                .train_batch_ws(batch_x, batch_y, opt.as_mut(), net);
+        }
+        self.refresh_oort_utility_ws();
+        self.last_participation = Some(time_step);
+        self.flat.refresh(&self.model);
+        loss
+    }
+
+    /// The pre-workspace [`local_train`](Self::local_train): per-sample
+    /// conv kernels via the allocating `train_batch` path, a fresh
+    /// optimizer and fresh batch buffers every participation. Kept as the
+    /// reference-mode oracle — the Fast/Reference fingerprint gate in
+    /// `hotpath_equiv` proves the workspace path bitwise-matches it.
+    pub fn local_train_reference(
+        &mut self,
+        local_steps: usize,
+        batch_size: usize,
+        optimizer: &OptimizerKind,
+        time_step: usize,
+    ) -> f32 {
+        assert!(local_steps > 0, "need at least one local step");
         let mut opt = optimizer.build();
         let bs = batch_size.min(self.data.len()).max(1);
         let mut loss = 0.0f32;
@@ -126,6 +212,19 @@ impl Device {
     pub fn refresh_oort_utility(&mut self) {
         let logits = self.model.infer(self.data.inputs());
         let losses = per_sample_cross_entropy(&logits, self.data.labels());
+        let mean_sq = losses.iter().map(|l| l * l).sum::<f32>() / losses.len() as f32;
+        self.oort_utility = Some(self.data.len() as f32 * mean_sq.sqrt());
+    }
+
+    /// [`refresh_oort_utility`](Self::refresh_oort_utility) through the
+    /// persistent evaluation workspace — bitwise-identical result, zero
+    /// allocations in steady state.
+    fn refresh_oort_utility_ws(&mut self) {
+        let logits = self
+            .model
+            .infer_ws(self.data.inputs(), &mut self.scratch.eval);
+        per_sample_cross_entropy_into(logits, self.data.labels(), &mut self.scratch.losses);
+        let losses = &self.scratch.losses;
         let mean_sq = losses.iter().map(|l| l * l).sum::<f32>() / losses.len() as f32;
         self.oort_utility = Some(self.data.len() as f32 * mean_sq.sqrt());
     }

@@ -38,11 +38,13 @@ use middle_mobility::{
     generate_geometric, generate_markov_hop, generate_markov_hop_homed, MobilityKind, ServiceArea,
     Trace,
 };
+use middle_nn::loss::softmax_cross_entropy;
 use middle_nn::params::{flatten, FlatView};
 use middle_nn::serialize::Checkpoint;
-use middle_nn::Sequential;
+use middle_nn::{NetScratch, Sequential};
 use middle_tensor::ops::dot_slices;
 use middle_tensor::random::{derive_seed, rng};
+use middle_tensor::reduce::argmax_rows;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rayon::prelude::*;
@@ -734,7 +736,9 @@ impl Simulation {
             self.active_steps += 1;
         }
 
-        // Phase 2 — parallel local training. Each participating device
+        // Phase 2 — parallel local training over the participating set
+        // only, so the work splits across exactly K·E training jobs
+        // instead of one no-op task per idle device. Each participant
         // owns its slot; no shared mutable state.
         probe.start();
         let (local_steps, batch_size, optimizer) = (
@@ -743,10 +747,13 @@ impl Simulation {
             self.config.optimizer,
         );
         let participating = &self.participating;
-        self.devices.par_iter_mut().for_each(|dev| {
-            if participating[dev.id] {
-                dev.local_train(local_steps, batch_size, &optimizer, t);
-            }
+        let mut participants: Vec<&mut Device> = self
+            .devices
+            .iter_mut()
+            .filter(|d| participating[d.id])
+            .collect();
+        participants.par_iter_mut().for_each(|dev| {
+            dev.local_train(local_steps, batch_size, &optimizer, t);
         });
         probe.stop(Phase::LocalTraining);
 
@@ -947,7 +954,7 @@ impl Simulation {
                 if let Some(init) = slot.take() {
                     dev.model = init;
                     dev.invalidate_flat();
-                    dev.local_train(local_steps, batch_size, &optimizer, t);
+                    dev.local_train_reference(local_steps, batch_size, &optimizer, t);
                 }
             });
         probe.stop(Phase::LocalTraining);
@@ -1044,8 +1051,13 @@ impl Simulation {
     /// Evaluates a model on the held-out test set, returning
     /// `(accuracy, mean loss, confusion)`.
     pub fn evaluate(&self, model: &Sequential) -> (f32, f32, Confusion) {
-        let preds = model.predict(self.test.inputs());
-        let loss = model.eval_loss(self.test.inputs(), self.test.labels());
+        // One forward pass feeds both metrics (`predict` + `eval_loss`
+        // would run inference twice); workspace inference produces
+        // logits bitwise-identical to `infer`.
+        let mut scratch = NetScratch::new();
+        let logits = model.infer_ws(self.test.inputs(), &mut scratch);
+        let preds = argmax_rows(logits);
+        let loss = softmax_cross_entropy(logits, self.test.labels()).0;
         let conf = Confusion::from_predictions(self.test.labels(), &preds, self.test.classes());
         (conf.accuracy(), loss, conf)
     }

@@ -163,6 +163,37 @@ fn checkpoint_restores_full_model_state_mid_run() {
 }
 
 #[test]
+fn checkpoint_restore_over_live_scratch_is_bitwise_identical() {
+    // Restoring into a simulation whose devices carry warm training
+    // scratch (grown workspaces, cached optimizers, dirty batch buffers
+    // from a *different* trajectory) must behave exactly like restoring
+    // into a fresh build: the scratch holds no semantic state, so it is
+    // deliberately absent from checkpoints.
+    let cfg = tiny();
+    let mut a = SimulationBuilder::new(cfg.clone()).build().unwrap();
+    for _ in 0..3 {
+        a.tick(StepMode::Fast);
+    }
+    let ck = a.checkpoint();
+
+    let mut fresh = SimulationBuilder::new(cfg.clone()).build().unwrap();
+    fresh.restore(&ck).unwrap();
+
+    let mut live = SimulationBuilder::new(cfg).build().unwrap();
+    for _ in 0..5 {
+        live.tick(StepMode::Fast);
+    }
+    live.restore(&ck).unwrap();
+
+    assert_eq!(bits(&fresh), bits(&live));
+    for _ in 0..3 {
+        fresh.tick(StepMode::Fast);
+        live.tick(StepMode::Fast);
+        assert_eq!(bits(&fresh), bits(&live));
+    }
+}
+
+#[test]
 fn checkpoint_rejects_a_different_config() {
     let mut a = SimulationBuilder::new(tiny()).build().unwrap();
     a.tick(StepMode::Fast);

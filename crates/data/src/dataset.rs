@@ -108,6 +108,25 @@ impl Dataset {
         (s.inputs, s.labels)
     }
 
+    /// [`gather`](Self::gather) into caller-provided buffers: `x` is
+    /// resized to `[indices.len(), ...sample_shape]` and fully
+    /// overwritten, `y` is cleared and refilled. Steady-state callers
+    /// allocate nothing.
+    pub fn gather_into(&self, indices: &[usize], x: &mut Tensor, y: &mut Vec<usize>) {
+        let slen = self.sample_len();
+        let mut dims = vec![indices.len()];
+        dims.extend_from_slice(&self.sample_shape());
+        x.resize(dims);
+        let src = self.inputs.data();
+        let dst = x.data_mut();
+        y.clear();
+        for (j, &i) in indices.iter().enumerate() {
+            assert!(i < self.len(), "gather index {i} out of bounds");
+            dst[j * slen..(j + 1) * slen].copy_from_slice(&src[i * slen..(i + 1) * slen]);
+            y.push(self.labels[i]);
+        }
+    }
+
     /// Number of samples per class.
     pub fn class_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.classes];

@@ -1,5 +1,6 @@
 //! The [`Layer`] trait and trainable [`Param`] storage.
 
+use middle_tensor::conv::ConvScratch;
 use middle_tensor::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +34,41 @@ impl Param {
     pub fn zero_grad(&mut self) {
         self.grad.data_mut().fill(0.0);
     }
+}
+
+/// Per-layer reusable workspace for the zero-allocation train path.
+///
+/// One `LayerWs` accompanies each layer inside a
+/// [`crate::scratch::NetScratch`]. Layers lazily coerce the slot to their
+/// own variant on first use, so a fresh `NetScratch` starts as all
+/// [`LayerWs::None`]; layers without a workspace override simply leave it
+/// there and run the allocating fallback path.
+#[derive(Debug, Default, Clone)]
+pub enum LayerWs {
+    /// No workspace (allocating fallback path).
+    #[default]
+    None,
+    /// Batched convolution workspace.
+    Conv {
+        /// im2col/GEMM buffers shared between forward and backward.
+        scratch: ConvScratch,
+        /// Weight-gradient staging, added into [`Param::grad`] per batch.
+        dw: Tensor,
+        /// Bias-gradient staging.
+        db: Tensor,
+    },
+    /// Dense parameter-gradient staging.
+    Dense {
+        /// Weight-gradient staging.
+        dw: Tensor,
+        /// Bias-gradient staging.
+        db: Tensor,
+    },
+    /// Max-pool argmax table.
+    Pool {
+        /// Flat argmax indices from the forward pass.
+        arg: Vec<u32>,
+    },
 }
 
 /// One differentiable stage of a [`crate::model::Sequential`] network.
@@ -77,6 +113,53 @@ pub trait Layer: Send + Sync {
     /// Clones the layer behind the trait object (models are cloned per
     /// federated device).
     fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Workspace-backed forward pass writing into caller-owned `out`.
+    ///
+    /// Bitwise-identical to [`Layer::forward`] but allocation-free when
+    /// overridden: `out` is resized and fully overwritten, and whatever
+    /// the backward pass needs lands in `ws` instead of internal caches.
+    /// Overriding layers must not rely on internal caches —
+    /// [`Layer::backward_into`] receives the forward `input`/`output`
+    /// tensors explicitly. The default falls back to the allocating
+    /// [`Layer::forward`] (which caches), so unoverridden layers keep
+    /// working through their cache-based [`Layer::backward`].
+    fn forward_into(&mut self, input: &Tensor, train: bool, ws: &mut LayerWs, out: &mut Tensor) {
+        let _ = ws;
+        *out = self.forward(input, train);
+    }
+
+    /// Workspace-backed backward pass writing into caller-owned `grad_in`.
+    ///
+    /// `input`/`output` are the exact tensors seen/produced by the
+    /// matching [`Layer::forward_into`]. Parameter gradients accumulate
+    /// into [`Param::grad`] exactly like [`Layer::backward`]. When
+    /// `need_grad_in` is false the input gradient may be skipped entirely
+    /// (the first layer of a network never needs one) and `grad_in` is
+    /// left unspecified.
+    #[allow(clippy::too_many_arguments)]
+    fn backward_into(
+        &mut self,
+        input: &Tensor,
+        output: &Tensor,
+        grad_out: &Tensor,
+        ws: &mut LayerWs,
+        grad_in: &mut Tensor,
+        need_grad_in: bool,
+    ) {
+        let _ = (input, output, ws);
+        let g = self.backward(grad_out);
+        if need_grad_in {
+            *grad_in = g;
+        }
+    }
+
+    /// Workspace-backed evaluation-mode forward pass into caller-owned
+    /// `out`. Bitwise-identical to [`Layer::infer`].
+    fn infer_into(&self, input: &Tensor, ws: &mut LayerWs, out: &mut Tensor) {
+        let _ = ws;
+        *out = self.infer(input);
+    }
 }
 
 impl Clone for Box<dyn Layer> {

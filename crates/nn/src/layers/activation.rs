@@ -1,6 +1,6 @@
 //! Elementwise activation layers.
 
-use crate::layer::Layer;
+use crate::layer::{Layer, LayerWs};
 use middle_tensor::Tensor;
 
 /// Rectified linear unit `max(x, 0)`.
@@ -60,6 +60,50 @@ impl Layer for Relu {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(Relu { mask: None })
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, _ws: &mut LayerWs, out: &mut Tensor) {
+        relu_into(input, out);
+    }
+
+    fn backward_into(
+        &mut self,
+        _input: &Tensor,
+        output: &Tensor,
+        grad_out: &Tensor,
+        _ws: &mut LayerWs,
+        grad_in: &mut Tensor,
+        need_grad_in: bool,
+    ) {
+        if !need_grad_in {
+            return;
+        }
+        // The mask is recoverable from the forward output: out > 0 ⇔ the
+        // input passed (out = x when x > 0, else exactly 0.0) — so no
+        // stored mask is needed.
+        assert_eq!(output.len(), grad_out.len(), "grad shape changed");
+        grad_in.resize(grad_out.shape().clone());
+        for ((gi, &go), &y) in grad_in
+            .data_mut()
+            .iter_mut()
+            .zip(grad_out.data())
+            .zip(output.data())
+        {
+            *gi = if y > 0.0 { go } else { 0.0 };
+        }
+    }
+
+    fn infer_into(&self, input: &Tensor, _ws: &mut LayerWs, out: &mut Tensor) {
+        relu_into(input, out);
+    }
+}
+
+/// `out = max(input, 0)` into caller-owned storage, elementwise-identical
+/// to the allocating forward/infer paths.
+fn relu_into(input: &Tensor, out: &mut Tensor) {
+    out.resize(input.shape().clone());
+    for (o, &x) in out.data_mut().iter_mut().zip(input.data()) {
+        *o = if x > 0.0 { x } else { 0.0 };
     }
 }
 

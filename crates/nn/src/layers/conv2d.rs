@@ -1,10 +1,28 @@
 //! 2-D convolution layer over NCHW activations.
 
-use crate::layer::{Layer, Param};
-use middle_tensor::conv::{conv2d_backward, conv2d_forward, ConvGeometry};
+use crate::layer::{Layer, LayerWs, Param};
+use middle_tensor::conv::{
+    conv2d_backward, conv2d_backward_into, conv2d_forward, conv2d_forward_into, ConvGeometry,
+    ConvScratch,
+};
 use middle_tensor::random::he_normal;
 use middle_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
+
+/// Coerces a workspace slot to the conv variant, initialising it lazily.
+fn conv_ws(ws: &mut LayerWs) -> (&mut ConvScratch, &mut Tensor, &mut Tensor) {
+    if !matches!(ws, LayerWs::Conv { .. }) {
+        *ws = LayerWs::Conv {
+            scratch: ConvScratch::default(),
+            dw: Tensor::zeros([0]),
+            db: Tensor::zeros([0]),
+        };
+    }
+    match ws {
+        LayerWs::Conv { scratch, dw, db } => (scratch, dw, db),
+        _ => unreachable!(),
+    }
+}
 
 /// Convolution layer with square kernels, He-normal initialisation.
 pub struct Conv2d {
@@ -79,6 +97,54 @@ impl Layer for Conv2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, ws: &mut LayerWs, out: &mut Tensor) {
+        let (scratch, _, _) = conv_ws(ws);
+        conv2d_forward_into(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            &self.geometry,
+            scratch,
+            out,
+        );
+    }
+
+    fn backward_into(
+        &mut self,
+        input: &Tensor,
+        _output: &Tensor,
+        grad_out: &Tensor,
+        ws: &mut LayerWs,
+        grad_in: &mut Tensor,
+        need_grad_in: bool,
+    ) {
+        let (scratch, dw, db) = conv_ws(ws);
+        conv2d_backward_into(
+            input,
+            &self.weight.value,
+            grad_out,
+            &self.geometry,
+            scratch,
+            dw,
+            db,
+            if need_grad_in { Some(grad_in) } else { None },
+        );
+        ops::add_inplace(&mut self.weight.grad, dw);
+        ops::add_inplace(&mut self.bias.grad, db);
+    }
+
+    fn infer_into(&self, input: &Tensor, ws: &mut LayerWs, out: &mut Tensor) {
+        let (scratch, _, _) = conv_ws(ws);
+        conv2d_forward_into(
+            input,
+            &self.weight.value,
+            &self.bias.value,
+            &self.geometry,
+            scratch,
+            out,
+        );
     }
 }
 

@@ -1,11 +1,25 @@
 //! Fully connected (affine) layer.
 
-use crate::layer::{Layer, Param};
-use middle_tensor::matmul::{matmul_at, matmul_bt};
+use crate::layer::{Layer, LayerWs, Param};
+use middle_tensor::matmul::{matmul_at, matmul_at_into, matmul_bt, matmul_bt_into, matmul_into};
 use middle_tensor::random::xavier_uniform;
 use middle_tensor::reduce::sum_axis0;
 use middle_tensor::{ops, Tensor};
 use rand::rngs::StdRng;
+
+/// Coerces a workspace slot to the dense variant, initialising it lazily.
+fn dense_ws(ws: &mut LayerWs) -> (&mut Tensor, &mut Tensor) {
+    if !matches!(ws, LayerWs::Dense { .. }) {
+        *ws = LayerWs::Dense {
+            dw: Tensor::zeros([0]),
+            db: Tensor::zeros([0]),
+        };
+    }
+    match ws {
+        LayerWs::Dense { dw, db } => (dw, db),
+        _ => unreachable!(),
+    }
+}
 
 /// Affine layer `y = x · Wᵀ + b` over `[N, in]` activations.
 ///
@@ -108,6 +122,87 @@ impl Layer for Dense {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, _ws: &mut LayerWs, out: &mut Tensor) {
+        self.affine_into(input, out);
+    }
+
+    fn backward_into(
+        &mut self,
+        input: &Tensor,
+        _output: &Tensor,
+        grad_out: &Tensor,
+        ws: &mut LayerWs,
+        grad_in: &mut Tensor,
+        need_grad_in: bool,
+    ) {
+        let (dw, db) = dense_ws(ws);
+        let n = grad_out.shape().dim(0);
+        let (out_f, in_f) = (self.out_features, self.in_features);
+
+        // dW = dyᵀ · x, staged into ws then accumulated — the same
+        // compute-then-add sequence as the allocating path.
+        dw.resize([out_f, in_f]);
+        matmul_at_into(grad_out.data(), input.data(), dw.data_mut(), out_f, n, in_f);
+        ops::add_inplace(&mut self.weight.grad, dw);
+
+        // dbias = column sums of dy, with `sum_axis0`'s row-ascending order.
+        db.resize([out_f]);
+        db.data_mut().fill(0.0);
+        for i in 0..n {
+            for (o, &v) in db.data_mut().iter_mut().zip(grad_out.row(i)) {
+                *o += v;
+            }
+        }
+        ops::add_inplace(&mut self.bias.grad, db);
+
+        if need_grad_in {
+            // dx = dy · W.
+            grad_in.resize([n, in_f]);
+            matmul_into(
+                grad_out.data(),
+                self.weight.value.data(),
+                grad_in.data_mut(),
+                n,
+                out_f,
+                in_f,
+            );
+        }
+    }
+
+    fn infer_into(&self, input: &Tensor, _ws: &mut LayerWs, out: &mut Tensor) {
+        self.affine_into(input, out);
+    }
+}
+
+impl Dense {
+    /// `out = input · Wᵀ + b` into caller-owned storage — the shared core
+    /// of `forward_into`/`infer_into`, bitwise-identical to the
+    /// `matmul_bt` + broadcast-add of the allocating path.
+    fn affine_into(&self, input: &Tensor, out: &mut Tensor) {
+        assert_eq!(input.shape().rank(), 2, "dense input must be [N, in]");
+        assert_eq!(
+            input.shape().dim(1),
+            self.in_features,
+            "dense input features mismatch"
+        );
+        let n = input.shape().dim(0);
+        out.resize([n, self.out_features]);
+        matmul_bt_into(
+            input.data(),
+            self.weight.value.data(),
+            out.data_mut(),
+            n,
+            self.in_features,
+            self.out_features,
+        );
+        let bias = self.bias.value.data();
+        for row in out.data_mut().chunks_mut(self.out_features) {
+            for (v, &b) in row.iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
     }
 }
 

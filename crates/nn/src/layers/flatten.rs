@@ -1,6 +1,6 @@
 //! Flatten layer: NCHW activations → `[N, C*H*W]` features.
 
-use crate::layer::Layer;
+use crate::layer::{Layer, LayerWs};
 use middle_tensor::{Shape, Tensor};
 
 /// Reshapes `[N, ...]` into `[N, prod(...)]`, remembering the original
@@ -48,6 +48,40 @@ impl Layer for Flatten {
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(Flatten { cached_shape: None })
     }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, _ws: &mut LayerWs, out: &mut Tensor) {
+        flatten_into(input, out);
+    }
+
+    fn backward_into(
+        &mut self,
+        input: &Tensor,
+        _output: &Tensor,
+        grad_out: &Tensor,
+        _ws: &mut LayerWs,
+        grad_in: &mut Tensor,
+        need_grad_in: bool,
+    ) {
+        if !need_grad_in {
+            return;
+        }
+        grad_in.resize(input.shape().clone());
+        grad_in.data_mut().copy_from_slice(grad_out.data());
+    }
+
+    fn infer_into(&self, input: &Tensor, _ws: &mut LayerWs, out: &mut Tensor) {
+        flatten_into(input, out);
+    }
+}
+
+/// Copies `input` into `out` under the flattened `[N, rest]` shape — the
+/// workspace counterpart of the reshaping clone.
+fn flatten_into(input: &Tensor, out: &mut Tensor) {
+    assert!(input.shape().rank() >= 1, "flatten needs a batch dimension");
+    let n = input.shape().dim(0);
+    let rest = input.len() / n.max(1);
+    out.resize([n, rest]);
+    out.data_mut().copy_from_slice(input.data());
 }
 
 #[cfg(test)]

@@ -1,8 +1,21 @@
 //! Max-pooling layer over NCHW activations.
 
-use crate::layer::Layer;
-use middle_tensor::conv::{maxpool2d_backward, maxpool2d_forward};
+use crate::layer::{Layer, LayerWs};
+use middle_tensor::conv::{
+    maxpool2d_backward, maxpool2d_backward_into, maxpool2d_forward, maxpool2d_forward_into,
+};
 use middle_tensor::{Shape, Tensor};
+
+/// Coerces a workspace slot to the pool variant, initialising it lazily.
+fn pool_ws(ws: &mut LayerWs) -> &mut Vec<u32> {
+    if !matches!(ws, LayerWs::Pool { .. }) {
+        *ws = LayerWs::Pool { arg: Vec::new() };
+    }
+    match ws {
+        LayerWs::Pool { arg } => arg,
+        _ => unreachable!(),
+    }
+}
 
 /// Non-overlapping max pooling with a square window (stride = window).
 #[derive(Clone)]
@@ -54,6 +67,29 @@ impl Layer for MaxPool2d {
             window: self.window,
             cached: None,
         })
+    }
+
+    fn forward_into(&mut self, input: &Tensor, _train: bool, ws: &mut LayerWs, out: &mut Tensor) {
+        maxpool2d_forward_into(input, self.window, out, pool_ws(ws));
+    }
+
+    fn backward_into(
+        &mut self,
+        input: &Tensor,
+        _output: &Tensor,
+        grad_out: &Tensor,
+        ws: &mut LayerWs,
+        grad_in: &mut Tensor,
+        need_grad_in: bool,
+    ) {
+        if !need_grad_in {
+            return;
+        }
+        maxpool2d_backward_into(input.shape(), grad_out, pool_ws(ws), grad_in);
+    }
+
+    fn infer_into(&self, input: &Tensor, ws: &mut LayerWs, out: &mut Tensor) {
+        maxpool2d_forward_into(input, self.window, out, pool_ws(ws));
     }
 }
 

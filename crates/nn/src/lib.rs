@@ -27,11 +27,13 @@ pub mod model;
 pub mod optim;
 pub mod params;
 pub mod schedule;
+pub mod scratch;
 pub mod serialize;
 pub mod zoo;
 
-pub use layer::{Layer, Param};
+pub use layer::{Layer, LayerWs, Param};
 pub use model::Sequential;
 pub use optim::{Optimizer, OptimizerKind};
 pub use schedule::Schedule;
+pub use scratch::NetScratch;
 pub use zoo::InputSpec;

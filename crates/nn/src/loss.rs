@@ -1,6 +1,6 @@
 //! Loss functions: softmax cross-entropy and mean squared error.
 
-use middle_tensor::reduce::{logsumexp_rows, softmax_rows};
+use middle_tensor::reduce::{logsumexp_rows, softmax_inplace, softmax_rows};
 use middle_tensor::Tensor;
 
 /// Mean softmax cross-entropy over a batch.
@@ -39,18 +39,64 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     (loss, dlogits)
 }
 
+/// [`softmax_cross_entropy`] writing the gradient into caller-owned
+/// storage. Bitwise-identical loss and gradient; `dlogits` is resized and
+/// fully overwritten.
+pub fn softmax_cross_entropy_into(logits: &Tensor, labels: &[usize], dlogits: &mut Tensor) -> f32 {
+    assert_eq!(logits.shape().rank(), 2, "logits must be [N, C]");
+    let (n, c) = (logits.shape().dim(0), logits.shape().dim(1));
+    assert_eq!(labels.len(), n, "labels length mismatch");
+    assert!(n > 0, "empty batch");
+    assert!(
+        labels.iter().all(|&l| l < c),
+        "label out of range for {c} classes"
+    );
+
+    // Same per-row reduction as `logsumexp_rows`, computed inline.
+    let mut loss = 0.0f32;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        loss += lse - row[y];
+    }
+    loss /= n as f32;
+
+    dlogits.resize(logits.shape().clone());
+    dlogits.data_mut().copy_from_slice(logits.data());
+    let inv_n = 1.0 / n as f32;
+    for (i, &y) in labels.iter().enumerate() {
+        let row = dlogits.row_mut(i);
+        softmax_inplace(row);
+        row[y] -= 1.0;
+        for v in row {
+            *v *= inv_n;
+        }
+    }
+    loss
+}
+
 /// Per-sample softmax cross-entropy losses (no gradient) — used by the
 /// Oort statistical utility, which needs each sample's loss.
 pub fn per_sample_cross_entropy(logits: &Tensor, labels: &[usize]) -> Vec<f32> {
+    let mut out = Vec::new();
+    per_sample_cross_entropy_into(logits, labels, &mut out);
+    out
+}
+
+/// [`per_sample_cross_entropy`] into a caller-owned vector (cleared and
+/// refilled).
+pub fn per_sample_cross_entropy_into(logits: &Tensor, labels: &[usize], out: &mut Vec<f32>) {
     assert_eq!(logits.shape().rank(), 2, "logits must be [N, C]");
     let n = logits.shape().dim(0);
     assert_eq!(labels.len(), n, "labels length mismatch");
-    let lse = logsumexp_rows(logits);
-    labels
-        .iter()
-        .enumerate()
-        .map(|(i, &y)| lse.data()[i] - logits.at(&[i, y]))
-        .collect()
+    out.clear();
+    out.extend(labels.iter().enumerate().map(|(i, &y)| {
+        let row = logits.row(i);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+        lse - row[y]
+    }));
 }
 
 /// Mean squared error `mean((pred - target)^2)` with gradient

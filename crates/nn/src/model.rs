@@ -1,8 +1,9 @@
 //! Sequential model container.
 
 use crate::layer::{Layer, Param};
-use crate::loss::softmax_cross_entropy;
+use crate::loss::{softmax_cross_entropy, softmax_cross_entropy_into};
 use crate::optim::Optimizer;
+use crate::scratch::NetScratch;
 use middle_tensor::reduce::argmax_rows;
 use middle_tensor::Tensor;
 
@@ -96,6 +97,68 @@ impl Sequential {
         self.backward(&dlogits);
         optimizer.step(&mut self.params_mut());
         loss
+    }
+
+    /// Workspace-backed training step: bitwise-identical to
+    /// [`Sequential::train_batch`] but allocation-free in steady state.
+    ///
+    /// All intermediates live in `scratch`, which is grown on first use
+    /// and reused across calls; layers with workspace kernels (conv,
+    /// dense, relu, pool, flatten) run their batched `_into` paths and the
+    /// rest fall back to the allocating trait defaults.
+    pub fn train_batch_ws(
+        &mut self,
+        inputs: &Tensor,
+        labels: &[usize],
+        optimizer: &mut dyn Optimizer,
+        scratch: &mut NetScratch,
+    ) -> f32 {
+        let depth = self.layers.len();
+        assert!(depth > 0, "cannot train an empty model");
+        scratch.ensure(depth);
+
+        for i in 0..depth {
+            let (prev, rest) = scratch.acts.split_at_mut(i);
+            let input = if i == 0 { inputs } else { &prev[i - 1] };
+            self.layers[i].forward_into(input, true, &mut scratch.ws[i], &mut rest[0]);
+        }
+        let loss =
+            softmax_cross_entropy_into(&scratch.acts[depth - 1], labels, &mut scratch.dlogits);
+        for i in (0..depth).rev() {
+            let input = if i == 0 { inputs } else { &scratch.acts[i - 1] };
+            let output = &scratch.acts[i];
+            let (lo, hi) = scratch.grads.split_at_mut(i + 1);
+            let grad_out: &Tensor = if i + 1 == depth {
+                &scratch.dlogits
+            } else {
+                &hi[0]
+            };
+            self.layers[i].backward_into(
+                input,
+                output,
+                grad_out,
+                &mut scratch.ws[i],
+                &mut lo[i],
+                i > 0,
+            );
+        }
+        optimizer.step(&mut self.params_mut());
+        loss
+    }
+
+    /// Workspace-backed evaluation-mode forward pass: bitwise-identical to
+    /// [`Sequential::infer`] but allocation-free in steady state. Returns
+    /// the logits held inside `scratch`.
+    pub fn infer_ws<'s>(&self, input: &Tensor, scratch: &'s mut NetScratch) -> &'s Tensor {
+        let depth = self.layers.len();
+        assert!(depth > 0, "cannot infer with an empty model");
+        scratch.ensure(depth);
+        for i in 0..depth {
+            let (prev, rest) = scratch.acts.split_at_mut(i);
+            let x = if i == 0 { input } else { &prev[i - 1] };
+            self.layers[i].infer_into(x, &mut scratch.ws[i], &mut rest[0]);
+        }
+        &scratch.acts[depth - 1]
     }
 
     /// Cache-free evaluation-mode forward pass through all layers.

@@ -9,7 +9,10 @@ use crate::layer::Param;
 use serde::{Deserialize, Serialize};
 
 /// A first-order optimizer updating parameters from accumulated gradients.
-pub trait Optimizer: Send {
+///
+/// `Send + Sync` so a device can cache its optimizer while remaining
+/// shareable across threads during read-only phases (selection scoring).
+pub trait Optimizer: Send + Sync {
     /// Applies one update step to `params` (in canonical model order) and
     /// clears their gradients.
     fn step(&mut self, params: &mut [&mut Param]);
@@ -20,6 +23,17 @@ pub trait Optimizer: Send {
     /// Overrides the learning rate (used for decay schedules such as the
     /// `η_t = 2/(μ(γ+t))` schedule of Theorem 1).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Restores the freshly-built state (zero momentum/moment buffers,
+    /// step counter 0) without reallocating.
+    ///
+    /// After `reset()` an optimizer behaves bitwise-identically to a new
+    /// [`OptimizerKind::build`] of the same kind: the lazily-initialised
+    /// state vectors start at zero either way. This is what lets the
+    /// zero-alloc train path keep one optimizer per device across
+    /// participations while matching the fresh-optimizer-per-participation
+    /// semantics.
+    fn reset(&mut self) {}
 }
 
 /// Declarative optimizer choice, serialisable inside experiment configs.
@@ -139,6 +153,12 @@ impl Optimizer for MomentumSgd {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn reset(&mut self) {
+        for v in &mut self.velocity {
+            v.fill(0.0);
+        }
+    }
 }
 
 /// Adam (Kingma & Ba) with bias-corrected first/second moments.
@@ -207,6 +227,16 @@ impl Optimizer for Adam {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn reset(&mut self) {
+        for m in &mut self.m {
+            m.fill(0.0);
+        }
+        for v in &mut self.v {
+            v.fill(0.0);
+        }
+        self.t = 0;
+    }
 }
 
 /// Decoupled weight decay (AdamW-style): shrinks parameters by
@@ -247,6 +277,10 @@ impl Optimizer for WeightDecay {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.inner.set_learning_rate(lr);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
     }
 }
 
@@ -294,6 +328,10 @@ impl Optimizer for GradClip {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.inner.set_learning_rate(lr);
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
     }
 }
 

@@ -6,7 +6,7 @@
 //! [`crate::matmul`] kernel — forward, input-gradient and weight-gradient
 //! passes all reuse the same machinery.
 
-use crate::matmul::matmul_into;
+use crate::matmul::{matmul_into, matmul_into_reference, simd_dispatch};
 use crate::tensor::Tensor;
 
 /// Static geometry of a convolution: shapes, stride and padding.
@@ -62,12 +62,71 @@ impl ConvGeometry {
     }
 }
 
-/// Lowers one image `[C, H, W]` (a slice of `C*H*W` floats) into the patch
-/// matrix `cols` of shape `[patch_len, out_positions]` (row-major slice).
-pub fn im2col(img: &[f32], g: &ConvGeometry, cols: &mut [f32]) {
+/// Lowers one image `[C, H, W]` into rows of a (possibly wider) patch
+/// matrix: row `r` of the patches lands at `cols[r * row_stride + offset..]`.
+/// This is the strided core shared by [`im2col`] (one image per matrix,
+/// `row_stride == out_positions`) and [`im2col_batch`] (whole batch side by
+/// side, `row_stride == n * out_positions`).
+#[inline(always)]
+fn im2col_strided_body(
+    img: &[f32],
+    g: &ConvGeometry,
+    cols: &mut [f32],
+    row_stride: usize,
+    offset: usize,
+) {
     let (oh, ow) = (g.out_h(), g.out_w());
     debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
-    debug_assert_eq!(cols.len(), g.patch_len() * oh * ow);
+    let n_pos = oh * ow;
+    let mut row = 0usize;
+    for c in 0..g.in_c {
+        let plane = &img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                // For a fixed (ky, kx) the in-bounds output columns form one
+                // contiguous run per output row, so each row is a zero
+                // prefix, a copied/gathered span and a zero suffix — pure
+                // data movement, no per-element bounds checks.
+                let (lo, hi) = valid_span(ow, g.stride, kx, g.pad, g.in_w);
+                let out_row = &mut cols[row * row_stride + offset..][..n_pos];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    let dst = &mut out_row[oy * ow..(oy + 1) * ow];
+                    if iy < 0 || iy as usize >= g.in_h || lo >= hi {
+                        dst.fill(0.0);
+                        continue;
+                    }
+                    dst[..lo].fill(0.0);
+                    dst[hi..].fill(0.0);
+                    let ix0 = (lo * g.stride + kx) - g.pad;
+                    let src = &plane[iy as usize * g.in_w + ix0..];
+                    if g.stride == 1 {
+                        dst[lo..hi].copy_from_slice(&src[..hi - lo]);
+                    } else {
+                        for (i, d) in dst[lo..hi].iter_mut().enumerate() {
+                            *d = src[i * g.stride];
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+simd_dispatch!(
+    im2col_strided,
+    im2col_strided_body,
+    (img: &[f32], g: &ConvGeometry, cols: &mut [f32], row_stride: usize, offset: usize)
+);
+
+/// The pre-overhaul [`im2col`] body, kept verbatim (per-element bounds
+/// checks and all) so the per-sample oracle kernels keep the seed's
+/// performance as well as its output — the benchmark's "before" side
+/// must not inherit the batched path's data-movement optimisations.
+fn im2col_reference(img: &[f32], g: &ConvGeometry, cols: &mut [f32]) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
     let n_pos = oh * ow;
     let mut row = 0usize;
     for c in 0..g.in_c {
@@ -98,12 +157,11 @@ pub fn im2col(img: &[f32], g: &ConvGeometry, cols: &mut [f32]) {
     }
 }
 
-/// Scatter-adds a patch matrix back into an image — the adjoint of
-/// [`im2col`], used for the input gradient.
-pub fn col2im(cols: &[f32], g: &ConvGeometry, img: &mut [f32]) {
+/// The pre-overhaul [`col2im`] body, kept verbatim for the per-sample
+/// oracle (see [`im2col_reference`]).
+fn col2im_reference(cols: &[f32], g: &ConvGeometry, img: &mut [f32]) {
     let (oh, ow) = (g.out_h(), g.out_w());
     debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
-    debug_assert_eq!(cols.len(), g.patch_len() * oh * ow);
     img.fill(0.0);
     let n_pos = oh * ow;
     let mut row = 0usize;
@@ -127,6 +185,129 @@ pub fn col2im(cols: &[f32], g: &ConvGeometry, img: &mut [f32]) {
             }
         }
     }
+}
+
+/// Output-column range `[lo, hi)` whose input column `ox * stride + kx - pad`
+/// lies inside `[0, in_w)`, clamped to `[0, ow)`.
+fn valid_span(ow: usize, stride: usize, kx: usize, pad: usize, in_w: usize) -> (usize, usize) {
+    let shift = kx as isize - pad as isize;
+    let lo = if shift >= 0 {
+        0
+    } else {
+        ((-shift) as usize).div_ceil(stride)
+    };
+    let hi = if (in_w as isize) <= shift {
+        0
+    } else {
+        (in_w as isize - 1 - shift) as usize / stride + 1
+    };
+    (lo.min(ow), hi.min(ow).max(lo.min(ow)))
+}
+
+/// Lowers one image `[C, H, W]` (a slice of `C*H*W` floats) into the patch
+/// matrix `cols` of shape `[patch_len, out_positions]` (row-major slice).
+pub fn im2col(img: &[f32], g: &ConvGeometry, cols: &mut [f32]) {
+    debug_assert_eq!(cols.len(), g.patch_len() * g.out_positions());
+    im2col_strided(img, g, cols, g.out_positions(), 0);
+}
+
+/// Lowers a whole NCHW batch into one patch matrix of shape
+/// `[patch_len, n * out_positions]`: sample `b`'s columns sit at offset
+/// `b * out_positions` within every row, so one GEMM covers the batch while
+/// each output element sums exactly the per-sample products in the same
+/// k-order.
+pub fn im2col_batch(input: &[f32], n: usize, g: &ConvGeometry, cols: &mut [f32]) {
+    let n_pos = g.out_positions();
+    let img_len = g.in_c * g.in_h * g.in_w;
+    let row_stride = n * n_pos;
+    debug_assert_eq!(input.len(), n * img_len);
+    debug_assert_eq!(cols.len(), g.patch_len() * row_stride);
+    for b in 0..n {
+        let img = &input[b * img_len..(b + 1) * img_len];
+        im2col_strided(img, g, cols, row_stride, b * n_pos);
+    }
+}
+
+/// Strided core of [`col2im`]: scatter-adds the columns at
+/// `cols[r * row_stride + offset..]` for each patch row `r` back into one
+/// image. `img` is zeroed first.
+#[inline(always)]
+fn col2im_strided_body(
+    cols: &[f32],
+    g: &ConvGeometry,
+    img: &mut [f32],
+    row_stride: usize,
+    offset: usize,
+) {
+    let (oh, ow) = (g.out_h(), g.out_w());
+    debug_assert_eq!(img.len(), g.in_c * g.in_h * g.in_w);
+    img.fill(0.0);
+    let n_pos = oh * ow;
+    let mut row = 0usize;
+    for c in 0..g.in_c {
+        let plane = &mut img[c * g.in_h * g.in_w..(c + 1) * g.in_h * g.in_w];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                // Mirror of the im2col fast path: one contiguous in-bounds
+                // run per output row. Each image cell still receives its
+                // per-(ky,kx) contributions one at a time in the original
+                // loop order, so the accumulation order is unchanged.
+                let (lo, hi) = valid_span(ow, g.stride, kx, g.pad, g.in_w);
+                let col_row = &cols[row * row_stride + offset..][..n_pos];
+                for oy in 0..oh {
+                    let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                    if iy < 0 || iy as usize >= g.in_h || lo >= hi {
+                        continue;
+                    }
+                    let src = &col_row[oy * ow..][lo..hi];
+                    let ix0 = (lo * g.stride + kx) - g.pad;
+                    let dst = &mut plane[iy as usize * g.in_w + ix0..];
+                    if g.stride == 1 {
+                        for (d, &s) in dst[..hi - lo].iter_mut().zip(src) {
+                            *d += s;
+                        }
+                    } else {
+                        for (i, &s) in src.iter().enumerate() {
+                            dst[i * g.stride] += s;
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+simd_dispatch!(
+    col2im_strided,
+    col2im_strided_body,
+    (cols: &[f32], g: &ConvGeometry, img: &mut [f32], row_stride: usize, offset: usize)
+);
+
+/// Scatter-adds a patch matrix back into an image — the adjoint of
+/// [`im2col`], used for the input gradient.
+pub fn col2im(cols: &[f32], g: &ConvGeometry, img: &mut [f32]) {
+    debug_assert_eq!(cols.len(), g.patch_len() * g.out_positions());
+    col2im_strided(cols, g, img, g.out_positions(), 0);
+}
+
+/// Reusable workspace for the batched convolution kernels. All buffers are
+/// grown on demand and retained across calls; after
+/// [`conv2d_forward_into`] it holds the batch's im2col patches, which
+/// [`conv2d_backward_into`] reuses instead of re-lowering the input.
+#[derive(Debug, Default, Clone)]
+pub struct ConvScratch {
+    /// Batched patch matrix `[patch_len, n * out_positions]`.
+    cols: Vec<f32>,
+    /// GEMM output / transposed upstream gradient `[out_c, n * out_positions]`.
+    ybuf: Vec<f32>,
+    /// Patch-space input gradient `[patch_len, n * out_positions]`.
+    dcols: Vec<f32>,
+    /// Transposed weights `[patch_len, out_c]`.
+    wt: Vec<f32>,
+    /// One transposed 8-channel dy tile `[out_positions, 8]` for the
+    /// weight-gradient dots (see [`crate::ops::dot_slices_8_transposed`]).
+    dyt: Vec<f32>,
 }
 
 /// Forward convolution.
@@ -155,9 +336,9 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, g: &ConvGe
     let mut cols = vec![0.0f32; g.patch_len() * n_pos];
     for b in 0..n {
         let img = &input.data()[b * img_len..(b + 1) * img_len];
-        im2col(img, g, &mut cols);
+        im2col_reference(img, g, &mut cols);
         let dst = &mut out.data_mut()[b * out_img_len..(b + 1) * out_img_len];
-        matmul_into(weight.data(), &cols, dst, g.out_c, g.patch_len(), n_pos);
+        matmul_into_reference(weight.data(), &cols, dst, g.out_c, g.patch_len(), n_pos);
         for (oc, chunk) in dst.chunks_mut(n_pos).enumerate() {
             let bv = bias.data()[oc];
             for v in chunk {
@@ -167,6 +348,249 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, bias: &Tensor, g: &ConvGe
     }
     out
 }
+
+/// Batched forward convolution into caller-owned storage.
+///
+/// Bitwise-identical to [`conv2d_forward`] (the per-sample oracle): the
+/// whole batch is lowered with [`im2col_batch`] and multiplied in one GEMM,
+/// which sums the same products in the same k-order per output element.
+/// `out` is resized and fully overwritten; `scratch` keeps the patches for
+/// [`conv2d_backward_into`].
+pub fn conv2d_forward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: &Tensor,
+    g: &ConvGeometry,
+    scratch: &mut ConvScratch,
+    out: &mut Tensor,
+) {
+    g.check_input(input);
+    assert_eq!(
+        weight.shape().dims(),
+        &[g.out_c, g.patch_len()],
+        "weight shape"
+    );
+    assert_eq!(bias.shape().dims(), &[g.out_c], "bias shape");
+
+    let n = input.shape().dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    let n_pos = oh * ow;
+    let plen = g.patch_len();
+    let cols_n = n * n_pos;
+
+    scratch.cols.resize(plen * cols_n, 0.0);
+    scratch.ybuf.resize(g.out_c * cols_n, 0.0);
+    im2col_batch(input.data(), n, g, &mut scratch.cols);
+    matmul_into(
+        weight.data(),
+        &scratch.cols,
+        &mut scratch.ybuf,
+        g.out_c,
+        plen,
+        cols_n,
+    );
+
+    out.resize([n, g.out_c, oh, ow]);
+    let od = out.data_mut();
+    for b in 0..n {
+        for oc in 0..g.out_c {
+            let src = &scratch.ybuf[oc * cols_n + b * n_pos..][..n_pos];
+            let dst = &mut od[(b * g.out_c + oc) * n_pos..][..n_pos];
+            let bv = bias.data()[oc];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s + bv;
+            }
+        }
+    }
+}
+
+/// Batched backward convolution into caller-owned storage.
+///
+/// Bitwise-identical to [`conv2d_backward`]: `dweight`/`dbias` accumulate
+/// per-sample terms in ascending batch order with the oracle's `dot_slices`
+/// reduction, and the patch-space input gradient is one GEMM whose
+/// per-element reduction matches the oracle's ascending-`out_c` chain.
+///
+/// Requires `scratch` to hold the patches left by [`conv2d_forward_into`]
+/// on the same input. Pass `dinput: None` to skip the input gradient
+/// entirely (the first layer of a network never needs it).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_into(
+    input: &Tensor,
+    weight: &Tensor,
+    dout: &Tensor,
+    g: &ConvGeometry,
+    scratch: &mut ConvScratch,
+    dweight: &mut Tensor,
+    dbias: &mut Tensor,
+    dinput: Option<&mut Tensor>,
+) {
+    g.check_input(input);
+    let n = input.shape().dim(0);
+    let (oh, ow) = (g.out_h(), g.out_w());
+    assert_eq!(
+        dout.shape().dims(),
+        &[n, g.out_c, oh, ow],
+        "dout shape mismatch"
+    );
+    let n_pos = oh * ow;
+    let img_len = g.in_c * g.in_h * g.in_w;
+    let out_img_len = g.out_c * n_pos;
+    let plen = g.patch_len();
+    let cols_n = n * n_pos;
+    assert_eq!(
+        scratch.cols.len(),
+        plen * cols_n,
+        "conv2d_backward_into requires the patches left by conv2d_forward_into"
+    );
+
+    dweight.resize(weight.shape().clone());
+    dweight.data_mut().fill(0.0);
+    dbias.resize([g.out_c]);
+    dbias.data_mut().fill(0.0);
+    scratch.dyt.resize(n_pos * 8, 0.0);
+
+    let dd = dout.data();
+    for b in 0..n {
+        let dy = &dd[b * out_img_len..(b + 1) * out_img_len];
+
+        // dbias: sum over spatial positions.
+        for (oc, chunk) in dy.chunks(n_pos).enumerate() {
+            dbias.data_mut()[oc] += chunk.iter().sum::<f32>();
+        }
+
+        // dweight += dy (out_c×n_pos) · colsᵀ (n_pos×plen), per sample in
+        // ascending batch order — the oracle's exact accumulation chain.
+        dweight_sample(
+            dy,
+            &scratch.cols,
+            dweight.data_mut(),
+            &mut scratch.dyt,
+            g.out_c,
+            plen,
+            n_pos,
+            cols_n,
+            b * n_pos,
+        );
+    }
+
+    if let Some(dinput) = dinput {
+        // dcols (plen × n·n_pos) = weightᵀ · dyᵀ. Both transposes are pure
+        // copies, so the blocked GEMM reduces each element over ascending
+        // out_c exactly like the oracle's scatter loop.
+        scratch.ybuf.resize(g.out_c * cols_n, 0.0);
+        for b in 0..n {
+            let dy = &dd[b * out_img_len..(b + 1) * out_img_len];
+            for oc in 0..g.out_c {
+                scratch.ybuf[oc * cols_n + b * n_pos..][..n_pos]
+                    .copy_from_slice(&dy[oc * n_pos..(oc + 1) * n_pos]);
+            }
+        }
+        scratch.wt.resize(plen * g.out_c, 0.0);
+        let wd = weight.data();
+        for oc in 0..g.out_c {
+            for (r, &wv) in wd[oc * plen..(oc + 1) * plen].iter().enumerate() {
+                scratch.wt[r * g.out_c + oc] = wv;
+            }
+        }
+        scratch.dcols.resize(plen * cols_n, 0.0);
+        matmul_into(
+            &scratch.wt,
+            &scratch.ybuf,
+            &mut scratch.dcols,
+            plen,
+            g.out_c,
+            cols_n,
+        );
+
+        dinput.resize(input.shape().clone());
+        let did = dinput.data_mut();
+        for b in 0..n {
+            col2im_strided(
+                &scratch.dcols,
+                g,
+                &mut did[b * img_len..(b + 1) * img_len],
+                cols_n,
+                b * n_pos,
+            );
+        }
+    }
+}
+
+/// One sample's weight-gradient accumulation for the batched backward
+/// pass. Eight output channels share each patch row per pass: the short
+/// dots overlap (hiding add latency) and the cols buffer streams
+/// sequentially. Operand order inside each dot is swapped relative to the
+/// oracle, which is bitwise-free (float multiply commutes).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn dweight_sample_body(
+    dy: &[f32],
+    cols: &[f32],
+    dw: &mut [f32],
+    dyt: &mut [f32],
+    out_c: usize,
+    plen: usize,
+    n_pos: usize,
+    cols_n: usize,
+    col_off: usize,
+) {
+    // Each 8-channel dy tile is reused across all `plen` patch rows, so
+    // transposing it once lets the dots run 8-wide across the outputs
+    // (bitwise-identical per output; see `dot_slices_8_transposed`).
+    let transposed = n_pos.is_multiple_of(4) && crate::ops::dots8_transposed_fast();
+    let mut oc0 = 0;
+    while oc0 + 8 <= out_c {
+        if transposed {
+            for t in 0..8 {
+                let dyrow = &dy[(oc0 + t) * n_pos..][..n_pos];
+                for (j, &v) in dyrow.iter().enumerate() {
+                    dyt[j * 8 + t] = v;
+                }
+            }
+            for r in 0..plen {
+                let colsrow = &cols[r * cols_n + col_off..][..n_pos];
+                let dots = crate::ops::dot_slices_8_transposed(colsrow, &dyt[..n_pos * 8]);
+                for (t, d) in dots.into_iter().enumerate() {
+                    dw[(oc0 + t) * plen + r] += d;
+                }
+            }
+        } else {
+            let dyrows: [&[f32]; 8] = std::array::from_fn(|t| &dy[(oc0 + t) * n_pos..][..n_pos]);
+            for r in 0..plen {
+                let colsrow = &cols[r * cols_n + col_off..][..n_pos];
+                let dots = crate::ops::dot_slices_many(colsrow, dyrows);
+                for (t, d) in dots.into_iter().enumerate() {
+                    dw[(oc0 + t) * plen + r] += d;
+                }
+            }
+        }
+        oc0 += 8;
+    }
+    for oc in oc0..out_c {
+        let dyrow = &dy[oc * n_pos..(oc + 1) * n_pos];
+        let dwrow = &mut dw[oc * plen..(oc + 1) * plen];
+        for (r, dwv) in dwrow.iter_mut().enumerate() {
+            *dwv += crate::ops::dot_slices(dyrow, &cols[r * cols_n + col_off..][..n_pos]);
+        }
+    }
+}
+
+simd_dispatch!(
+    dweight_sample,
+    dweight_sample_body,
+    (
+        dy: &[f32],
+        cols: &[f32],
+        dw: &mut [f32],
+        dyt: &mut [f32],
+        out_c: usize,
+        plen: usize,
+        n_pos: usize,
+        cols_n: usize,
+        col_off: usize
+    )
+);
 
 /// Backward convolution.
 ///
@@ -209,12 +633,12 @@ pub fn conv2d_backward(
         }
 
         // dweight += dy (out_c×n_pos) · colsᵀ (n_pos×plen)
-        im2col(img, g, &mut cols);
+        im2col_reference(img, g, &mut cols);
         for oc in 0..g.out_c {
             let dyrow = &dy[oc * n_pos..(oc + 1) * n_pos];
             let dwrow = &mut dw_local[oc * plen..(oc + 1) * plen];
             for (r, dwv) in dwrow.iter_mut().enumerate() {
-                *dwv = crate::ops::dot_slices(dyrow, &cols[r * n_pos..(r + 1) * n_pos]);
+                *dwv = crate::ops::dot_slices_reference(dyrow, &cols[r * n_pos..(r + 1) * n_pos]);
             }
         }
         for (acc, &v) in dweight.data_mut().iter_mut().zip(dw_local.iter()) {
@@ -236,7 +660,7 @@ pub fn conv2d_backward(
             }
         }
         let dimg = &mut dinput.data_mut()[b * img_len..(b + 1) * img_len];
-        col2im(&dcols, g, dimg);
+        col2im_reference(&dcols, g, dimg);
     }
     (dinput, dweight, dbias)
 }
@@ -246,6 +670,15 @@ pub fn conv2d_backward(
 /// Returns the pooled tensor and the flat argmax indices (into each input
 /// image) used by [`maxpool2d_backward`].
 pub fn maxpool2d_forward(input: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
+    let mut out = Tensor::zeros([0]);
+    let mut arg = Vec::new();
+    maxpool2d_forward_into(input, window, &mut out, &mut arg);
+    (out, arg)
+}
+
+/// [`maxpool2d_forward`] into caller-owned storage; `out` and `arg` are
+/// resized and fully overwritten.
+pub fn maxpool2d_forward_into(input: &Tensor, window: usize, out: &mut Tensor, arg: &mut Vec<u32>) {
     assert_eq!(input.shape().rank(), 4, "pool input must be NCHW");
     let (n, c, h, w) = (
         input.shape().dim(0),
@@ -255,11 +688,40 @@ pub fn maxpool2d_forward(input: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
     );
     assert!(window > 0 && h >= window && w >= window, "bad pool window");
     let (oh, ow) = (h / window, w / window);
-    let mut out = Tensor::zeros([n, c, oh, ow]);
-    let mut arg = vec![0u32; n * c * oh * ow];
+    out.resize([n, c, oh, ow]);
+    arg.resize(n * c * oh * ow, 0);
     let id = input.data();
     let od = out.data_mut();
     let mut o = 0usize;
+    if window == 2 {
+        // The only window the model zoo uses: fully unrolled with the
+        // generic loop's exact visit order ((0,0),(0,1),(1,0),(1,1)),
+        // strict `>` and NEG_INFINITY start, so results — including the
+        // NaN/-inf corner where nothing beats the initial best — are
+        // identical by construction.
+        for plane in 0..n * c {
+            let base = plane * h * w;
+            for oy in 0..oh {
+                let r0 = base + (oy * 2) * w;
+                let r1 = r0 + w;
+                for ox in 0..ow {
+                    let (i00, i10) = (r0 + ox * 2, r1 + ox * 2);
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_i = 0usize;
+                    for idx in [i00, i00 + 1, i10, i10 + 1] {
+                        if id[idx] > best {
+                            best = id[idx];
+                            best_i = idx;
+                        }
+                    }
+                    od[o] = best;
+                    arg[o] = best_i as u32;
+                    o += 1;
+                }
+            }
+        }
+        return;
+    }
     for b in 0..n {
         for ch in 0..c {
             let base = (b * c + ch) * h * w;
@@ -283,18 +745,30 @@ pub fn maxpool2d_forward(input: &Tensor, window: usize) -> (Tensor, Vec<u32>) {
             }
         }
     }
-    (out, arg)
 }
 
 /// Backward max pooling: routes each upstream gradient to the argmax cell.
 pub fn maxpool2d_backward(input_shape: &crate::shape::Shape, dout: &Tensor, arg: &[u32]) -> Tensor {
+    let mut dinput = Tensor::zeros([0]);
+    maxpool2d_backward_into(input_shape, dout, arg, &mut dinput);
+    dinput
+}
+
+/// [`maxpool2d_backward`] into caller-owned storage; `dinput` is resized
+/// and fully overwritten.
+pub fn maxpool2d_backward_into(
+    input_shape: &crate::shape::Shape,
+    dout: &Tensor,
+    arg: &[u32],
+    dinput: &mut Tensor,
+) {
     assert_eq!(dout.len(), arg.len(), "argmax table length mismatch");
-    let mut dinput = Tensor::zeros(input_shape.clone());
+    dinput.resize(input_shape.clone());
     let dd = dinput.data_mut();
+    dd.fill(0.0);
     for (g, &i) in dout.data().iter().zip(arg) {
         dd[i as usize] += g;
     }
-    dinput
 }
 
 #[cfg(test)]

@@ -148,6 +148,19 @@ impl Tensor {
         self.clone().reshape(shape)
     }
 
+    /// Re-shapes in place, growing or shrinking the backing buffer while
+    /// keeping its capacity (the scratch-reuse primitive of the zero-alloc
+    /// train path).
+    ///
+    /// Element values are unspecified after a resize — surviving elements
+    /// keep their old values and grown elements are zero — so callers must
+    /// fully overwrite the tensor before reading it.
+    pub fn resize(&mut self, shape: impl Into<Shape>) {
+        let shape = shape.into();
+        self.data.resize(shape.len(), 0.0);
+        self.shape = shape;
+    }
+
     /// Row `i` of a rank-2 tensor as a slice.
     ///
     /// # Panics

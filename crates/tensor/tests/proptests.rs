@@ -1,8 +1,14 @@
-//! Property-based tests for the tensor substrate's algebraic invariants.
+//! Property-based tests for the tensor substrate: algebraic invariants,
+//! plus bitwise equivalence of the blocked/batched training kernels
+//! against their straightforward oracles.
 
-use middle_tensor::conv::{col2im, im2col, ConvGeometry};
-use middle_tensor::matmul::{matmul, matmul_at, matmul_bt};
+use middle_tensor::conv::{
+    col2im, conv2d_backward, conv2d_backward_into, conv2d_forward, conv2d_forward_into, im2col,
+    ConvGeometry, ConvScratch,
+};
+use middle_tensor::matmul::{matmul, matmul_at, matmul_bt, matmul_into, matmul_into_reference};
 use middle_tensor::ops;
+use middle_tensor::random::{rng, uniform};
 use middle_tensor::reduce;
 use middle_tensor::Tensor;
 use proptest::prelude::*;
@@ -13,6 +19,27 @@ fn finite_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
 
 fn tensor1(len: usize) -> impl Strategy<Value = Tensor> {
     finite_vec(len).prop_map(move |v| Tensor::from_vec([len], v))
+}
+
+/// Deterministic values in [-1, 1] with exact zeros sprinkled in — the
+/// zeros exercise the reference kernel's `av != 0.0` skip, which the
+/// blocked kernel intentionally drops (adding a ±0.0 product to a finite
+/// accumulator is a bitwise no-op).
+fn mixed_vals(len: usize, seed: u64) -> Vec<f32> {
+    let mut v = uniform([len.max(1)], -1.0, 1.0, &mut rng(seed))
+        .data()
+        .to_vec();
+    v.truncate(len);
+    for (i, x) in v.iter_mut().enumerate() {
+        if i % 5 == 3 {
+            *x = 0.0;
+        }
+    }
+    v
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.data().iter().map(|v| v.to_bits()).collect()
 }
 
 proptest! {
@@ -150,6 +177,123 @@ proptest! {
     fn norm_triangle_inequality(a in tensor1(11), b in tensor1(11)) {
         let sum = ops::add(&a, &b);
         prop_assert!(sum.norm() <= a.norm() + b.norm() + 1e-3);
+    }
+
+    /// The cache-blocked GEMM microkernel is bitwise-identical to the
+    /// pre-blocking reference kernel across odd shapes: column counts
+    /// below one tile, non-multiples of the tile width, and inputs
+    /// containing exact zeros (the reference's skipped terms).
+    #[test]
+    fn blocked_matmul_matches_reference_bitwise(
+        m in 1usize..8,
+        k in 1usize..24,
+        n in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let a = mixed_vals(m * k, seed);
+        let b = mixed_vals(k * n, seed ^ 0x5EED);
+        let mut fast = vec![7.0f32; m * n]; // poisoned: must be overwritten
+        let mut refc = vec![0.0f32; m * n];
+        matmul_into(&a, &b, &mut fast, m, k, n);
+        matmul_into_reference(&a, &b, &mut refc, m, k, n);
+        for (x, y) in fast.iter().zip(&refc) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// Batched (whole-batch im2col + one GEMM) convolution forward and
+    /// backward are bitwise-identical to the per-sample oracle kernels,
+    /// including the input/weight/bias gradients.
+    #[test]
+    fn batched_conv_matches_per_sample_oracle_bitwise(
+        n in 1usize..4,
+        seed in 0u64..1000,
+        stride in 1usize..3,
+    ) {
+        let g = ConvGeometry {
+            in_c: 2, out_c: 3, kernel: 3, stride, pad: 1, in_h: 5, in_w: 5,
+        };
+        let input = Tensor::from_vec(
+            [n, g.in_c, g.in_h, g.in_w],
+            mixed_vals(n * g.in_c * g.in_h * g.in_w, seed),
+        );
+        let weight = Tensor::from_vec(
+            [g.out_c, g.patch_len()],
+            mixed_vals(g.out_c * g.patch_len(), seed ^ 0xAB),
+        );
+        let bias = Tensor::from_vec([g.out_c], mixed_vals(g.out_c, seed ^ 0xCD));
+        let dout = Tensor::from_vec(
+            [n, g.out_c, g.out_h(), g.out_w()],
+            mixed_vals(n * g.out_c * g.out_h() * g.out_w(), seed ^ 0xEF),
+        );
+
+        let oracle_out = conv2d_forward(&input, &weight, &bias, &g);
+        let (odi, odw, odb) = conv2d_backward(&input, &weight, &dout, &g);
+
+        let mut scratch = ConvScratch::default();
+        let mut out = Tensor::zeros([0]);
+        let mut dw = Tensor::zeros([0]);
+        let mut db = Tensor::zeros([0]);
+        let mut di = Tensor::zeros([0]);
+        conv2d_forward_into(&input, &weight, &bias, &g, &mut scratch, &mut out);
+        conv2d_backward_into(&input, &weight, &dout, &g, &mut scratch, &mut dw, &mut db, Some(&mut di));
+
+        prop_assert_eq!(out.shape(), oracle_out.shape());
+        prop_assert_eq!(bits(&out), bits(&oracle_out));
+        prop_assert_eq!(bits(&dw), bits(&odw));
+        prop_assert_eq!(bits(&db), bits(&odb));
+        prop_assert_eq!(di.shape(), odi.shape());
+        prop_assert_eq!(bits(&di), bits(&odi));
+    }
+
+    /// Reusing one `ConvScratch` across batches of different sizes
+    /// (growing and shrinking the workspace) is bitwise-identical to
+    /// running each batch with a fresh scratch.
+    #[test]
+    fn conv_scratch_reuse_matches_fresh_bitwise(seed in 0u64..1000) {
+        let g = ConvGeometry {
+            in_c: 1, out_c: 2, kernel: 3, stride: 1, pad: 1, in_h: 4, in_w: 4,
+        };
+        let weight = Tensor::from_vec(
+            [g.out_c, g.patch_len()],
+            mixed_vals(g.out_c * g.patch_len(), seed ^ 0x11),
+        );
+        let bias = Tensor::from_vec([g.out_c], mixed_vals(g.out_c, seed ^ 0x22));
+
+        let mut reused = ConvScratch::default();
+        let mut out_r = Tensor::zeros([0]);
+        let mut dw_r = Tensor::zeros([0]);
+        let mut db_r = Tensor::zeros([0]);
+        let mut di_r = Tensor::zeros([0]);
+        for (i, n) in [3usize, 1, 2].into_iter().enumerate() {
+            let input = Tensor::from_vec(
+                [n, g.in_c, g.in_h, g.in_w],
+                mixed_vals(n * g.in_c * g.in_h * g.in_w, seed + i as u64),
+            );
+            let dout = Tensor::from_vec(
+                [n, g.out_c, g.out_h(), g.out_w()],
+                mixed_vals(n * g.out_c * g.out_h() * g.out_w(), seed + 100 + i as u64),
+            );
+            conv2d_forward_into(&input, &weight, &bias, &g, &mut reused, &mut out_r);
+            conv2d_backward_into(
+                &input, &weight, &dout, &g, &mut reused, &mut dw_r, &mut db_r, Some(&mut di_r),
+            );
+
+            let mut fresh = ConvScratch::default();
+            let mut out_f = Tensor::zeros([0]);
+            let mut dw_f = Tensor::zeros([0]);
+            let mut db_f = Tensor::zeros([0]);
+            let mut di_f = Tensor::zeros([0]);
+            conv2d_forward_into(&input, &weight, &bias, &g, &mut fresh, &mut out_f);
+            conv2d_backward_into(
+                &input, &weight, &dout, &g, &mut fresh, &mut dw_f, &mut db_f, Some(&mut di_f),
+            );
+
+            prop_assert_eq!(bits(&out_r), bits(&out_f));
+            prop_assert_eq!(bits(&dw_r), bits(&dw_f));
+            prop_assert_eq!(bits(&db_r), bits(&db_f));
+            prop_assert_eq!(bits(&di_r), bits(&di_f));
+        }
     }
 
     #[test]

@@ -54,6 +54,9 @@ if [[ "$CI" -eq 1 ]]; then
 
     echo "==> compression smoke run (lossless identity + 4x uplink gate, writes BENCH_compress.json)"
     cargo run -q -p middle-bench --release --bin compress_sweep -- --smoke
+
+    echo "==> train-kernel smoke run (speedup regression gate, writes BENCH_train.json)"
+    cargo run -q -p middle-bench --release --bin train_kernels -- --smoke
 fi
 
 echo "All checks passed."
