@@ -34,7 +34,7 @@
 //! functions of the key fields, and per-run state is cloned from them
 //! either way.
 
-use crate::config::SimConfig;
+use crate::config::{PopulationMode, SimConfig};
 use crate::sim::Simulation;
 use middle_data::partition::{partition, Partition};
 use middle_data::synthetic::SyntheticSource;
@@ -104,6 +104,11 @@ pub struct SharedInputs {
     pub(crate) init: Sequential,
     pub(crate) homes: Vec<usize>,
     pub(crate) trace: Trace,
+    /// The shared base dataset, kept only in lazy population mode so
+    /// device datasets can be re-gathered on materialisation
+    /// (`device_data` stays empty there). Dense mode pre-gathers
+    /// `device_data` and drops the base.
+    pub(crate) base: Option<Dataset>,
 }
 
 impl SharedInputs {
@@ -140,12 +145,21 @@ impl SharedInputs {
             })
             .collect();
         let trace = crate::sim::build_trace(config, &homes);
-        // Gather each device's samples once here, not once per run:
-        // subsetting is a row gather over the base dataset, and a sweep
-        // cell that shares these inputs pays it a single time.
-        let device_data: Vec<Dataset> = (0..config.num_devices)
-            .map(|m| base.subset(&part.assignments[m]))
-            .collect();
+        // Dense mode gathers each device's samples once here, not once
+        // per run: subsetting is a row gather over the base dataset, and
+        // a sweep cell that shares these inputs pays it a single time.
+        // Lazy mode keeps the base instead and re-gathers per
+        // materialisation — N pre-gathered datasets are exactly the O(N)
+        // resident cost the mode exists to avoid.
+        let (device_data, base) = match config.population {
+            PopulationMode::Dense => {
+                let device_data: Vec<Dataset> = (0..config.num_devices)
+                    .map(|m| base.subset(&part.assignments[m]))
+                    .collect();
+                (device_data, None)
+            }
+            PopulationMode::Lazy => (Vec::new(), Some(base)),
+        };
         SharedInputs {
             partition: part,
             device_data,
@@ -153,6 +167,7 @@ impl SharedInputs {
             init,
             homes,
             trace,
+            base,
         }
     }
 
@@ -174,7 +189,7 @@ impl SharedInputs {
 /// grid over them shares one entry.
 pub fn input_key(config: &SimConfig) -> String {
     format!(
-        "task={};edges={};devices={};spd={};scheme={};test={};steps={};mobility={};seed={}",
+        "task={};edges={};devices={};spd={};scheme={};test={};steps={};mobility={};seed={};pop={:?}",
         config.task.name(),
         config.num_edges,
         config.num_devices,
@@ -184,6 +199,7 @@ pub fn input_key(config: &SimConfig) -> String {
         config.steps,
         serde_json::to_string(&config.mobility).unwrap_or_default(),
         config.seed,
+        config.population,
     )
 }
 

@@ -80,6 +80,53 @@ pub struct DeviceCheckpoint {
     pub rng: RngStateCheckpoint,
 }
 
+/// One live broadcast version of a lazy population: the shared flat
+/// parameter vector and the cached squared norm every stub of this
+/// version carries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VersionCheckpoint {
+    /// Stable version id (index into the version table).
+    pub id: u32,
+    /// The flat parameter vector.
+    pub flat: Vec<f32>,
+    /// Cached squared L2 norm (bit-exact, not recomputed on restore).
+    pub norm_sq: f32,
+}
+
+/// Snapshot of one device slot of a lazy population: either a fully
+/// materialised replica or a virtualized stub.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum DeviceSlotCheckpoint {
+    /// The device was resident at capture time.
+    Resident {
+        /// The replica's full state.
+        device: DeviceCheckpoint,
+    },
+    /// The device was virtualized at capture time.
+    Stub {
+        /// Version id the stub's parameters point at.
+        version: u32,
+        /// Oort statistical utility from the last participation.
+        oort_utility: Option<f32>,
+        /// Time step of the last participation.
+        last_participation: Option<usize>,
+        /// Saved batch-sampling RNG state; `None` for a virgin device.
+        rng: Option<RngStateCheckpoint>,
+    },
+}
+
+/// Snapshot of a lazy population: the live version table plus one slot
+/// per device. Only present on checkpoints of lazy-mode simulations;
+/// dense checkpoints keep serialising through [`SimCheckpoint::devices`]
+/// byte-identically to pre-plane checkpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PopulationCheckpoint {
+    /// Live (still-referenced) version slots.
+    pub versions: Vec<VersionCheckpoint>,
+    /// Per-device slots, in device order.
+    pub devices: Vec<DeviceSlotCheckpoint>,
+}
+
 /// Snapshot of one edge server's mutable state.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EdgeCheckpoint {
@@ -130,8 +177,14 @@ pub struct SimCheckpoint {
     pub cloud: Checkpoint,
     /// Per-edge state, in edge order.
     pub edges: Vec<EdgeCheckpoint>,
-    /// Per-device state, in device order.
+    /// Per-device state, in device order (empty for lazy-mode
+    /// simulations, which capture [`SimCheckpoint::population`] instead).
     pub devices: Vec<DeviceCheckpoint>,
+    /// Lazy-population state (version table + device slots); `None` on
+    /// dense simulations, keeping their serialisation byte-identical to
+    /// pre-plane checkpoints.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub population: Option<PopulationCheckpoint>,
     /// The selection RNG stream (stream 6).
     pub selection_rng: RngStateCheckpoint,
     /// The availability RNG stream (stream 8).

@@ -100,6 +100,15 @@ impl CommStats {
         self.total() * 4 * param_count as u64
     }
 
+    /// Charges one version-deduped cloud→device broadcast: `receivers`
+    /// devices receive the same dense model version. The ledger counts
+    /// per-receiver units/bytes — identical to charging each device
+    /// individually — while the simulation materialises the payload once.
+    pub fn charge_broadcast(&mut self, receivers: u64, dense_bytes: u64) {
+        self.cloud_to_device += receivers;
+        self.cloud_to_device_bytes += receivers * dense_bytes;
+    }
+
     /// Exact wire bytes moved over device-edge wireless links.
     pub fn wireless_bytes(&self) -> u64 {
         self.edge_to_device_bytes + self.device_to_edge_bytes + self.cloud_to_device_bytes

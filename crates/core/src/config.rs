@@ -44,6 +44,30 @@ pub enum MobilitySource {
     Stationary,
 }
 
+/// How the device population is held in memory.
+///
+/// The simulation's observable behaviour — RunRecords, checkpoints of
+/// the respective mode, communication ledgers — is bitwise identical
+/// between the two modes (gated by `crates/core/tests/population_plane.rs`);
+/// the mode only changes *where* idle parameters live.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PopulationMode {
+    /// Every device holds a full materialised replica (model, local
+    /// dataset, training scratch) for the whole run. Memory is O(N·P).
+    #[default]
+    Dense,
+    /// Idle devices are virtualized to a stub (last-received model
+    /// version id, Oort utility, participation step, saved RNG state)
+    /// and materialised lazily on selection; a cloud broadcast demotes
+    /// every reached replica back to a stub pointing at the new shared
+    /// version vector. Resident replicas are bounded by the devices
+    /// that trained since the last broadcast (≈ `K·E·T_c`), so memory
+    /// is flat in the number of *idle* devices. Markov-hop mobility
+    /// traces switch to the streaming generator (O(N) resident rows
+    /// instead of O(N·T)).
+    Lazy,
+}
+
 fn default_availability() -> f64 {
     1.0
 }
@@ -121,6 +145,11 @@ pub struct SimConfig {
     /// phase timings + counters). Setting a path implies `telemetry`.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub telemetry_jsonl: Option<String>,
+    /// How the device population is held in memory ([`PopulationMode`]).
+    /// `Dense` by default; `Lazy` virtualizes idle devices so
+    /// million-device populations fit in memory.
+    #[serde(default)]
+    pub population: PopulationMode,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
 }
@@ -163,6 +192,7 @@ impl SimConfig {
             compression: CompressionConfig::default(),
             telemetry: false,
             telemetry_jsonl: None,
+            population: PopulationMode::Dense,
             seed: 2023,
         }
     }
@@ -193,6 +223,7 @@ impl SimConfig {
             compression: CompressionConfig::default(),
             telemetry: false,
             telemetry_jsonl: None,
+            population: PopulationMode::Dense,
             seed: 7,
         }
     }

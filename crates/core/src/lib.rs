@@ -61,6 +61,7 @@ pub mod config;
 pub mod device;
 pub mod faults;
 pub mod metrics;
+pub mod population;
 pub mod quadratic_sim;
 pub mod selection;
 pub mod sim;
@@ -74,10 +75,11 @@ pub use builder::{input_key, InputCache, SharedInputs, SimError, SimulationBuild
 pub use checkpoint::{config_digest, SimCheckpoint, SIM_CHECKPOINT_SCHEMA_VERSION};
 pub use comm::CommStats;
 pub use compress::{CompressionConfig, CompressionPlane, RoundingMode};
-pub use config::{MobilitySource, SimConfig};
+pub use config::{MobilitySource, PopulationMode, SimConfig};
 pub use device::Device;
 pub use faults::{DelayModel, DropoutModel, FaultConfig, FaultPlane};
 pub use metrics::{speedup, EvalPoint, RunRecord, RUN_RECORD_SCHEMA_VERSION};
+pub use population::{DeviceRef, Population, Reached};
 pub use selection::{select_devices, SelectionScratch};
 pub use sim::{EdgeState, Simulation, StepMode};
 pub use similarity::{model_similarity_utility, similarity_utility};

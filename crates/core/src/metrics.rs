@@ -98,7 +98,11 @@ impl RunRecord {
         }
         let k = n.min(self.points.len());
         let tail = &self.points[self.points.len() - k..];
-        tail.iter().map(|p| p.global_accuracy).sum::<f32>() / k as f32
+        // Accumulate in f64 so long tails don't drift: summing thousands
+        // of f32 accuracies loses low bits well before the window ends
+        // (same failure mode as the edge `window_samples` counter).
+        let sum: f64 = tail.iter().map(|p| f64::from(p.global_accuracy)).sum();
+        (sum / k as f64) as f32
     }
 
     /// Simulated communication wall-clock of this run under the
@@ -143,8 +147,8 @@ impl RunRecord {
         (0..acc.len())
             .map(|i| {
                 let lo = i.saturating_sub(window - 1);
-                let s: f32 = acc[lo..=i].iter().sum();
-                s / (i - lo + 1) as f32
+                let s: f64 = acc[lo..=i].iter().map(|&a| f64::from(a)).sum();
+                (s / (i - lo + 1) as f64) as f32
             })
             .collect()
     }
@@ -231,6 +235,21 @@ mod tests {
     #[should_panic(expected = "tail window must be positive")]
     fn tail_accuracy_rejects_zero_window() {
         record(&[0.5, 0.6]).tail_accuracy(0);
+    }
+
+    #[test]
+    fn long_constant_series_is_exact() {
+        // 100k points of a constant whose f32 running sum drifts badly
+        // (0.1 is inexact in binary). With f64 accumulation the mean of a
+        // constant series must come back as exactly that constant.
+        let accs = vec![0.1f32; 100_000];
+        let r = record(&accs);
+        assert_eq!(r.tail_accuracy(accs.len()).to_bits(), 0.1f32.to_bits());
+        let smooth = r.smoothed(1000);
+        assert!(
+            smooth.iter().all(|&s| s.to_bits() == 0.1f32.to_bits()),
+            "smoothed series drifted from the constant input"
+        );
     }
 
     #[test]

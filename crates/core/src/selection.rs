@@ -31,6 +31,21 @@ impl SelectionScratch {
     }
 }
 
+/// Candidate score functions for the population-agnostic selection entry
+/// points ([`select_devices_scored`], [`select_devices_reference_scored`]):
+/// both take a device id and return the policy score. The `&[Device]`
+/// front doors build these from the dense device slice; the lazy
+/// population plane supplies closures that read resident devices or the
+/// shared per-version flats instead. Score functions consume no
+/// randomness and may be called from parallel scoring, hence `Sync`.
+pub struct CandidateScorers<'a> {
+    /// The MIDDLE update-similarity score `U(w_c, Δw_m)` for device `m`.
+    pub similarity: &'a (dyn Fn(usize) -> f32 + Sync),
+    /// The Oort statistical utility for device `m` (`+inf` when the
+    /// device has never trained).
+    pub oort: &'a (dyn Fn(usize) -> f32 + Sync),
+}
+
 /// Selects up to `k` devices from `candidates` (indices into `devices`)
 /// under `policy`.
 ///
@@ -82,6 +97,35 @@ pub fn select_devices_into(
     scratch: &mut SelectionScratch,
     out: &mut Vec<usize>,
 ) {
+    let similarity = |m: usize| update_similarity(&devices[m], cloud_flat, cloud_norm_sq);
+    let oort = |m: usize| devices[m].oort_utility.unwrap_or(f32::INFINITY);
+    select_devices_scored(
+        policy,
+        k,
+        candidates,
+        &CandidateScorers {
+            similarity: &similarity,
+            oort: &oort,
+        },
+        rng,
+        scratch,
+        out,
+    );
+}
+
+/// Population-agnostic core of [`select_devices_into`]: identical rng
+/// stream, parallel scoring and top-k cut, with candidate scores coming
+/// from caller-supplied [`CandidateScorers`] instead of a dense
+/// `&[Device]` slice.
+pub fn select_devices_scored(
+    policy: SelectionPolicy,
+    k: usize,
+    candidates: &[usize],
+    scorers: &CandidateScorers<'_>,
+    rng: &mut StdRng,
+    scratch: &mut SelectionScratch,
+    out: &mut Vec<usize>,
+) {
     assert!(k > 0, "K must be positive");
     out.clear();
     if candidates.len() <= k {
@@ -102,12 +146,12 @@ pub fn select_devices_into(
         SelectionPolicy::Random => unreachable!("handled above"),
         SelectionPolicy::LeastSimilarUpdate => {
             scored.par_iter_mut().for_each(|slot| {
-                slot.0 = -update_similarity(&devices[slot.2], cloud_flat, cloud_norm_sq);
+                slot.0 = -(scorers.similarity)(slot.2);
             });
         }
         SelectionPolicy::MostSimilarUpdate => {
             scored.par_iter_mut().for_each(|slot| {
-                slot.0 = update_similarity(&devices[slot.2], cloud_flat, cloud_norm_sq);
+                slot.0 = (scorers.similarity)(slot.2);
             });
         }
         SelectionPolicy::OortUtility => {
@@ -115,7 +159,7 @@ pub fn select_devices_into(
             // exploration of fresh clients, required here because moved
             // devices have no history at the new edge.
             scored.par_iter_mut().for_each(|slot| {
-                slot.0 = devices[slot.2].oort_utility.unwrap_or(f32::INFINITY);
+                slot.0 = (scorers.oort)(slot.2);
             });
         }
     }
@@ -136,18 +180,40 @@ pub fn select_devices_into(
 /// i.e. freshly synced devices) still evaluate to exactly 0 utility, the
 /// same as the reference path.
 pub fn update_similarity(device: &Device, cloud_flat: &[f32], cloud_norm_sq: f32) -> f32 {
-    let local = device.flat();
+    update_similarity_flat(
+        device.flat(),
+        device.flat_norm_sq(),
+        cloud_flat,
+        cloud_norm_sq,
+    )
+}
+
+/// [`update_similarity`] on raw flat parameters: the lazy population
+/// plane scores virtualized stubs straight off their shared version
+/// flats through this entry point, bitwise-identically to a dense
+/// device whose cached flat holds the same values.
+pub fn update_similarity_flat(
+    local: &[f32],
+    local_norm_sq: f32,
+    cloud_flat: &[f32],
+    cloud_norm_sq: f32,
+) -> f32 {
     assert_eq!(local.len(), cloud_flat.len(), "architecture mismatch");
     let cl = dot_slices(cloud_flat, local);
     let dot_c_delta = cl - cloud_norm_sq;
-    let delta_norm_sq = (device.flat_norm_sq() - 2.0 * cl + cloud_norm_sq).max(0.0);
+    let delta_norm_sq = (local_norm_sq - 2.0 * cl + cloud_norm_sq).max(0.0);
     combine_cosine(dot_c_delta, cloud_norm_sq, delta_norm_sq).max(0.0)
 }
 
 /// Original allocating form of [`update_similarity`] (flatten + explicit
 /// `Δw` vector) — the numerical oracle for the fused kernel.
 pub fn update_similarity_reference(device: &Device, cloud_flat: &[f32]) -> f32 {
-    let local = flatten(&device.model);
+    update_similarity_reference_flat(&flatten(&device.model), cloud_flat)
+}
+
+/// [`update_similarity_reference`] on raw flat parameters (the oracle
+/// counterpart of [`update_similarity_flat`]).
+pub fn update_similarity_reference_flat(local: &[f32], cloud_flat: &[f32]) -> f32 {
     assert_eq!(local.len(), cloud_flat.len(), "architecture mismatch");
     let delta: Vec<f32> = local.iter().zip(cloud_flat).map(|(l, c)| l - c).collect();
     similarity_utility(cloud_flat, &delta)
@@ -161,6 +227,30 @@ pub fn select_devices_reference(
     candidates: &[usize],
     devices: &[Device],
     cloud_flat: &[f32],
+    rng: &mut StdRng,
+) -> Vec<usize> {
+    let similarity = |m: usize| update_similarity_reference(&devices[m], cloud_flat);
+    let oort = |m: usize| devices[m].oort_utility.unwrap_or(f32::INFINITY);
+    select_devices_reference_scored(
+        policy,
+        k,
+        candidates,
+        &CandidateScorers {
+            similarity: &similarity,
+            oort: &oort,
+        },
+        rng,
+    )
+}
+
+/// Population-agnostic core of [`select_devices_reference`]: the
+/// original full-sort selection with scores from caller-supplied
+/// [`CandidateScorers`], consuming the rng stream identically.
+pub fn select_devices_reference_scored(
+    policy: SelectionPolicy,
+    k: usize,
+    candidates: &[usize],
+    scorers: &CandidateScorers<'_>,
     rng: &mut StdRng,
 ) -> Vec<usize> {
     assert!(k > 0, "K must be positive");
@@ -182,17 +272,9 @@ pub fn select_devices_reference(
             sample_without_replacement_into(candidates, k, rng, &mut out);
             out
         }
-        SelectionPolicy::LeastSimilarUpdate => top_k_by(
-            &|m| -update_similarity_reference(&devices[m], cloud_flat),
-            rng,
-        ),
-        SelectionPolicy::MostSimilarUpdate => top_k_by(
-            &|m| update_similarity_reference(&devices[m], cloud_flat),
-            rng,
-        ),
-        SelectionPolicy::OortUtility => {
-            top_k_by(&|m| devices[m].oort_utility.unwrap_or(f32::INFINITY), rng)
-        }
+        SelectionPolicy::LeastSimilarUpdate => top_k_by(&|m| -(scorers.similarity)(m), rng),
+        SelectionPolicy::MostSimilarUpdate => top_k_by(&|m| (scorers.similarity)(m), rng),
+        SelectionPolicy::OortUtility => top_k_by(&|m| (scorers.oort)(m), rng),
     }
 }
 

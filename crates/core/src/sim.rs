@@ -24,14 +24,19 @@ use crate::checkpoint::{
 };
 use crate::comm::CommStats;
 use crate::compress::CompressionPlane;
-use crate::config::{MobilitySource, SimConfig};
+use crate::config::{MobilitySource, PopulationMode, SimConfig};
 use crate::device::Device;
 use crate::faults::FaultPlane;
 use crate::metrics::{EvalPoint, RunRecord, RUN_RECORD_SCHEMA_VERSION};
-use crate::selection::{select_devices_into, select_devices_reference, SelectionScratch};
+use crate::population::{DeviceRef, Population, Reached};
+use crate::selection::{
+    select_devices_reference_scored, select_devices_scored, update_similarity,
+    update_similarity_reference, update_similarity_reference_flat, CandidateScorers,
+    SelectionScratch,
+};
 use crate::similarity::{aggregation_weights, similarity_utility_cached};
 use crate::telemetry::{Phase, StepProbe, Telemetry};
-use crate::OnDevicePolicy;
+use crate::{OnDevicePolicy, SelectionPolicy};
 use middle_data::partition::Partition;
 use middle_data::{Confusion, Dataset};
 use middle_mobility::{
@@ -119,10 +124,69 @@ impl EdgeState {
     }
 }
 
+/// Per-step inverted device↔edge index, rebuilt once at the top of each
+/// step from the mobility trace.
+///
+/// Cohort construction used to call `Trace::devices_at_into` once per
+/// edge — a full O(N·E) population scan every step. The index does one
+/// O(N + E) counting sort instead: `cur`/`prev` hold the step's (and
+/// previous step's) device→edge rows, and `offsets`/`members` form a
+/// CSR edge→devices map whose per-edge slices list device ids in
+/// ascending order, exactly matching the order `devices_at_into`
+/// produced (so the availability rng stream is consumed identically).
+#[derive(Default)]
+struct StepIndex {
+    cur: Vec<usize>,
+    prev: Vec<usize>,
+    have_prev: bool,
+    offsets: Vec<usize>,
+    members: Vec<usize>,
+    cursor: Vec<usize>,
+}
+
+impl StepIndex {
+    /// Rebuilds the index for step `t`.
+    fn build(&mut self, trace: &Trace, t: usize, num_edges: usize) {
+        self.have_prev = trace.fill_rows_into(t, &mut self.cur, &mut self.prev);
+        self.offsets.clear();
+        self.offsets.resize(num_edges + 1, 0);
+        for &e in &self.cur {
+            self.offsets[e + 1] += 1;
+        }
+        for n in 0..num_edges {
+            self.offsets[n + 1] += self.offsets[n];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..num_edges]);
+        self.members.clear();
+        self.members.resize(self.cur.len(), 0);
+        for (m, &e) in self.cur.iter().enumerate() {
+            self.members[self.cursor[e]] = m;
+            self.cursor[e] += 1;
+        }
+    }
+
+    /// Whether device `m` moved between the previous step and this one
+    /// (always false on step 0, matching `Trace::moved`).
+    fn moved(&self, m: usize) -> bool {
+        self.have_prev && self.prev[m] != self.cur[m]
+    }
+
+    /// Devices attached to edge `n` this step, ascending by id.
+    fn devices_at(&self, n: usize) -> &[usize] {
+        &self.members[self.offsets[n]..self.offsets[n + 1]]
+    }
+
+    /// Number of devices attached to edge `n` this step.
+    fn occupancy(&self, n: usize) -> usize {
+        self.offsets[n + 1] - self.offsets[n]
+    }
+}
+
 /// A fully-constructed hierarchical-FL simulation.
 pub struct Simulation {
     config: SimConfig,
-    devices: Vec<Device>,
+    population: Population,
     edges: Vec<EdgeState>,
     cloud: Sequential,
     trace: Trace,
@@ -149,6 +213,16 @@ pub struct Simulation {
     candidates: Vec<usize>,
     selected_per_edge: Vec<Vec<usize>>,
     participating: Vec<bool>,
+    // Per-step inverted edge index and the explicit participant id list
+    // (strictly ascending after the selection phase) — the training
+    // gather walks exactly the K·E participants instead of re-scanning
+    // all N devices through the boolean mask.
+    index: StepIndex,
+    participants: Vec<usize>,
+    // Lazy-mode scratch: per-live-version similarity scores against the
+    // current cloud model, refilled each step before selection (empty
+    // in dense mode or under non-similarity policies).
+    version_scores: Vec<f32>,
     // Fault-plane scratch: per-edge delivered cohorts (selected minus
     // lost/late uploads) and per-edge WAN link state at a sync. Unused
     // (and untouched) while the fault plane is disabled.
@@ -199,12 +273,17 @@ impl Simulation {
     /// cache-shared immutable inputs. Only [`SimulationBuilder`] calls
     /// this; per-run state is *cloned* out of the inputs, so a cache
     /// hit is bitwise identical to a cold construction.
-    pub(crate) fn from_shared(config: SimConfig, inputs: &SharedInputs) -> Self {
+    pub(crate) fn from_shared(config: SimConfig, inputs: &std::sync::Arc<SharedInputs>) -> Self {
         let seed = config.seed;
         let init = inputs.init.clone();
-        let devices: Vec<Device> = (0..config.num_devices)
-            .map(|m| Device::new(m, inputs.device_data[m].clone(), init.clone(), seed))
-            .collect();
+        let population = match config.population {
+            PopulationMode::Dense => Population::dense(
+                (0..config.num_devices)
+                    .map(|m| Device::new(m, inputs.device_data[m].clone(), init.clone(), seed))
+                    .collect(),
+            ),
+            PopulationMode::Lazy => Population::lazy(inputs.clone(), seed, config.num_devices),
+        };
         let edges: Vec<EdgeState> = (0..config.num_edges)
             .map(|_| EdgeState::new(init.clone()))
             .collect();
@@ -223,7 +302,7 @@ impl Simulation {
         );
         Simulation {
             cloud: init,
-            devices,
+            population,
             edges,
             trace: inputs.trace.clone(),
             test: inputs.test.clone(),
@@ -242,6 +321,9 @@ impl Simulation {
             candidates: Vec::new(),
             selected_per_edge,
             participating,
+            index: StepIndex::default(),
+            participants: Vec::new(),
+            version_scores: Vec::new(),
             delivered_per_edge,
             wan_up: Vec::new(),
             next_step: 0,
@@ -287,9 +369,18 @@ impl Simulation {
         &self.edges
     }
 
-    /// Current devices.
+    /// Current devices as a dense slice.
+    ///
+    /// # Panics
+    /// Panics in lazy population mode, where idle devices have no
+    /// replica to borrow — use [`Simulation::population`] there.
     pub fn devices(&self) -> &[Device] {
-        &self.devices
+        self.population.dense_slice()
+    }
+
+    /// The device population plane (dense replicas or lazy stubs).
+    pub fn population(&self) -> &Population {
+        &self.population
     }
 
     /// Model transmissions performed so far.
@@ -397,7 +488,7 @@ impl Simulation {
                         // charges the compressed payload.
                         let recon = self.compression.compress_device_upload(
                             m,
-                            self.devices[m].flat(),
+                            self.population.get(m).flat(),
                             self.edges[n].flat(),
                         );
                         probe.compressed_uploads(1);
@@ -405,7 +496,7 @@ impl Simulation {
                         let flat = recon.to_vec();
                         self.faults.push_stale(n, m, flat, norm_sq, payload);
                     } else {
-                        let dev = &self.devices[m];
+                        let dev = self.population.get(m);
                         self.faults.push_stale(
                             n,
                             m,
@@ -435,7 +526,7 @@ impl Simulation {
                         // reconstruction.
                         let _ = self.compression.compress_device_upload(
                             m,
-                            self.devices[m].flat(),
+                            self.population.get(m).flat(),
                             self.edges[n].flat(),
                         );
                         probe.compressed_uploads(1);
@@ -459,7 +550,7 @@ impl Simulation {
     /// sync), and devices currently parked under a down edge miss the
     /// device-level broadcast. When every edge is down the sync is
     /// skipped entirely. Returns whether a sync was performed.
-    fn fault_cloud_sync(&mut self, t: usize, probe: &mut StepProbe) -> bool {
+    fn fault_cloud_sync(&mut self, probe: &mut StepProbe) -> bool {
         probe.start();
         self.wan_up.clear();
         for _ in 0..self.edges.len() {
@@ -482,7 +573,7 @@ impl Simulation {
         if self.compression.lossy_active() {
             probe.stop(Phase::CloudSync);
             let wan_up = std::mem::take(&mut self.wan_up);
-            self.compressed_cloud_sync(t, Some(&wan_up), probe);
+            self.compressed_cloud_sync(Some(&wan_up), probe);
             self.wan_up = wan_up;
             return true;
         }
@@ -503,17 +594,23 @@ impl Simulation {
                 edge.window_samples = 0.0;
             }
         }
-        let trace = &self.trace;
-        let reached = (0..self.devices.len())
-            .filter(|&m| wan_up[trace.edge_of(t, m)])
-            .count() as u64;
-        self.comm.cloud_to_device += reached;
-        self.comm.cloud_to_device_bytes += reached * self.compression.dense_payload_bytes();
-        self.devices.par_iter_mut().for_each(|d| {
-            if wan_up[trace.edge_of(t, d.id)] {
-                d.load_flat(flat, norm_sq);
-            }
-        });
+        // Devices under an up edge receive the broadcast; the count is
+        // an O(E) occupancy sum over the step index, integer-equal to
+        // the old per-device scan.
+        let reached = (0..self.edges.len())
+            .filter(|&n| wan_up[n])
+            .map(|n| self.index.occupancy(n))
+            .sum::<usize>() as u64;
+        self.comm
+            .charge_broadcast(reached, self.compression.dense_payload_bytes());
+        self.population.apply_broadcast(
+            flat,
+            norm_sq,
+            Reached::Mask {
+                up: wan_up,
+                edge_of: &self.index.cur,
+            },
+        );
         probe.stop(Phase::CloudSync);
         true
     }
@@ -532,15 +629,18 @@ impl Simulation {
             if cohort.is_empty() {
                 continue;
             }
-            let total: usize = cohort.iter().map(|&m| self.devices[m].num_samples()).sum();
+            let total: usize = cohort
+                .iter()
+                .map(|&m| self.population.get(m).num_samples())
+                .sum();
             let total_f = total as f32;
             self.agg_scratch.clear();
             self.agg_scratch.resize(len, 0.0);
             for &m in cohort {
-                let w = self.devices[m].num_samples() as f32 / total_f;
+                let w = self.population.get(m).num_samples() as f32 / total_f;
                 let recon = self.compression.compress_device_upload(
                     m,
-                    self.devices[m].flat(),
+                    self.population.get(m).flat(),
                     self.edges[n].flat(),
                 );
                 probe.compressed_uploads(1);
@@ -565,7 +665,7 @@ impl Simulation {
     /// participates); down edges keep their window and miss the
     /// broadcast, exactly like [`Simulation::fault_cloud_sync`]. The
     /// caller has already charged the sync's edge↔cloud transfers.
-    fn compressed_cloud_sync(&mut self, t: usize, wan_up: Option<&[bool]>, probe: &mut StepProbe) {
+    fn compressed_cloud_sync(&mut self, wan_up: Option<&[bool]>, probe: &mut StepProbe) {
         let up = |n: usize| wan_up.is_none_or(|w| w[n]);
         probe.start();
         let len = self.cloud_flat.flat().len();
@@ -609,17 +709,23 @@ impl Simulation {
                 edge.window_samples = 0.0;
             }
         }
-        let trace = &self.trace;
-        let reached = (0..self.devices.len())
-            .filter(|&m| up(trace.edge_of(t, m)))
-            .count() as u64;
-        self.comm.cloud_to_device += reached;
-        self.comm.cloud_to_device_bytes += reached * self.compression.dense_payload_bytes();
-        self.devices.par_iter_mut().for_each(|d| {
-            if up(trace.edge_of(t, d.id)) {
-                d.load_flat(flat, norm_sq);
-            }
-        });
+        let reached = (0..self.edges.len())
+            .filter(|&n| up(n))
+            .map(|n| self.index.occupancy(n))
+            .sum::<usize>() as u64;
+        self.comm
+            .charge_broadcast(reached, self.compression.dense_payload_bytes());
+        self.population.apply_broadcast(
+            flat,
+            norm_sq,
+            match wan_up {
+                Some(up) => Reached::Mask {
+                    up,
+                    edge_of: &self.index.cur,
+                },
+                None => Reached::All,
+            },
+        );
         probe.stop(Phase::CloudSync);
     }
 
@@ -649,15 +755,34 @@ impl Simulation {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
         let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
         let mut probe = self.telemetry.begin_step();
+        self.index.build(&self.trace, t, self.edges.len());
         self.fault_step_begin(&mut probe);
+        // Lazy mode scores each live broadcast version against the
+        // cloud once per step; every stub of a version then shares that
+        // score bitwise, exactly as idle dense devices holding the same
+        // broadcast would.
+        if matches!(
+            self.config.algorithm.selection,
+            SelectionPolicy::LeastSimilarUpdate | SelectionPolicy::MostSimilarUpdate
+        ) {
+            let mut scores = std::mem::take(&mut self.version_scores);
+            self.population.version_scores(
+                self.cloud_flat.flat(),
+                self.cloud_flat.norm_sq(),
+                &mut scores,
+            );
+            self.version_scores = scores;
+        }
 
         // Phase 1 — in-edge device selection, then write each selected
         // device's initial model (moved devices aggregate on device,
         // stationary ones download the edge model into place).
         self.participating.fill(false);
+        self.participants.clear();
         for n in 0..self.edges.len() {
             probe.start();
-            self.trace.devices_at_into(t, n, &mut self.candidates);
+            self.candidates.clear();
+            self.candidates.extend_from_slice(self.index.devices_at(n));
             let seen = self.candidates.len();
             // Straggler injection: each device is reachable this step
             // with the configured probability.
@@ -677,17 +802,29 @@ impl Simulation {
                 probe.stop(Phase::Selection);
                 continue;
             }
-            select_devices_into(
-                self.config.algorithm.selection,
-                self.config.devices_per_edge,
-                &self.candidates,
-                &self.devices,
-                self.cloud_flat.flat(),
-                self.cloud_flat.norm_sq(),
-                &mut self.rng,
-                &mut self.selection_scratch,
-                &mut self.selected_per_edge[n],
-            );
+            {
+                let population = &self.population;
+                let version_scores = &self.version_scores;
+                let (cloud_flat, cloud_norm_sq) =
+                    (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
+                let similarity = |m: usize| match population.view(m) {
+                    DeviceRef::Resident(dev) => update_similarity(dev, cloud_flat, cloud_norm_sq),
+                    DeviceRef::Stub(v) => version_scores[v as usize],
+                };
+                let oort = |m: usize| population.oort_utility(m).unwrap_or(f32::INFINITY);
+                select_devices_scored(
+                    self.config.algorithm.selection,
+                    self.config.devices_per_edge,
+                    &self.candidates,
+                    &CandidateScorers {
+                        similarity: &similarity,
+                        oort: &oort,
+                    },
+                    &mut self.rng,
+                    &mut self.selection_scratch,
+                    &mut self.selected_per_edge[n],
+                );
+            }
             probe.stop(Phase::Selection);
 
             probe.start();
@@ -708,23 +845,30 @@ impl Simulation {
             let mut downloads = 0u64;
             let edge = &self.edges[n];
             for &m in selected {
-                if self.trace.moved(t, m) {
+                // A selected device must be materialised before its
+                // init touches the carried model (no-op when dense or
+                // already resident).
+                self.population.ensure_resident(m);
+                if self.index.moved(m) {
                     probe.moved_init();
                     if !keep_local {
                         downloads += 1;
                     }
                     on_device_init_into(
                         self.config.algorithm.on_device,
-                        &mut self.devices[m],
+                        self.population.get_mut(m),
                         &edge.model,
                         edge.flat(),
                         edge.flat_norm_sq(),
                     );
                 } else {
                     downloads += 1;
-                    self.devices[m].load_flat(edge.flat(), edge.flat_norm_sq());
+                    self.population
+                        .get_mut(m)
+                        .load_flat(edge.flat(), edge.flat_norm_sq());
                 }
                 self.participating[m] = true;
+                self.participants.push(m);
             }
             self.comm.edge_to_device += downloads;
             self.comm.edge_to_device_bytes += downloads * self.compression.dense_payload_bytes();
@@ -739,19 +883,18 @@ impl Simulation {
         // Phase 2 — parallel local training over the participating set
         // only, so the work splits across exactly K·E training jobs
         // instead of one no-op task per idle device. Each participant
-        // owns its slot; no shared mutable state.
+        // owns its slot; no shared mutable state. The explicit
+        // participant id list (sorted to strictly ascending — a device
+        // is attached to exactly one edge per step, so ids are distinct)
+        // replaces the old full-population boolean-mask re-scan.
         probe.start();
         let (local_steps, batch_size, optimizer) = (
             self.config.local_steps,
             self.config.batch_size,
             self.config.optimizer,
         );
-        let participating = &self.participating;
-        let mut participants: Vec<&mut Device> = self
-            .devices
-            .iter_mut()
-            .filter(|d| participating[d.id])
-            .collect();
+        self.participants.sort_unstable();
+        let mut participants = self.population.gather_mut(&self.participants);
         participants.par_iter_mut().for_each(|dev| {
             dev.local_train(local_steps, batch_size, &optimizer, t);
         });
@@ -782,7 +925,7 @@ impl Simulation {
             }
         } else {
             probe.start();
-            let devices = &self.devices;
+            let population = &self.population;
             let cohorts: &[Vec<usize>] = if self.faults.enabled() {
                 &self.delivered_per_edge
             } else {
@@ -794,13 +937,14 @@ impl Simulation {
                 }
                 edge_aggregate_into(
                     &mut edge.model,
-                    cohort
-                        .iter()
-                        .map(|&m| (&devices[m].model, devices[m].num_samples())),
+                    cohort.iter().map(|&m| {
+                        let dev = population.get(m);
+                        (&dev.model, dev.num_samples())
+                    }),
                 );
                 edge.window_samples += cohort
                     .iter()
-                    .map(|&m| devices[m].num_samples())
+                    .map(|&m| population.get(m).num_samples())
                     .sum::<usize>() as f64;
                 edge.refresh_flat();
             }
@@ -812,7 +956,7 @@ impl Simulation {
         // cached norm) into every edge and device — no model clones.
         let scheduled = (t + 1).is_multiple_of(self.config.cloud_interval);
         let synced = if scheduled && self.faults.wan_active() {
-            self.fault_cloud_sync(t, &mut probe)
+            self.fault_cloud_sync(&mut probe)
         } else if scheduled && self.compression.lossy_active() {
             self.syncs += 1;
             let edges = self.edges.len() as u64;
@@ -820,7 +964,7 @@ impl Simulation {
             self.comm.edge_to_cloud_bytes += edges * self.compression.payload_bytes();
             self.comm.cloud_to_edge += edges;
             self.comm.cloud_to_edge_bytes += edges * self.compression.dense_payload_bytes();
-            self.compressed_cloud_sync(t, None, &mut probe);
+            self.compressed_cloud_sync(None, &mut probe);
             true
         } else if scheduled {
             probe.start();
@@ -830,8 +974,8 @@ impl Simulation {
             self.comm.edge_to_cloud_bytes += self.edges.len() as u64 * dense;
             self.comm.cloud_to_edge += self.edges.len() as u64;
             self.comm.cloud_to_edge_bytes += self.edges.len() as u64 * dense;
-            self.comm.cloud_to_device += self.devices.len() as u64;
-            self.comm.cloud_to_device_bytes += self.devices.len() as u64 * dense;
+            self.comm
+                .charge_broadcast(self.population.len() as u64, dense);
             cloud_aggregate_into(
                 &mut self.cloud,
                 self.edges.iter().map(|e| (&e.model, e.window_samples)),
@@ -842,9 +986,7 @@ impl Simulation {
                 edge.load_flat(flat, norm_sq);
                 edge.window_samples = 0.0;
             }
-            self.devices.par_iter_mut().for_each(|d| {
-                d.load_flat(flat, norm_sq);
-            });
+            self.population.apply_broadcast(flat, norm_sq, Reached::All);
             probe.stop(Phase::CloudSync);
             true
         } else {
@@ -865,15 +1007,18 @@ impl Simulation {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
         let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
         let mut probe = self.telemetry.begin_step();
+        self.index.build(&self.trace, t, self.edges.len());
         self.fault_step_begin(&mut probe);
         let cloud_flat = flatten(&self.cloud);
 
-        // Phase 1 — selection + staged initial models.
-        let mut inits: Vec<Option<Sequential>> = (0..self.devices.len()).map(|_| None).collect();
+        // Phase 1 — selection + staged initial models, keyed by device
+        // id (the participant list replaces the old per-device Option
+        // array; training later walks exactly the participants).
+        let mut staged: Vec<(usize, Option<Sequential>)> = Vec::new();
         let mut selected_per_edge: Vec<Vec<usize>> = Vec::with_capacity(self.edges.len());
         for (n, edge) in self.edges.iter().enumerate() {
             probe.start();
-            let mut candidates = self.trace.devices_at(t, n);
+            let mut candidates = self.index.devices_at(n).to_vec();
             let seen = candidates.len();
             if self.config.availability < 1.0 {
                 candidates
@@ -890,14 +1035,26 @@ impl Simulation {
                 probe.stop(Phase::Selection);
                 continue;
             }
-            let selected = select_devices_reference(
-                self.config.algorithm.selection,
-                self.config.devices_per_edge,
-                &candidates,
-                &self.devices,
-                &cloud_flat,
-                &mut self.rng,
-            );
+            let selected = {
+                let population = &self.population;
+                let similarity = |m: usize| match population.view(m) {
+                    DeviceRef::Resident(dev) => update_similarity_reference(dev, &cloud_flat),
+                    DeviceRef::Stub(v) => {
+                        update_similarity_reference_flat(population.version_flat(v), &cloud_flat)
+                    }
+                };
+                let oort = |m: usize| population.oort_utility(m).unwrap_or(f32::INFINITY);
+                select_devices_reference_scored(
+                    self.config.algorithm.selection,
+                    self.config.devices_per_edge,
+                    &candidates,
+                    &CandidateScorers {
+                        similarity: &similarity,
+                        oort: &oort,
+                    },
+                    &mut self.rng,
+                )
+            };
             probe.stop(Phase::Selection);
 
             probe.start();
@@ -913,7 +1070,8 @@ impl Simulation {
             }
             let mut downloads = 0u64;
             for &m in &selected {
-                let init = if self.trace.moved(t, m) {
+                self.population.ensure_resident(m);
+                let init = if self.index.moved(m) {
                     probe.moved_init();
                     if !keep_local {
                         downloads += 1;
@@ -921,13 +1079,13 @@ impl Simulation {
                     on_device_init(
                         self.config.algorithm.on_device,
                         &edge.model,
-                        &self.devices[m].model,
+                        &self.population.get(m).model,
                     )
                 } else {
                     downloads += 1;
                     edge.model.clone()
                 };
-                inits[m] = Some(init);
+                staged.push((m, Some(init)));
             }
             self.comm.edge_to_device += downloads;
             self.comm.edge_to_device_bytes += downloads * self.compression.dense_payload_bytes();
@@ -940,22 +1098,26 @@ impl Simulation {
             self.active_steps += 1;
         }
 
-        // Phase 2 — parallel local training on the staged models.
+        // Phase 2 — parallel local training on the staged models, over
+        // the participants only (each device trains independently with
+        // its own rng, so the gather order cannot affect numerics).
         probe.start();
         let (local_steps, batch_size, optimizer) = (
             self.config.local_steps,
             self.config.batch_size,
             self.config.optimizer,
         );
-        self.devices
+        staged.sort_unstable_by_key(|&(m, _)| m);
+        let ids: Vec<usize> = staged.iter().map(|&(m, _)| m).collect();
+        let mut participants = self.population.gather_mut(&ids);
+        participants
             .par_iter_mut()
-            .zip(inits.par_iter_mut())
-            .for_each(|(dev, slot)| {
-                if let Some(init) = slot.take() {
-                    dev.model = init;
-                    dev.invalidate_flat();
-                    dev.local_train_reference(local_steps, batch_size, &optimizer, t);
-                }
+            .zip(staged.par_iter_mut())
+            .for_each(|(dev, (_, slot))| {
+                let init = slot.take().expect("staged init for participant");
+                dev.model = init;
+                dev.invalidate_flat();
+                dev.local_train_reference(local_steps, batch_size, &optimizer, t);
             });
         probe.stop(Phase::LocalTraining);
 
@@ -988,11 +1150,13 @@ impl Simulation {
                 if cohort.is_empty() {
                     continue;
                 }
-                let models: Vec<&Sequential> =
-                    cohort.iter().map(|&m| &self.devices[m].model).collect();
+                let models: Vec<&Sequential> = cohort
+                    .iter()
+                    .map(|&m| &self.population.get(m).model)
+                    .collect();
                 let counts: Vec<usize> = cohort
                     .iter()
-                    .map(|&m| self.devices[m].num_samples())
+                    .map(|&m| self.population.get(m).num_samples())
                     .collect();
                 self.edges[n].model = edge_aggregate(&models, &counts);
                 self.edges[n].window_samples += counts.iter().sum::<usize>() as f64;
@@ -1006,7 +1170,7 @@ impl Simulation {
         // `fault_cloud_sync`, so equivalence holds by construction.
         let scheduled = (t + 1).is_multiple_of(self.config.cloud_interval);
         let synced = if scheduled && self.faults.wan_active() {
-            self.fault_cloud_sync(t, &mut probe)
+            self.fault_cloud_sync(&mut probe)
         } else if scheduled && self.compression.lossy_active() {
             self.syncs += 1;
             let edges = self.edges.len() as u64;
@@ -1014,7 +1178,7 @@ impl Simulation {
             self.comm.edge_to_cloud_bytes += edges * self.compression.payload_bytes();
             self.comm.cloud_to_edge += edges;
             self.comm.cloud_to_edge_bytes += edges * self.compression.dense_payload_bytes();
-            self.compressed_cloud_sync(t, None, &mut probe);
+            self.compressed_cloud_sync(None, &mut probe);
             true
         } else if scheduled {
             probe.start();
@@ -1024,8 +1188,8 @@ impl Simulation {
             self.comm.edge_to_cloud_bytes += self.edges.len() as u64 * dense;
             self.comm.cloud_to_edge += self.edges.len() as u64;
             self.comm.cloud_to_edge_bytes += self.edges.len() as u64 * dense;
-            self.comm.cloud_to_device += self.devices.len() as u64;
-            self.comm.cloud_to_device_bytes += self.devices.len() as u64 * dense;
+            self.comm
+                .charge_broadcast(self.population.len() as u64, dense);
             let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
             let weights: Vec<f64> = self.edges.iter().map(|e| e.window_samples).collect();
             self.cloud = cloud_aggregate(&models, &weights);
@@ -1035,11 +1199,23 @@ impl Simulation {
                 edge.window_samples = 0.0;
                 edge.refresh_flat();
             }
-            let cloud = &self.cloud;
-            self.devices.par_iter_mut().for_each(|d| {
-                d.model = cloud.clone();
-                d.refresh_flat();
-            });
+            if self.population.is_dense() {
+                // The clone-based broadcast is the reference oracle for
+                // dense runs; `refresh_flat` and `load_flat` compute the
+                // same dot product, so the lazy arm below is bitwise
+                // equal (pinned by the dense==lazy equivalence tests).
+                let cloud = &self.cloud;
+                self.population
+                    .dense_slice_mut()
+                    .par_iter_mut()
+                    .for_each(|d| {
+                        d.model = cloud.clone();
+                        d.refresh_flat();
+                    });
+            } else {
+                let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
+                self.population.apply_broadcast(flat, norm_sq, Reached::All);
+            }
             probe.stop(Phase::CloudSync);
             true
         } else {
@@ -1157,16 +1333,19 @@ impl Simulation {
                     window_samples: e.window_samples,
                 })
                 .collect(),
-            devices: self
-                .devices
-                .iter()
-                .map(|d| DeviceCheckpoint {
-                    params: Checkpoint::capture(&d.model),
-                    oort_utility: d.oort_utility,
-                    last_participation: d.last_participation,
-                    rng: RngStateCheckpoint::capture(d.rng_ref()),
-                })
-                .collect(),
+            devices: match &self.population {
+                Population::Dense(devices) => devices
+                    .iter()
+                    .map(|d| DeviceCheckpoint {
+                        params: Checkpoint::capture(&d.model),
+                        oort_utility: d.oort_utility,
+                        last_participation: d.last_participation,
+                        rng: RngStateCheckpoint::capture(d.rng_ref()),
+                    })
+                    .collect(),
+                Population::Lazy(_) => Vec::new(),
+            },
+            population: self.population.checkpoint(),
             selection_rng: RngStateCheckpoint::capture(&self.rng),
             availability_rng: RngStateCheckpoint::capture(&self.availability_rng),
             faults: FaultPlaneCheckpoint {
@@ -1210,16 +1389,20 @@ impl Simulation {
                 ck.config_digest
             )));
         }
-        if ck.edges.len() != self.edges.len() || ck.devices.len() != self.devices.len() {
+        let ck_devices = ck
+            .population
+            .as_ref()
+            .map_or(ck.devices.len(), |p| p.devices.len());
+        if ck.edges.len() != self.edges.len() || ck_devices != self.population.len() {
             return Err(mismatch(format!(
                 "population {} edges / {} devices (expected {} / {})",
                 ck.edges.len(),
-                ck.devices.len(),
+                ck_devices,
                 self.edges.len(),
-                self.devices.len()
+                self.population.len()
             )));
         }
-        if ck.faults.device_down.len() != self.devices.len() {
+        if ck.faults.device_down.len() != self.population.len() {
             return Err(mismatch("fault-plane device count".into()));
         }
         ck.cloud.restore(&mut self.cloud).map_err(&mismatch)?;
@@ -1229,12 +1412,27 @@ impl Simulation {
             edge.window_samples = eck.window_samples;
             edge.refresh_flat();
         }
-        for (dev, dck) in self.devices.iter_mut().zip(&ck.devices) {
-            dck.params.restore(&mut dev.model).map_err(&mismatch)?;
-            dev.refresh_flat();
-            dev.oort_utility = dck.oort_utility;
-            dev.last_participation = dck.last_participation;
-            dev.restore_rng(dck.rng.restore());
+        match &ck.population {
+            Some(pck) => self.population.restore(pck).map_err(&mismatch)?,
+            None => {
+                if !self.population.is_dense() {
+                    return Err(mismatch(
+                        "checkpoint lacks population state but the simulation is lazy-mode".into(),
+                    ));
+                }
+                for (dev, dck) in self
+                    .population
+                    .dense_slice_mut()
+                    .iter_mut()
+                    .zip(&ck.devices)
+                {
+                    dck.params.restore(&mut dev.model).map_err(&mismatch)?;
+                    dev.refresh_flat();
+                    dev.oort_utility = dck.oort_utility;
+                    dev.last_participation = dck.last_participation;
+                    dev.restore_rng(dck.rng.restore());
+                }
+            }
         }
         self.rng = ck.selection_rng.restore();
         self.availability_rng = ck.availability_rng.restore();
@@ -1298,9 +1496,29 @@ impl Simulation {
 }
 
 /// Builds the mobility trace described by the config.
+///
+/// In lazy population mode the Markov-hop sources use the streaming
+/// generator — bitwise-identical rows, O(N) resident memory instead of
+/// the O(N·T) dense table. The geometric sources (waypoint/walk/
+/// stationary) have no streaming backend yet and stay dense in either
+/// mode.
 pub(crate) fn build_trace(config: &SimConfig, homes: &[usize]) -> Trace {
     let seed = derive_seed(config.seed, 7);
+    let lazy = matches!(config.population, PopulationMode::Lazy);
     match config.mobility {
+        MobilitySource::MarkovHop { p } if lazy => {
+            Trace::markov_hop_streaming(config.num_edges, config.num_devices, config.steps, p, seed)
+        }
+        MobilitySource::HomedMarkovHop { p, home_bias } if lazy => {
+            Trace::markov_hop_homed_streaming(
+                config.num_edges,
+                homes,
+                config.steps,
+                p,
+                home_bias,
+                seed,
+            )
+        }
         MobilitySource::MarkovHop { p } => {
             generate_markov_hop(config.num_edges, config.num_devices, config.steps, p, seed)
         }

@@ -1,0 +1,259 @@
+//! Equivalence gates for the lazy population plane: a lazy-mode
+//! simulation (stubs + version table + streaming trace) must reproduce
+//! the dense simulation bit for bit — every evaluation point, the full
+//! communication ledger, and the effective parameters of every device,
+//! under every fault model and with compression on — while keeping the
+//! number of resident replicas bounded by the active set, not the
+//! population.
+
+use middle_core::checkpoint::DeviceSlotCheckpoint;
+use middle_core::{
+    Algorithm, DelayModel, DeviceRef, DropoutModel, PopulationMode, RunRecord, SimConfig,
+    Simulation, SimulationBuilder, StepMode,
+};
+use middle_data::Task;
+use middle_nn::params::flatten;
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn built(cfg: SimConfig) -> Simulation {
+    SimulationBuilder::new(cfg).build().expect("valid config")
+}
+
+/// 20 steps with an intermediate cloud sync cadence, so runs cross
+/// several broadcast generations and end on a sync step (every stub
+/// retargeted at least four times).
+fn base_config() -> SimConfig {
+    let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+    cfg.steps = 20;
+    cfg.cloud_interval = 4;
+    cfg.eval_interval = 4;
+    cfg
+}
+
+fn lazy(mut cfg: SimConfig) -> SimConfig {
+    cfg.population = PopulationMode::Lazy;
+    cfg
+}
+
+/// The parameters device `m` would train from if selected next step:
+/// its replica's flat when resident, its version slot's flat when
+/// virtualized. In dense mode this is just the device's flat.
+fn effective_device_bits(sim: &Simulation, m: usize) -> Vec<u32> {
+    match sim.population().view(m) {
+        DeviceRef::Resident(dev) => bits(dev.flat()),
+        DeviceRef::Stub(v) => bits(sim.population().version_flat(v)),
+    }
+}
+
+/// Runs `cfg` to completion and fingerprints everything the plane must
+/// preserve: the run record's points/ledger/counters plus the bits of
+/// every model in the system.
+fn fingerprint(cfg: &SimConfig, mode: StepMode) -> (RunRecord, Vec<Vec<u32>>) {
+    let mut sim = built(cfg.clone());
+    let record = sim.run_with(mode);
+    let mut models = vec![bits(&flatten(sim.cloud_model()))];
+    models.extend(sim.edges().iter().map(|e| bits(&flatten(&e.model))));
+    models.extend((0..cfg.num_devices).map(|m| effective_device_bits(&sim, m)));
+    (record, models)
+}
+
+fn assert_records_equal(dense: &RunRecord, lazy: &RunRecord) {
+    assert_eq!(dense.points.len(), lazy.points.len());
+    for (d, l) in dense.points.iter().zip(&lazy.points) {
+        assert_eq!(d.step, l.step);
+        assert_eq!(d.global_accuracy.to_bits(), l.global_accuracy.to_bits());
+        assert_eq!(d.global_loss.to_bits(), l.global_loss.to_bits());
+        assert_eq!(bits(&d.edge_accuracy), bits(&l.edge_accuracy));
+    }
+    assert_eq!(dense.comm, lazy.comm);
+    assert_eq!(dense.syncs, lazy.syncs);
+    assert_eq!(dense.active_steps, lazy.active_steps);
+    assert_eq!(
+        dense.empirical_mobility.to_bits(),
+        lazy.empirical_mobility.to_bits()
+    );
+    assert_eq!(dense.param_count, lazy.param_count);
+}
+
+fn assert_modes_equivalent(cfg: SimConfig, mode: StepMode) {
+    let (dense_record, dense_models) = fingerprint(&cfg, mode);
+    let (lazy_record, lazy_models) = fingerprint(&lazy(cfg), mode);
+    assert_records_equal(&dense_record, &lazy_record);
+    assert_eq!(dense_models, lazy_models);
+}
+
+/// Clean run: lazy == dense bitwise in the fast path.
+#[test]
+fn lazy_matches_dense_clean() {
+    assert_modes_equivalent(base_config(), StepMode::Fast);
+}
+
+/// Clean run: lazy == dense bitwise in the reference path too (the
+/// reference broadcast keeps its clone-based oracle only when dense).
+#[test]
+fn lazy_matches_dense_clean_reference() {
+    assert_modes_equivalent(base_config(), StepMode::Reference);
+}
+
+/// Bursty Markov dropout exercises empty cohorts and the availability
+/// RNG draw order over index-built candidate lists.
+#[test]
+fn lazy_matches_dense_under_dropout() {
+    let mut cfg = base_config();
+    cfg.faults.dropout = DropoutModel::Markov {
+        p_fail: 0.3,
+        p_recover: 0.5,
+    };
+    assert_modes_equivalent(cfg, StepMode::Fast);
+}
+
+/// Stragglers + deadline misses + upload loss exercise the stale-merge
+/// queue and the retry ledger against resident participants.
+#[test]
+fn lazy_matches_dense_under_stragglers_and_loss() {
+    let mut cfg = base_config();
+    cfg.faults.straggler_delay = DelayModel::Exponential { mean_s: 1.0 };
+    cfg.faults.deadline_s = 1.2;
+    cfg.faults.upload_loss = 0.2;
+    cfg.faults.upload_retries = 2;
+    assert_modes_equivalent(cfg, StepMode::Fast);
+}
+
+/// WAN outages exercise the partial broadcast: only devices at reached
+/// edges retarget to the new version, the rest keep the old one (which
+/// must stay live in the version table).
+#[test]
+fn lazy_matches_dense_under_wan_outage() {
+    let mut cfg = base_config();
+    cfg.faults.wan_outage = 0.5;
+    assert_modes_equivalent(cfg, StepMode::Fast);
+    let mut ref_cfg = base_config();
+    ref_cfg.faults.wan_outage = 0.5;
+    assert_modes_equivalent(ref_cfg, StepMode::Reference);
+}
+
+/// Lossy compression exercises the error-feedback residual path, whose
+/// per-device residual state indexes by device id, not residency.
+#[test]
+fn lazy_matches_dense_with_compression() {
+    let mut cfg = base_config();
+    cfg.compression.enabled = true;
+    cfg.compression.quantize_bits = 8;
+    cfg.compression.top_frac = 0.5;
+    assert_modes_equivalent(cfg, StepMode::Fast);
+}
+
+/// A mid-run lazy checkpoint (live stubs, multiple live versions,
+/// resident participants) restores into a fresh lazy simulation and
+/// finishes bitwise-identically to the uninterrupted run.
+#[test]
+fn lazy_checkpoint_resumes_bitwise_mid_run() {
+    // 24 devices over 2 edges: at most K*E*T_c = 16 can be resident, so
+    // live stubs are guaranteed at the checkpoint cut.
+    let mut cfg = lazy(base_config());
+    cfg.num_devices = 24;
+
+    let mut uninterrupted = built(cfg.clone());
+    for t in 0..cfg.steps {
+        uninterrupted.step(t);
+    }
+
+    // Stop two steps past a sync: most devices are stubs of the last
+    // broadcast, the last two cohorts are resident replicas.
+    let mut first_half = built(cfg.clone());
+    for t in 0..10 {
+        first_half.step(t);
+    }
+    assert!(first_half.population().resident_count() > 0);
+    let ck = first_half.checkpoint();
+    let pck = ck.population.as_ref().expect("lazy checkpoint block");
+    assert!(ck.devices.is_empty());
+    assert!(pck
+        .devices
+        .iter()
+        .any(|s| matches!(s, DeviceSlotCheckpoint::Resident { .. })));
+    assert!(pck
+        .devices
+        .iter()
+        .any(|s| matches!(s, DeviceSlotCheckpoint::Stub { .. })));
+
+    // Round-trip through JSON so float formatting is part of the gate.
+    let ck = middle_core::SimCheckpoint::from_json(&ck.to_json()).expect("round trip");
+    let mut resumed = built(cfg.clone());
+    resumed.restore(&ck).expect("restore");
+    for t in 10..cfg.steps {
+        resumed.step(t);
+    }
+
+    assert_eq!(
+        bits(&flatten(uninterrupted.cloud_model())),
+        bits(&flatten(resumed.cloud_model()))
+    );
+    for (a, b) in uninterrupted.edges().iter().zip(resumed.edges()) {
+        assert_eq!(bits(&flatten(&a.model)), bits(&flatten(&b.model)));
+        assert_eq!(a.window_samples.to_bits(), b.window_samples.to_bits());
+    }
+    for m in 0..cfg.num_devices {
+        assert_eq!(
+            effective_device_bits(&uninterrupted, m),
+            effective_device_bits(&resumed, m),
+            "device {m}"
+        );
+    }
+    assert_eq!(uninterrupted.comm_stats(), resumed.comm_stats());
+    assert_eq!(uninterrupted.syncs(), resumed.syncs());
+    assert_eq!(uninterrupted.active_steps(), resumed.active_steps());
+}
+
+/// A dense checkpoint carries no population block (its serialisation
+/// stays byte-identical to pre-plane checkpoints), and restoring a
+/// checkpoint without one into a lazy simulation is rejected.
+#[test]
+fn checkpoint_population_block_matches_mode() {
+    let dense_cfg = base_config();
+    let mut dense = built(dense_cfg.clone());
+    for t in 0..5 {
+        dense.step(t);
+    }
+    let dense_ck = dense.checkpoint();
+    assert!(dense_ck.population.is_none());
+    assert_eq!(dense_ck.devices.len(), dense_cfg.num_devices);
+
+    let mut stripped = built(lazy(base_config())).checkpoint();
+    stripped.population = None;
+    let mut lazy_sim = built(lazy(base_config()));
+    let err = lazy_sim.restore(&stripped).expect_err("must reject");
+    assert!(err.to_string().contains("population"), "{err}");
+}
+
+/// Residency stays bounded by the active set: at most K·E new replicas
+/// per step between broadcasts, and a full broadcast demotes everyone.
+/// With 64 devices this run must never materialise more than half of
+/// them, and ends (on a sync step) with zero residents.
+#[test]
+fn lazy_residency_bounded_by_active_set() {
+    let mut cfg = lazy(base_config());
+    cfg.num_devices = 64;
+    cfg.num_edges = 4;
+    cfg.devices_per_edge = 2;
+    let mut sim = built(cfg.clone());
+    for t in 0..cfg.steps {
+        sim.step(t);
+    }
+    let cap = cfg.devices_per_edge * cfg.num_edges * cfg.cloud_interval;
+    assert!(
+        sim.population().peak_resident() <= cap,
+        "peak {} exceeds K*E*interval {}",
+        sim.population().peak_resident(),
+        cap
+    );
+    assert!(sim.population().peak_resident() < cfg.num_devices);
+    assert_eq!(
+        sim.population().resident_count(),
+        0,
+        "final sync step must demote every replica"
+    );
+}

@@ -20,4 +20,6 @@ pub mod trace;
 
 pub use geometry::{Point, ServiceArea};
 pub use models::{MobilityKind, MobilityModel};
-pub use trace::{generate_geometric, generate_markov_hop, generate_markov_hop_homed, Trace};
+pub use trace::{
+    generate_geometric, generate_markov_hop, generate_markov_hop_homed, MarkovStreamSpec, Trace,
+};

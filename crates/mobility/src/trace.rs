@@ -14,23 +14,227 @@
 //!   probability averages to the requested `P` (the controlled knob of
 //!   the paper's Figure 7); or
 //! * by importing a previously exported trace.
+//!
+//! A trace is backed either **densely** (every row materialised, the
+//! historical representation) or by a **stream**: the Markov generators
+//! can run as a cursor that keeps only the previous and current rows
+//! plus the generator RNG, so holding a million-device trace costs
+//! O(N), not O(N·T). Streamed rows are bitwise identical to the dense
+//! generator's output for the same parameters — the cursor replays the
+//! exact same RNG draw sequence.
 
 use crate::geometry::ServiceArea;
 use crate::models::MobilityModel;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
-/// A complete mobility trace: `assignments[t][m]` is the edge of device
-/// `m` during time step `t`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// A complete mobility trace: conceptually, `assignments[t][m]` is the
+/// edge of device `m` during time step `t`.
 pub struct Trace {
     num_edges: usize,
-    assignments: Vec<Vec<usize>>,
+    backend: Backend,
+}
+
+enum Backend {
+    /// Every row held in memory.
+    Dense(Vec<Vec<usize>>),
+    /// Rows regenerated on demand from the Markov process.
+    Stream(Box<MarkovStream>),
+}
+
+/// Generator parameters of a streamed Markov trace — everything needed
+/// to regenerate the full assignment sequence deterministically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarkovStreamSpec {
+    /// Number of edge servers.
+    pub num_edges: usize,
+    /// Number of devices.
+    pub devices: usize,
+    /// Number of time steps.
+    pub steps: usize,
+    /// Requested global mobility `P`.
+    pub p_global: f64,
+    /// Home edges for the homed variant; `None` selects the plain hop.
+    pub homes: Option<Vec<usize>>,
+    /// Probability of returning home on a move (homed variant only).
+    pub home_bias: f64,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl MarkovStreamSpec {
+    fn validate(&self) -> Result<(), String> {
+        if self.num_edges == 0 {
+            return Err("need at least one edge".into());
+        }
+        if self.steps == 0 {
+            return Err("trace needs at least one step".into());
+        }
+        if !(0.0..=1.0).contains(&self.p_global) {
+            return Err("P must be in [0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.home_bias) {
+            return Err("home_bias must be in [0, 1]".into());
+        }
+        if let Some(h) = &self.homes {
+            if h.len() != self.devices {
+                return Err("homes length must match device count".into());
+            }
+            if h.iter().any(|&e| e >= self.num_edges) {
+                return Err("home edge out of range".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Streaming Markov-hop backend: per-device move probabilities, the
+/// initial row, the post-init RNG state, and a cursor holding the two
+/// live rows.
+struct MarkovStream {
+    spec: MarkovStreamSpec,
+    /// Per-device move probabilities (mean `p_global`).
+    p: Vec<f64>,
+    /// Row 0.
+    initial: Vec<usize>,
+    /// RNG state right after `p` and the initial row were drawn — the
+    /// reset point for backward seeks.
+    rng0: [u64; 4],
+    cursor: Mutex<Cursor>,
+}
+
+struct Cursor {
+    /// Step the `cur` row describes.
+    t: usize,
+    /// Row `t - 1`; empty while `t == 0`.
+    prev: Vec<usize>,
+    /// Row `t`.
+    cur: Vec<usize>,
+    rng: StdRng,
+    /// Device-steps moved over generated steps `1..=t`.
+    moved: u64,
+}
+
+impl MarkovStream {
+    fn new(spec: MarkovStreamSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("{e}");
+        }
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let p = draw_move_probabilities(spec.devices, spec.p_global, &mut rng);
+        let initial: Vec<usize> = match &spec.homes {
+            Some(h) => h.clone(),
+            None => (0..spec.devices)
+                .map(|_| rng.gen_range(0..spec.num_edges))
+                .collect(),
+        };
+        let rng0 = rng.state();
+        let cursor = Mutex::new(Cursor {
+            t: 0,
+            prev: Vec::new(),
+            cur: initial.clone(),
+            rng,
+            moved: 0,
+        });
+        MarkovStream {
+            spec,
+            p,
+            initial,
+            rng0,
+            cursor,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Cursor> {
+        self.cursor.lock().expect("trace cursor poisoned")
+    }
+
+    /// Positions the cursor on step `t`. Forward seeks advance the
+    /// process; backward seeks restart from step 0 and regenerate
+    /// (O(t·N) — the simulation only ever walks forward, so this path
+    /// is taken once per checkpoint restore at most).
+    fn seek(&self, cursor: &mut Cursor, t: usize) {
+        assert!(t < self.spec.steps, "step {t} out of range");
+        if t < cursor.t {
+            cursor.t = 0;
+            cursor.prev.clear();
+            cursor.cur.clone_from(&self.initial);
+            cursor.rng = StdRng::from_state(self.rng0);
+            cursor.moved = 0;
+        }
+        while cursor.t < t {
+            self.advance(cursor);
+        }
+    }
+
+    /// Generates the next row in place, replaying the dense generator's
+    /// exact RNG draw order.
+    fn advance(&self, cursor: &mut Cursor) {
+        let num_edges = self.spec.num_edges;
+        cursor.prev.clone_from(&cursor.cur);
+        let rng = &mut cursor.rng;
+        match &self.spec.homes {
+            None => {
+                for (m, e) in cursor.cur.iter_mut().enumerate() {
+                    if num_edges > 1 && rng.gen::<f64>() < self.p[m] {
+                        let mut next = rng.gen_range(0..num_edges - 1);
+                        if next >= *e {
+                            next += 1;
+                        }
+                        *e = next;
+                    }
+                }
+            }
+            Some(homes) => {
+                for (m, e) in cursor.cur.iter_mut().enumerate() {
+                    if num_edges > 1 && rng.gen::<f64>() < self.p[m] {
+                        let home = homes[m];
+                        *e = if *e != home && rng.gen::<f64>() < self.spec.home_bias {
+                            home
+                        } else {
+                            let mut next = rng.gen_range(0..num_edges - 1);
+                            if next >= *e {
+                                next += 1;
+                            }
+                            next
+                        };
+                    }
+                }
+            }
+        }
+        cursor.moved += cursor
+            .prev
+            .iter()
+            .zip(&cursor.cur)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        cursor.t += 1;
+    }
+
+    /// Total moved device-steps over the whole horizon: the cursor's
+    /// running count plus a detached replay of the remaining steps
+    /// (leaves the cursor untouched).
+    fn total_moved(&self) -> u64 {
+        let guard = self.lock();
+        let mut replay = Cursor {
+            t: guard.t,
+            prev: Vec::new(),
+            cur: guard.cur.clone(),
+            rng: StdRng::from_state(guard.rng.state()),
+            moved: guard.moved,
+        };
+        drop(guard);
+        while replay.t < self.spec.steps - 1 {
+            self.advance(&mut replay);
+        }
+        replay.moved
+    }
 }
 
 impl Trace {
-    /// Wraps raw assignments.
+    /// Wraps raw assignments in a dense trace.
     ///
     /// # Panics
     /// Panics when steps have differing device counts or any edge index
@@ -48,18 +252,75 @@ impl Trace {
         }
         Trace {
             num_edges,
-            assignments,
+            backend: Backend::Dense(assignments),
         }
+    }
+
+    /// Streaming counterpart of [`generate_markov_hop`]: identical rows,
+    /// O(devices) resident memory instead of O(devices · steps).
+    pub fn markov_hop_streaming(
+        num_edges: usize,
+        devices: usize,
+        steps: usize,
+        p_global: f64,
+        seed: u64,
+    ) -> Self {
+        Trace {
+            num_edges,
+            backend: Backend::Stream(Box::new(MarkovStream::new(MarkovStreamSpec {
+                num_edges,
+                devices,
+                steps,
+                p_global,
+                homes: None,
+                home_bias: 0.0,
+                seed,
+            }))),
+        }
+    }
+
+    /// Streaming counterpart of [`generate_markov_hop_homed`].
+    pub fn markov_hop_homed_streaming(
+        num_edges: usize,
+        homes: &[usize],
+        steps: usize,
+        p_global: f64,
+        home_bias: f64,
+        seed: u64,
+    ) -> Self {
+        Trace {
+            num_edges,
+            backend: Backend::Stream(Box::new(MarkovStream::new(MarkovStreamSpec {
+                num_edges,
+                devices: homes.len(),
+                steps,
+                p_global,
+                homes: Some(homes.to_vec()),
+                home_bias,
+                seed,
+            }))),
+        }
+    }
+
+    /// True when rows are regenerated on demand instead of held densely.
+    pub fn is_streaming(&self) -> bool {
+        matches!(self.backend, Backend::Stream(_))
     }
 
     /// Number of time steps.
     pub fn steps(&self) -> usize {
-        self.assignments.len()
+        match &self.backend {
+            Backend::Dense(a) => a.len(),
+            Backend::Stream(s) => s.spec.steps,
+        }
     }
 
     /// Number of devices.
     pub fn devices(&self) -> usize {
-        self.assignments[0].len()
+        match &self.backend {
+            Backend::Dense(a) => a[0].len(),
+            Backend::Stream(s) => s.spec.devices,
+        }
     }
 
     /// Number of edges.
@@ -69,12 +330,58 @@ impl Trace {
 
     /// Edge of device `m` at step `t`.
     pub fn edge_of(&self, t: usize, m: usize) -> usize {
-        self.assignments[t][m]
+        match &self.backend {
+            Backend::Dense(a) => a[t][m],
+            Backend::Stream(s) => {
+                let mut cursor = s.lock();
+                if t + 1 == cursor.t {
+                    return cursor.prev[m];
+                }
+                s.seek(&mut cursor, t);
+                cursor.cur[m]
+            }
+        }
     }
 
     /// All device→edge assignments at step `t`.
+    ///
+    /// # Panics
+    /// Panics on streaming traces, which have no stable row to borrow —
+    /// use [`Trace::fill_rows_into`] there.
     pub fn at(&self, t: usize) -> &[usize] {
-        &self.assignments[t]
+        match &self.backend {
+            Backend::Dense(a) => &a[t],
+            Backend::Stream(_) => panic!("streaming traces cannot borrow rows; use fill_rows_into"),
+        }
+    }
+
+    /// Copies row `t` into `cur` and, when `t > 0`, row `t − 1` into
+    /// `prev`; returns whether `prev` was filled. This is the one-pass
+    /// row access the simulation's per-step index uses — a single O(N)
+    /// copy per step regardless of backend.
+    pub fn fill_rows_into(&self, t: usize, cur: &mut Vec<usize>, prev: &mut Vec<usize>) -> bool {
+        match &self.backend {
+            Backend::Dense(a) => {
+                cur.clear();
+                cur.extend_from_slice(&a[t]);
+                if t > 0 {
+                    prev.clear();
+                    prev.extend_from_slice(&a[t - 1]);
+                }
+                t > 0
+            }
+            Backend::Stream(s) => {
+                let mut cursor = s.lock();
+                s.seek(&mut cursor, t);
+                cur.clear();
+                cur.extend_from_slice(&cursor.cur);
+                if t > 0 {
+                    prev.clear();
+                    prev.extend_from_slice(&cursor.prev);
+                }
+                t > 0
+            }
+        }
     }
 
     /// Devices attached to `edge` at step `t` (the candidate set `M_n^t`).
@@ -88,20 +395,39 @@ impl Trace {
     /// fills it with the candidate set in ascending device order.
     pub fn devices_at_into(&self, t: usize, edge: usize, out: &mut Vec<usize>) {
         out.clear();
-        out.extend(
-            self.assignments[t]
-                .iter()
-                .enumerate()
-                .filter(|(_, &e)| e == edge)
-                .map(|(m, _)| m),
-        );
+        let fill = |row: &[usize], out: &mut Vec<usize>| {
+            out.extend(
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, &e)| e == edge)
+                    .map(|(m, _)| m),
+            );
+        };
+        match &self.backend {
+            Backend::Dense(a) => fill(&a[t], out),
+            Backend::Stream(s) => {
+                let mut cursor = s.lock();
+                s.seek(&mut cursor, t);
+                fill(&cursor.cur, out);
+            }
+        }
     }
 
     /// True when device `m` entered its step-`t` edge from a different
     /// edge (the `m ∉ M_n^{t−1}` test of Algorithm 1, line 4). Step 0
     /// counts as not-moved.
     pub fn moved(&self, t: usize, m: usize) -> bool {
-        t > 0 && self.assignments[t][m] != self.assignments[t - 1][m]
+        if t == 0 {
+            return false;
+        }
+        match &self.backend {
+            Backend::Dense(a) => a[t][m] != a[t - 1][m],
+            Backend::Stream(s) => {
+                let mut cursor = s.lock();
+                s.seek(&mut cursor, t);
+                cursor.cur[m] != cursor.prev[m]
+            }
+        }
     }
 
     /// Empirical global mobility: the fraction of device-steps (from step
@@ -111,58 +437,98 @@ impl Trace {
         if self.steps() < 2 {
             return 0.0;
         }
-        let mut moved = 0usize;
-        let mut total = 0usize;
-        for t in 1..self.steps() {
-            for m in 0..self.devices() {
-                total += 1;
-                moved += usize::from(self.moved(t, m));
+        let total = (self.steps() - 1) * self.devices();
+        let moved = match &self.backend {
+            Backend::Dense(a) => {
+                let mut moved = 0u64;
+                for t in 1..a.len() {
+                    moved += a[t]
+                        .iter()
+                        .zip(&a[t - 1])
+                        .filter(|(cur, prev)| cur != prev)
+                        .count() as u64;
+                }
+                moved
             }
-        }
+            Backend::Stream(s) => s.total_moved(),
+        };
         moved as f64 / total as f64
     }
 
     /// Per-step edge occupancy histogram at step `t`.
     pub fn occupancy(&self, t: usize) -> Vec<usize> {
         let mut counts = vec![0usize; self.num_edges];
-        for &e in &self.assignments[t] {
-            counts[e] += 1;
+        let fill = |row: &[usize], counts: &mut Vec<usize>| {
+            for &e in row {
+                counts[e] += 1;
+            }
+        };
+        match &self.backend {
+            Backend::Dense(a) => fill(&a[t], &mut counts),
+            Backend::Stream(s) => {
+                let mut cursor = s.lock();
+                s.seek(&mut cursor, t);
+                fill(&cursor.cur, &mut counts);
+            }
         }
         counts
     }
 
-    /// Serialises the trace to JSON.
+    /// Serialises the trace to JSON. Dense traces keep their historical
+    /// row format; streaming traces serialise the generator spec.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("trace serialisation cannot fail")
     }
 
-    /// Parses a JSON trace.
+    /// Parses a JSON trace (either the dense row format or a streaming
+    /// generator spec).
     ///
     /// # Errors
     /// Returns the parse or validation error message.
     pub fn from_json(s: &str) -> Result<Self, String> {
-        let t: Trace = serde_json::from_str(s).map_err(|e| e.to_string())?;
-        if t.assignments.is_empty() {
-            return Err("trace needs at least one step".into());
-        }
-        let devices = t.assignments[0].len();
-        for step in &t.assignments {
-            if step.len() != devices {
-                return Err("step device count mismatch".into());
+        let repr: TraceRepr = serde_json::from_str(s).map_err(|e| e.to_string())?;
+        match (repr.assignments, repr.stream) {
+            (Some(assignments), None) => {
+                if assignments.is_empty() {
+                    return Err("trace needs at least one step".into());
+                }
+                let devices = assignments[0].len();
+                for step in &assignments {
+                    if step.len() != devices {
+                        return Err("step device count mismatch".into());
+                    }
+                    if step.iter().any(|&e| e >= repr.num_edges) {
+                        return Err("edge index out of range".into());
+                    }
+                }
+                Ok(Trace {
+                    num_edges: repr.num_edges,
+                    backend: Backend::Dense(assignments),
+                })
             }
-            if step.iter().any(|&e| e >= t.num_edges) {
-                return Err("edge index out of range".into());
+            (None, Some(spec)) => {
+                spec.validate()?;
+                if spec.num_edges != repr.num_edges {
+                    return Err("stream num_edges mismatch".into());
+                }
+                Ok(Trace {
+                    num_edges: repr.num_edges,
+                    backend: Backend::Stream(Box::new(MarkovStream::new(spec))),
+                })
             }
+            _ => Err("trace JSON needs exactly one of `assignments` or `stream`".into()),
         }
-        Ok(t)
     }
 
     /// Exports in a ONE-simulator-style report format: one
     /// `time device edge` line per (step, device).
     pub fn to_one_report(&self) -> String {
         let mut out = String::with_capacity(self.steps() * self.devices() * 8);
-        for (t, step) in self.assignments.iter().enumerate() {
-            for (m, &e) in step.iter().enumerate() {
+        let mut cur = Vec::new();
+        let mut prev = Vec::new();
+        for t in 0..self.steps() {
+            self.fill_rows_into(t, &mut cur, &mut prev);
+            for (m, &e) in cur.iter().enumerate() {
                 out.push_str(&format!("{t} {m} {e}\n"));
             }
         }
@@ -205,6 +571,141 @@ impl Trace {
             return Err("report has gaps (missing device-step rows)".into());
         }
         Ok(Trace::new(num_edges, assignments))
+    }
+}
+
+/// Heterogeneous per-device move probabilities with mean `p_global`:
+/// draw U(0.5, 1.5)·P and renormalise the sample mean back to P. Shared
+/// by the dense generators and the streaming backend so both replay the
+/// same draws.
+fn draw_move_probabilities(devices: usize, p_global: f64, rng: &mut StdRng) -> Vec<f64> {
+    let mut p: Vec<f64> = (0..devices)
+        .map(|_| (rng.gen_range(0.5..1.5) * p_global).clamp(0.0, 1.0))
+        .collect();
+    if p_global > 0.0 && devices > 0 {
+        let mean: f64 = p.iter().sum::<f64>() / devices as f64;
+        if mean > 0.0 {
+            let k = p_global / mean;
+            for v in &mut p {
+                *v = (*v * k).clamp(0.0, 1.0);
+            }
+        }
+    }
+    p
+}
+
+impl std::fmt::Debug for Trace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.backend {
+            Backend::Dense(a) => f
+                .debug_struct("Trace")
+                .field("num_edges", &self.num_edges)
+                .field("assignments", a)
+                .finish(),
+            Backend::Stream(s) => f
+                .debug_struct("Trace")
+                .field("num_edges", &self.num_edges)
+                .field("stream", &s.spec)
+                .finish(),
+        }
+    }
+}
+
+impl Clone for Trace {
+    fn clone(&self) -> Self {
+        let backend = match &self.backend {
+            Backend::Dense(a) => Backend::Dense(a.clone()),
+            Backend::Stream(s) => {
+                let guard = s.lock();
+                let cursor = Mutex::new(Cursor {
+                    t: guard.t,
+                    prev: guard.prev.clone(),
+                    cur: guard.cur.clone(),
+                    rng: StdRng::from_state(guard.rng.state()),
+                    moved: guard.moved,
+                });
+                drop(guard);
+                Backend::Stream(Box::new(MarkovStream {
+                    spec: s.spec.clone(),
+                    p: s.p.clone(),
+                    initial: s.initial.clone(),
+                    rng0: s.rng0,
+                    cursor,
+                }))
+            }
+        };
+        Trace {
+            num_edges: self.num_edges,
+            backend,
+        }
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        if self.num_edges != other.num_edges {
+            return false;
+        }
+        match (&self.backend, &other.backend) {
+            (Backend::Dense(a), Backend::Dense(b)) => a == b,
+            // Specs fully determine the rows, so spec equality is row
+            // equality; the cursor position is not part of identity.
+            (Backend::Stream(a), Backend::Stream(b)) => a.spec == b.spec,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Trace {}
+
+/// Wire format: exactly one of `assignments` (dense rows, the
+/// historical layout) or `stream` (generator spec) is present.
+#[derive(Serialize, Deserialize)]
+struct TraceRepr {
+    num_edges: usize,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    assignments: Option<Vec<Vec<usize>>>,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    stream: Option<MarkovStreamSpec>,
+}
+
+impl Serialize for Trace {
+    fn to_value(&self) -> serde::Value {
+        let repr = match &self.backend {
+            Backend::Dense(a) => TraceRepr {
+                num_edges: self.num_edges,
+                assignments: Some(a.clone()),
+                stream: None,
+            },
+            Backend::Stream(s) => TraceRepr {
+                num_edges: self.num_edges,
+                assignments: None,
+                stream: Some(s.spec.clone()),
+            },
+        };
+        repr.to_value()
+    }
+}
+
+impl Deserialize for Trace {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let repr = TraceRepr::from_value(v)?;
+        match (repr.assignments, repr.stream) {
+            (Some(assignments), None) => Ok(Trace {
+                num_edges: repr.num_edges,
+                backend: Backend::Dense(assignments),
+            }),
+            (None, Some(spec)) => {
+                spec.validate().map_err(serde::Error::custom)?;
+                Ok(Trace {
+                    num_edges: repr.num_edges,
+                    backend: Backend::Stream(Box::new(MarkovStream::new(spec))),
+                })
+            }
+            _ => Err(serde::Error::custom(
+                "trace needs exactly one of `assignments` or `stream`",
+            )),
+        }
     }
 }
 
@@ -251,21 +752,7 @@ pub fn generate_markov_hop(
     assert!(steps > 0, "need at least one step");
     assert!((0.0..=1.0).contains(&p_global), "P must be in [0, 1]");
     let mut rng = StdRng::seed_from_u64(seed);
-
-    // Heterogeneous per-device probabilities with mean p_global: draw
-    // U(0.5, 1.5)·P and renormalise the sample mean back to P.
-    let mut p: Vec<f64> = (0..devices)
-        .map(|_| (rng.gen_range(0.5..1.5) * p_global).clamp(0.0, 1.0))
-        .collect();
-    if p_global > 0.0 && devices > 0 {
-        let mean: f64 = p.iter().sum::<f64>() / devices as f64;
-        if mean > 0.0 {
-            let k = p_global / mean;
-            for v in &mut p {
-                *v = (*v * k).clamp(0.0, 1.0);
-            }
-        }
-    }
+    let p = draw_move_probabilities(devices, p_global, &mut rng);
 
     let mut current: Vec<usize> = (0..devices).map(|_| rng.gen_range(0..num_edges)).collect();
     let mut assignments = Vec::with_capacity(steps);
@@ -316,19 +803,7 @@ pub fn generate_markov_hop_homed(
     );
     let devices = homes.len();
     let mut rng = StdRng::seed_from_u64(seed);
-
-    let mut p: Vec<f64> = (0..devices)
-        .map(|_| (rng.gen_range(0.5..1.5) * p_global).clamp(0.0, 1.0))
-        .collect();
-    if p_global > 0.0 && devices > 0 {
-        let mean: f64 = p.iter().sum::<f64>() / devices as f64;
-        if mean > 0.0 {
-            let k = p_global / mean;
-            for v in &mut p {
-                *v = (*v * k).clamp(0.0, 1.0);
-            }
-        }
-    }
+    let p = draw_move_probabilities(devices, p_global, &mut rng);
 
     let mut current: Vec<usize> = homes.to_vec();
     let mut assignments = Vec::with_capacity(steps);
@@ -512,5 +987,101 @@ mod tests {
         assert_eq!(a, b);
         let c = generate_markov_hop(5, 10, 30, 0.4, 12);
         assert_ne!(a, c);
+    }
+
+    // ----- streaming backend -----
+
+    fn rows(t: &Trace) -> Vec<Vec<usize>> {
+        let mut out = Vec::with_capacity(t.steps());
+        let mut cur = Vec::new();
+        let mut prev = Vec::new();
+        for step in 0..t.steps() {
+            t.fill_rows_into(step, &mut cur, &mut prev);
+            out.push(cur.clone());
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_markov_hop_matches_dense_bitwise() {
+        let dense = generate_markov_hop(7, 50, 40, 0.35, 99);
+        let stream = Trace::markov_hop_streaming(7, 50, 40, 0.35, 99);
+        assert!(stream.is_streaming());
+        assert_eq!(rows(&dense), rows(&stream));
+        assert_eq!(dense.empirical_mobility(), stream.empirical_mobility());
+    }
+
+    #[test]
+    fn streaming_homed_hop_matches_dense_bitwise() {
+        let homes: Vec<usize> = (0..60).map(|m| m % 6).collect();
+        let dense = generate_markov_hop_homed(6, &homes, 30, 0.4, 0.6, 31);
+        let stream = Trace::markov_hop_homed_streaming(6, &homes, 30, 0.4, 0.6, 31);
+        assert_eq!(rows(&dense), rows(&stream));
+        for t in 0..30 {
+            for m in 0..60 {
+                assert_eq!(dense.moved(t, m), stream.moved(t, m));
+            }
+            assert_eq!(dense.occupancy(t), stream.occupancy(t));
+        }
+    }
+
+    #[test]
+    fn streaming_backward_seek_regenerates() {
+        let dense = generate_markov_hop(5, 20, 25, 0.5, 3);
+        let stream = Trace::markov_hop_streaming(5, 20, 25, 0.5, 3);
+        // Jump to the end, then back to the middle, then to the start —
+        // each backward seek restarts the generator.
+        for &t in &[24usize, 10, 0, 17, 3] {
+            for m in 0..20 {
+                assert_eq!(dense.edge_of(t, m), stream.edge_of(t, m), "t={t} m={m}");
+            }
+        }
+        // empirical_mobility replays detached from wherever the cursor is.
+        assert_eq!(dense.empirical_mobility(), stream.empirical_mobility());
+    }
+
+    #[test]
+    fn streaming_devices_at_matches_dense() {
+        let dense = generate_markov_hop(4, 30, 10, 0.4, 5);
+        let stream = Trace::markov_hop_streaming(4, 30, 10, 0.4, 5);
+        for t in 0..10 {
+            for e in 0..4 {
+                assert_eq!(dense.devices_at(t, e), stream.devices_at(t, e));
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_clone_preserves_rows() {
+        let stream = Trace::markov_hop_streaming(5, 15, 12, 0.45, 8);
+        let mut cur = Vec::new();
+        let mut prev = Vec::new();
+        stream.fill_rows_into(7, &mut cur, &mut prev); // move the cursor
+        let cloned = stream.clone();
+        assert_eq!(rows(&stream), rows(&cloned));
+        assert_eq!(stream, cloned);
+    }
+
+    #[test]
+    fn streaming_json_roundtrip_is_spec_sized() {
+        let stream = Trace::markov_hop_homed_streaming(3, &[0, 1, 2, 0], 1000, 0.3, 0.5, 77);
+        let json = stream.to_json();
+        // 1000 steps of rows would dwarf this; the spec form stays tiny.
+        assert!(
+            json.len() < 400,
+            "spec JSON unexpectedly large: {}",
+            json.len()
+        );
+        let back = Trace::from_json(&json).unwrap();
+        assert!(back.is_streaming());
+        assert_eq!(back, stream);
+        assert_eq!(rows(&back)[999], rows(&stream)[999]);
+    }
+
+    #[test]
+    fn streaming_one_report_roundtrip() {
+        let stream = Trace::markov_hop_streaming(4, 6, 5, 0.5, 10);
+        let dense = Trace::from_one_report(&stream.to_one_report(), 4).unwrap();
+        assert_eq!(rows(&dense), rows(&stream));
     }
 }

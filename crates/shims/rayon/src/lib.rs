@@ -83,6 +83,10 @@ struct Latch {
     remaining: Mutex<usize>,
     done: Condvar,
     panicked: AtomicUsize,
+    /// First pooled panic payload, rethrown by the caller so the
+    /// original panic message (e.g. a failed training assert) survives
+    /// instead of collapsing into a generic "a task panicked".
+    payload: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
 }
 
 impl Latch {
@@ -91,6 +95,7 @@ impl Latch {
             remaining: Mutex::new(n),
             done: Condvar::new(),
             panicked: AtomicUsize::new(0),
+            payload: Mutex::new(None),
         }
     }
 
@@ -135,8 +140,12 @@ fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
         let task: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
         let latch = latch.clone();
         let wrapped: Job = Box::new(move || {
-            if catch_unwind(AssertUnwindSafe(task)).is_err() {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(task)) {
                 latch.panicked.fetch_add(1, Ordering::SeqCst);
+                let mut slot = latch.payload.lock().expect("latch poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
             }
             latch.count_down();
         });
@@ -152,10 +161,15 @@ fn run_tasks(tasks: Vec<Box<dyn FnOnce() + Send + '_>>) {
     if let Err(payload) = inline_result {
         resume_unwind(payload);
     }
-    assert!(
-        latch.panicked.load(Ordering::SeqCst) == 0,
-        "a parallel task panicked"
-    );
+    if latch.panicked.load(Ordering::SeqCst) > 0 {
+        let pooled = latch
+            .payload
+            .lock()
+            .expect("latch poisoned")
+            .take()
+            .unwrap_or_else(|| Box::new("a parallel task panicked".to_string()));
+        resume_unwind(pooled);
+    }
 }
 
 /// Splits `items` into at most `parts` contiguous runs of near-equal
@@ -409,5 +423,30 @@ mod tests {
         items.par_iter().for_each(|&i| {
             assert!(i < 63, "boom");
         });
+    }
+
+    #[test]
+    fn pooled_panic_keeps_its_payload() {
+        // The panicking item sits in the last chunk, which is always
+        // dispatched to the pool (the caller runs the first chunk
+        // inline), so this exercises the cross-thread payload hand-off.
+        let items: Vec<usize> = (0..64).collect();
+        let result = std::panic::catch_unwind(|| {
+            items.par_iter().for_each(|&i| {
+                if i == 63 {
+                    panic!("device 63 exploded");
+                }
+            });
+        });
+        let payload = result.expect_err("the pooled panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload is a panic message");
+        assert!(
+            msg.contains("device 63 exploded"),
+            "payload lost its message: {msg:?}"
+        );
     }
 }

@@ -57,6 +57,9 @@ if [[ "$CI" -eq 1 ]]; then
 
     echo "==> train-kernel smoke run (speedup regression gate, writes BENCH_train.json)"
     cargo run -q -p middle-bench --release --bin train_kernels -- --smoke
+
+    echo "==> population-scale smoke run (dense/lazy pair, writes BENCH_scale_smoke.json)"
+    cargo run -q -p middle-bench --release --bin scale_sweep -- --smoke
 fi
 
 echo "All checks passed."

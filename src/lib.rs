@@ -30,7 +30,7 @@ pub use middle_tensor as tensor;
 pub mod prelude {
     pub use middle_core::{
         Algorithm, CompressionConfig, DelayModel, DropoutModel, FaultConfig, MobilitySource,
-        RunRecord, SimConfig, SimError, Simulation, SimulationBuilder, StepMode,
+        PopulationMode, RunRecord, SimConfig, SimError, Simulation, SimulationBuilder, StepMode,
     };
     pub use middle_data::{Scheme, Task};
     pub use middle_mobility::Trace;
