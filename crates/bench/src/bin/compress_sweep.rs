@@ -17,18 +17,24 @@
 //! - at least one lossy cell cuts uplink payload bytes by >= 4x.
 //!
 //! ```sh
-//! cargo run -p middle-bench --release --bin compress_sweep [--smoke] [out.json]
+//! cargo run -p middle-bench --release --bin compress_sweep [--smoke] [--workers N] [out.json]
 //! ```
 //!
 //! `--smoke` shrinks the grid and the scenario to a seconds-long CI
-//! check that still exercises both invariants.
+//! check that still exercises both invariants. `--workers N` first
+//! runs the same cells through the multi-process fleet layer (`N`
+//! worker threads over a shared lease ledger + coordinator merge) and
+//! asserts every fleet record is bitwise-identical to the direct run
+//! of the same cell.
 
 use middle_core::comm::{WAN_SECS_PER_TRANSFER, WIRELESS_SECS_PER_TRANSFER};
 use middle_core::{
-    Algorithm, CompressionConfig, DelayModel, DropoutModel, FaultConfig, RunRecord, SimConfig,
-    SimulationBuilder,
+    run_fleet_coordinator, run_fleet_worker, Algorithm, CompressionConfig, CompressionPreset,
+    DelayModel, DropoutModel, FaultConfig, FaultPreset, FleetOptions, RunRecord, ScenarioGrid,
+    SimConfig, SimulationBuilder, StepMode,
 };
 use middle_data::Task;
+use std::collections::HashMap;
 
 fn sim_config(smoke: bool, compression: CompressionConfig, faults: FaultConfig) -> SimConfig {
     let mut cfg = if smoke {
@@ -107,16 +113,104 @@ fn run(smoke: bool, compression: Option<CompressionConfig>, faults: FaultConfig)
         .run()
 }
 
+/// A run record with its wall-clock-dependent fields zeroed — the
+/// per-cell comparison form for the fleet cross-check.
+fn deterministic_record_json(record: &RunRecord) -> String {
+    let mut r = record.clone();
+    r.wall_seconds = 0.0;
+    r.telemetry = None;
+    serde_json::to_string(&r).expect("record serialises")
+}
+
+/// Runs every (fault regime × compression cell) through the fleet
+/// layer — `workers` threads claiming shard leases from a shared
+/// ledger, coordinator merging their streams — and returns the records
+/// keyed by `(regime, cell)` for the bitwise cross-check against the
+/// direct runs.
+fn fleet_records(smoke: bool, workers: usize) -> HashMap<(String, String), RunRecord> {
+    let base = sim_config(smoke, CompressionConfig::default(), FaultConfig::default());
+    let grid = ScenarioGrid::new(base)
+        .with_fault_presets([
+            FaultPreset {
+                name: "clean".to_string(),
+                faults: FaultConfig::default(),
+            },
+            FaultPreset {
+                name: "hostile".to_string(),
+                faults: hostile(),
+            },
+        ])
+        .with_compression_presets(
+            grid(smoke)
+                .into_iter()
+                .map(|(cell, compression)| CompressionPreset {
+                    name: cell,
+                    compression: compression.unwrap_or_default(),
+                })
+                .collect::<Vec<_>>(),
+        );
+    let dir = std::env::temp_dir().join(format!("middle_compress_fleet_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let fopts = FleetOptions {
+        step_mode: StepMode::Fast,
+        lease_ms: 600_000,
+        heartbeat_ms: 1_000,
+        poll_ms: 5,
+        checkpoint_every: 0,
+        ..FleetOptions::default()
+    };
+    let handles: Vec<_> = (0..workers)
+        .map(|i| {
+            let grid = grid.clone();
+            let dir = dir.clone();
+            let fopts = fopts.clone();
+            std::thread::spawn(move || {
+                run_fleet_worker(&grid, &dir, &format!("w{i}"), &fopts).expect("fleet worker runs")
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("fleet worker thread");
+    }
+    let report = run_fleet_coordinator(&grid, &dir, &fopts).expect("coordinator merges");
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+        .scenarios
+        .into_iter()
+        .map(|s| {
+            let cell = s.compression.expect("compression axis is swept");
+            ((s.preset, cell), s.record)
+        })
+        .collect()
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     let mut smoke = false;
+    let mut workers = 0usize;
     let mut out_path = String::from("BENCH_compress.json");
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            out_path = arg;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                workers = it
+                    .next()
+                    .expect("--workers takes a count")
+                    .parse()
+                    .expect("--workers takes a count");
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            path => out_path = path.to_string(),
         }
     }
+
+    let fleet = if workers > 0 {
+        eprintln!("[compress_sweep] fleet pass: {workers} workers over the cell grid");
+        Some(fleet_records(smoke, workers))
+    } else {
+        None
+    };
 
     println!(
         "{:<10} {:<8} {:>7} {:>8} {:>14} {:>7} {:>9}",
@@ -128,6 +222,17 @@ fn main() {
         let mut baseline: Option<RunRecord> = None;
         for (cell, compression) in grid(smoke) {
             let record = run(smoke, compression.clone(), faults);
+            if let Some(fleet) = &fleet {
+                let key = (regime.to_string(), cell.clone());
+                let fleet_record = fleet
+                    .get(&key)
+                    .unwrap_or_else(|| panic!("fleet pass missing cell {key:?}"));
+                assert_eq!(
+                    deterministic_record_json(fleet_record),
+                    deterministic_record_json(&record),
+                    "cell {cell} ({regime}) diverged between fleet and direct execution"
+                );
+            }
             let comm = &record.comm;
             let base = baseline.get_or_insert_with(|| {
                 assert_eq!(

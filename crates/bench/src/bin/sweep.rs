@@ -6,16 +6,19 @@
 //! `BENCH_sweep.json`.
 //!
 //! ```text
-//! cargo run -p middle-bench --release --bin sweep [--smoke] [out.json]
+//! cargo run -p middle-bench --release --bin sweep [--smoke] [--workers N] [out.json]
 //! ```
 //!
 //! `--smoke` shrinks the grid to 4 scenarios for the CI gate; steps
-//! scale with `MIDDLE_SCALE` like every other bench bin.
+//! scale with `MIDDLE_SCALE` like every other bench bin. `--workers N`
+//! adds a third pass through the multi-process fleet layer (`N` worker
+//! threads over the shared ledger + coordinator merge) and asserts the
+//! merged report is bitwise-identical to the single-process sweep.
 
 use middle_bench::scaled_steps;
 use middle_core::{
-    run_sweep, Algorithm, RunRecord, ScenarioGrid, SimConfig, SimulationBuilder, StepMode,
-    SweepOptions,
+    run_fleet_coordinator, run_fleet_worker, run_sweep, Algorithm, FleetOptions, RunRecord,
+    ScenarioGrid, SimConfig, SimulationBuilder, StepMode, SweepOptions,
 };
 use middle_data::Task;
 use std::time::Instant;
@@ -52,12 +55,24 @@ fn deterministic_record_json(record: &RunRecord) -> String {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_sweep.json".into());
+    let mut smoke = false;
+    let mut workers = 0usize;
+    let mut out_path = String::from("BENCH_sweep.json");
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workers" => {
+                workers = it
+                    .next()
+                    .expect("--workers takes a count")
+                    .parse()
+                    .expect("--workers takes a count");
+            }
+            flag if flag.starts_with("--") => panic!("unknown flag {flag}"),
+            path => out_path = path.to_string(),
+        }
+    }
 
     let seeds: Vec<u64> = if smoke { vec![7] } else { vec![7, 8] };
     let grid = ScenarioGrid::new(base_config())
@@ -112,6 +127,53 @@ fn main() {
     }
     eprintln!("[sweep] sharded results bitwise-match serial cold runs");
 
+    // Pass 3 (opt-in): the fleet layer — N worker threads claiming
+    // shard leases from a shared ledger, coordinator merging their
+    // JSONL streams. Same bitwise contract as the CI fleet-smoke job,
+    // minus the SIGKILL.
+    let fleet_wall_s = if workers > 0 {
+        let dir = std::env::temp_dir().join(format!("middle_bench_fleet_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fopts = FleetOptions {
+            step_mode: StepMode::Fast,
+            lease_ms: 600_000,
+            heartbeat_ms: 1_000,
+            poll_ms: 5,
+            checkpoint_every: 0,
+            ..FleetOptions::default()
+        };
+        let t2 = Instant::now();
+        let handles: Vec<_> = (0..workers)
+            .map(|i| {
+                let grid = grid.clone();
+                let dir = dir.clone();
+                let fopts = fopts.clone();
+                std::thread::spawn(move || {
+                    run_fleet_worker(&grid, &dir, &format!("w{i}"), &fopts)
+                        .expect("fleet worker runs")
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("fleet worker thread");
+        }
+        let fleet = run_fleet_coordinator(&grid, &dir, &fopts).expect("coordinator merges");
+        let wall = t2.elapsed().as_secs_f64();
+        assert_eq!(
+            fleet.deterministic_json(),
+            report.deterministic_json(),
+            "fleet run diverged from the single-process sweep"
+        );
+        eprintln!(
+            "[sweep] {workers}-worker fleet bitwise-matches the single-process \
+             sweep ({wall:.2}s)"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        wall
+    } else {
+        0.0
+    };
+
     let speedup = serial_wall_s / sweep_wall_s;
     println!("{:<22} {:>7} {:>9} {:>9}", "cell", "seeds", "final", "ci95");
     for a in &report.aggregates {
@@ -130,6 +192,7 @@ fn main() {
         "{{\n  \"smoke\": {smoke},\n  \"scenarios\": {},\n  \
          \"serial_cold_wall_s\": {serial_wall_s:.3},\n  \
          \"sweep_wall_s\": {sweep_wall_s:.3},\n  \"speedup\": {speedup:.3},\n  \
+         \"fleet_workers\": {workers},\n  \"fleet_wall_s\": {fleet_wall_s:.3},\n  \
          \"report\": {}\n}}\n",
         report.scenarios.len(),
         report.to_json()

@@ -231,6 +231,56 @@ pub fn config_digest(config: &SimConfig) -> u64 {
     fnv1a(json.as_bytes())
 }
 
+/// Appends an FNV-1a integrity trailer to a JSON payload.
+///
+/// The sweep ledger (`sweep_state.json`) is the shared source of truth
+/// for shard-level resume across worker *processes*, so a torn or
+/// bit-flipped write must never be deserialized into a bogus resume.
+/// Atomic tmp+rename writes already rule out torn files from our own
+/// writers, but the trailer also catches payload corruption that still
+/// parses as JSON (a flipped digit, a half-synced page after power
+/// loss). The sealed form is the payload followed by one comment-style
+/// line:
+///
+/// ```text
+/// {...payload json...}
+/// #fnv1a:0123456789abcdef
+/// ```
+///
+/// [`unseal_json`] verifies and strips the trailer; a file without one
+/// (written by an older version) passes through unchanged and stands or
+/// falls on its own JSON parse.
+pub fn seal_json(payload: &str) -> String {
+    format!("{payload}\n#fnv1a:{:016x}\n", fnv1a(payload.as_bytes()))
+}
+
+/// Verifies and strips a [`seal_json`] trailer.
+///
+/// Returns the bare payload. Legacy text with no trailer is returned
+/// as-is (its JSON parse is the only integrity check available).
+///
+/// # Errors
+/// A human-readable description when a trailer is present but its
+/// digest does not match the payload (the file is corrupt).
+pub fn unseal_json(text: &str) -> Result<&str, String> {
+    const MARK: &str = "\n#fnv1a:";
+    let Some(pos) = text.rfind(MARK) else {
+        return Ok(text);
+    };
+    let payload = &text[..pos];
+    let trailer = text[pos + MARK.len()..].trim_end();
+    let Ok(expect) = u64::from_str_radix(trailer, 16) else {
+        return Err(format!("malformed integrity trailer {trailer:?}"));
+    };
+    let got = fnv1a(payload.as_bytes());
+    if got != expect {
+        return Err(format!(
+            "integrity trailer mismatch: payload hashes to {got:016x}, trailer says {expect:016x}"
+        ));
+    }
+    Ok(payload)
+}
+
 /// FNV-1a over raw bytes (sweep state files digest their scenario list
 /// with the same function).
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -276,5 +326,20 @@ mod tests {
         // FNV-1a("a") from the reference implementation.
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn seal_unseal_round_trips_and_detects_corruption() {
+        let payload = r#"{"records":[1,2,3]}"#;
+        let sealed = seal_json(payload);
+        assert_eq!(unseal_json(&sealed).unwrap(), payload);
+        // Legacy bare JSON passes through untouched.
+        assert_eq!(unseal_json(payload).unwrap(), payload);
+        // A flipped payload byte under an intact trailer is caught.
+        let corrupt = sealed.replacen("2,3", "2,4", 1);
+        assert!(unseal_json(&corrupt).unwrap_err().contains("mismatch"));
+        // A mangled trailer is caught too.
+        let bad_trailer = format!("{payload}\n#fnv1a:zzzz\n");
+        assert!(unseal_json(&bad_trailer).unwrap_err().contains("malformed"));
     }
 }

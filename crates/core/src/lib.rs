@@ -73,6 +73,7 @@ pub mod theory;
 pub use algorithms::{Algorithm, OnDevicePolicy, SelectionPolicy};
 pub use builder::{input_key, InputCache, SharedInputs, SimError, SimulationBuilder};
 pub use checkpoint::{config_digest, SimCheckpoint, SIM_CHECKPOINT_SCHEMA_VERSION};
+pub use checkpoint::{seal_json, unseal_json};
 pub use comm::CommStats;
 pub use compress::{CompressionConfig, CompressionPlane, RoundingMode};
 pub use config::{MobilitySource, PopulationMode, SimConfig};
@@ -84,8 +85,10 @@ pub use selection::{select_devices, SelectionScratch};
 pub use sim::{EdgeState, Simulation, StepMode};
 pub use similarity::{model_similarity_utility, similarity_utility};
 pub use sweep::{
-    run_sweep, AggregatePoint, CompressionPreset, FaultPreset, Scenario, ScenarioGrid,
-    ScenarioRecord, SweepOptions, SweepReport, SWEEP_REPORT_SCHEMA_VERSION,
+    fleet_status, run_fleet_coordinator, run_fleet_worker, run_sweep, AggregatePoint,
+    CompressionPreset, FaultPreset, FleetOptions, FleetStatus, FleetWorkerReport, Scenario,
+    ScenarioGrid, ScenarioRecord, ShardLease, SweepOptions, SweepReport,
+    SWEEP_REPORT_SCHEMA_VERSION,
 };
 pub use telemetry::{Phase, StepCounters, Telemetry, TelemetryReport};
 pub use theory::{BoundParams, QuadraticProblem};

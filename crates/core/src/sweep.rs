@@ -31,19 +31,41 @@
 //! `crates/bench/src/bin/sweep.rs` bin emits it as `BENCH_sweep.json`
 //! together with the measured caching + sharding speedup over serial
 //! cold runs.
+//!
+//! # Multi-process fleets (`middle-sweepd`)
+//!
+//! The same ledger scales past one process: [`run_fleet_worker`] and
+//! [`run_fleet_coordinator`] turn `sweep_state.json` into a shared
+//! lease board. Workers claim scenario *shards* by writing a
+//! [`ShardLease`] (worker id, grant time, heartbeat) under a sidecar
+//! lockfile mutex, renew the heartbeat while they run, stream each
+//! completed [`ScenarioRecord`] as one JSONL line to a per-worker
+//! file, and mark it done in the ledger. Leases whose heartbeat goes
+//! stale ([`FleetOptions::lease_ms`]) are reclaimed — a SIGKILL'd
+//! worker's scenarios re-run from their last checkpoint on whichever
+//! worker claims them next. The coordinator tails the worker streams,
+//! merges them with the ledger both ways, and returns a final
+//! [`SweepReport`] whose [`SweepReport::deterministic_json`] is
+//! byte-identical to a single-process [`run_sweep`] of the same grid,
+//! kills or no kills — every scenario result is a pure function of its
+//! config, so *who* computed it can never show in the report. The
+//! `middle-sweepd` binary wraps these entry points as `worker` /
+//! `coordinator` subcommands; DESIGN.md §14 specifies the protocol.
 
 use crate::builder::{InputCache, SimError, SimulationBuilder};
-use crate::checkpoint::{fnv1a, SimCheckpoint};
+use crate::checkpoint::{fnv1a, seal_json, unseal_json, SimCheckpoint};
 use crate::compress::CompressionConfig;
 use crate::config::{MobilitySource, SimConfig};
 use crate::faults::FaultConfig;
 use crate::metrics::RunRecord;
 use crate::sim::StepMode;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 use std::{fs, thread};
 
 /// Version of the [`SweepReport`] / sweep-state JSON schema.
@@ -95,7 +117,11 @@ impl CompressionPreset {
 /// the single base scenario; each `with_*` setter replaces one axis.
 /// The mobility axis requires the base mobility to be `MarkovHop` or
 /// `HomedMarkovHop` (the only sources with a `P` knob).
-#[derive(Debug, Clone)]
+///
+/// Grids serialise (the `middle-sweepd` fleet passes one grid-spec
+/// JSON file to every worker and the coordinator; the grid digest
+/// guards against two processes disagreeing about the job).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ScenarioGrid {
     base: SimConfig,
     mobility_ps: Vec<f64>,
@@ -370,7 +396,7 @@ pub struct ScenarioRecord {
     /// Scenario name.
     pub label: String,
     /// Mobility-axis value, when swept.
-    #[serde(skip_serializing_if = "Option::is_none")]
+    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub p: Option<f64>,
     /// Selection size `K`.
     pub k: usize,
@@ -394,7 +420,7 @@ pub struct AggregatePoint {
     /// Cell label without the seed suffix.
     pub label: String,
     /// Mobility-axis value, when swept.
-    #[serde(skip_serializing_if = "Option::is_none")]
+    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub p: Option<f64>,
     /// Selection size `K`.
     pub k: usize,
@@ -421,14 +447,57 @@ pub struct AggregatePoint {
     pub tail_ci95: f64,
 }
 
+/// One live shard lease in the sweep ledger: which worker currently
+/// owns which contiguous block of scenarios, and when it last proved
+/// it was alive.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardLease {
+    /// Shard index; the shard covers scenarios
+    /// `shard * shard_size .. (shard + 1) * shard_size` (clamped).
+    pub shard: usize,
+    /// Id of the worker holding the lease.
+    pub worker: String,
+    /// Unix milliseconds when the lease was granted.
+    pub granted_unix_ms: u64,
+    /// Unix milliseconds of the last heartbeat renewal. A lease whose
+    /// heartbeat is older than [`FleetOptions::lease_ms`] is expired:
+    /// any worker or the coordinator may reclaim it, and its scenarios
+    /// re-run from their last checkpoint.
+    pub heartbeat_unix_ms: u64,
+}
+
+fn default_shard_size() -> usize {
+    1
+}
+
 /// The sweep's completion ledger, persisted as `sweep_state.json` in
 /// the checkpoint directory after every scenario completion (atomic
-/// tmp-then-rename writes).
+/// tmp-then-rename writes, sealed with an FNV-1a integrity trailer —
+/// see [`crate::checkpoint::seal_json`]). Fleet runs extend it with
+/// the live [`ShardLease`] table; single-process sweeps leave `leases`
+/// empty, and pre-fleet ledgers (no `leases` / `shard_size` fields,
+/// no trailer) still parse.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct SweepState {
     schema_version: u32,
     grid_digest: u64,
     records: Vec<Option<ScenarioRecord>>,
+    #[serde(default)]
+    leases: Vec<ShardLease>,
+    #[serde(default = "default_shard_size")]
+    shard_size: usize,
+}
+
+impl SweepState {
+    fn fresh(grid_digest: u64, scenarios: usize, shard_size: usize) -> Self {
+        SweepState {
+            schema_version: SWEEP_REPORT_SCHEMA_VERSION,
+            grid_digest,
+            records: vec![None; scenarios],
+            leases: Vec::new(),
+            shard_size,
+        }
+    }
 }
 
 /// The versioned output of [`run_sweep`].
@@ -489,12 +558,123 @@ fn io_err(path: &Path, e: std::io::Error) -> SimError {
 }
 
 /// Writes `contents` to `path` atomically (tmp file + rename), so a
-/// kill mid-write never leaves a truncated state file behind.
+/// kill mid-write never leaves a truncated state file behind. The tmp
+/// name embeds the pid: fleet processes sharing a directory must never
+/// interleave writes into one tmp file.
 fn write_atomic(path: &Path, contents: &str) -> Result<(), SimError> {
-    let tmp = path.with_extension("json.tmp");
+    let tmp = path.with_extension(format!("json.tmp.{}", std::process::id()));
     fs::write(&tmp, contents).map_err(|e| io_err(&tmp, e))?;
     fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
     Ok(())
+}
+
+/// Wall-clock milliseconds since the Unix epoch. Lease timestamps must
+/// be comparable *across processes*, so they use the system clock; the
+/// clock only gates liveness (expiry, heartbeats) — nothing
+/// bitwise-relevant ever reads it.
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// How long a ledger lockfile may sit untouched before another process
+/// presumes its holder was killed inside the (milliseconds-long)
+/// critical section and breaks the lock.
+const LOCK_STALE_MS: u128 = 5_000;
+/// Upper bound on waiting for the ledger lockfile before giving up
+/// with an [`SimError::Io`].
+const LOCK_WAIT_MS: u128 = 60_000;
+
+/// The shared sweep ledger: `sweep_state.json` plus its sidecar
+/// lockfile mutex (`sweep_state.lock`). The lockfile serialises
+/// read-modify-write cycles *across processes* (creation with
+/// `create_new` is atomic on every platform the repo targets); the
+/// data file itself is only ever replaced whole via [`write_atomic`],
+/// so readers never observe a torn ledger from our own writers, and
+/// [`Ledger::read`] quarantines anything else.
+struct Ledger {
+    path: PathBuf,
+    lock_path: PathBuf,
+}
+
+/// Holds the sidecar lockfile; dropping releases it.
+struct LedgerGuard<'a>(&'a Ledger);
+
+impl Drop for LedgerGuard<'_> {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.0.lock_path);
+    }
+}
+
+impl Ledger {
+    fn in_dir(dir: &Path) -> Ledger {
+        Ledger {
+            path: dir.join("sweep_state.json"),
+            lock_path: dir.join("sweep_state.lock"),
+        }
+    }
+
+    /// Acquires the cross-process ledger mutex, breaking locks whose
+    /// holder died (lockfile older than [`LOCK_STALE_MS`]).
+    fn lock(&self) -> Result<LedgerGuard<'_>, SimError> {
+        let start = Instant::now();
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&self.lock_path)
+            {
+                Ok(mut f) => {
+                    // Owner breadcrumb for post-mortems; never parsed.
+                    let _ = writeln!(f, "{} {}", std::process::id(), unix_ms());
+                    return Ok(LedgerGuard(self));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let stale = fs::metadata(&self.lock_path)
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|m| m.elapsed().ok())
+                        .is_some_and(|age| age.as_millis() > LOCK_STALE_MS);
+                    if stale {
+                        let _ = fs::remove_file(&self.lock_path);
+                        continue;
+                    }
+                    if start.elapsed().as_millis() > LOCK_WAIT_MS {
+                        return Err(SimError::Io {
+                            path: self.lock_path.display().to_string(),
+                            message: "timed out waiting for the ledger lock".to_string(),
+                        });
+                    }
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(io_err(&self.lock_path, e)),
+            }
+        }
+    }
+
+    /// Reads the ledger. Corrupt content — a torn write simulated or
+    /// real, a failed integrity trailer, unparseable JSON — is
+    /// quarantined to `sweep_state.json.corrupt` and reported as
+    /// absent, so a resume can never start from bogus state; the work
+    /// re-runs (and per-scenario results being pure functions of their
+    /// configs, re-running reproduces the same report).
+    fn read(&self) -> Option<SweepState> {
+        let text = fs::read_to_string(&self.path).ok()?;
+        let state = unseal_json(&text)
+            .ok()
+            .and_then(|payload| serde_json::from_str::<SweepState>(payload).ok());
+        if state.is_none() {
+            let _ = fs::rename(&self.path, self.path.with_extension("json.corrupt"));
+        }
+        state
+    }
+
+    /// Atomically replaces the ledger with `state`, sealed.
+    fn write(&self, state: &SweepState) -> Result<(), SimError> {
+        let json = serde_json::to_string(state).expect("state serialisation cannot fail");
+        write_atomic(&self.path, &seal_json(&json))
+    }
 }
 
 fn mean_std_ci(values: &[f64]) -> (f64, f64, f64) {
@@ -581,23 +761,18 @@ pub fn run_sweep(grid: &ScenarioGrid, opts: &SweepOptions) -> Result<SweepReport
     let scenarios = grid.scenarios()?;
     let digest = scenarios_digest(&scenarios);
 
-    let state_path = opts
-        .checkpoint_dir
-        .as_ref()
-        .map(|d| d.join("sweep_state.json"));
+    let ledger = opts.checkpoint_dir.as_ref().map(|d| Ledger::in_dir(d));
     if let Some(dir) = &opts.checkpoint_dir {
         fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
     }
     let mut records: Vec<Option<ScenarioRecord>> = vec![None; scenarios.len()];
-    if let Some(path) = &state_path {
-        if let Ok(text) = fs::read_to_string(path) {
-            if let Ok(state) = serde_json::from_str::<SweepState>(&text) {
-                if state.schema_version == SWEEP_REPORT_SCHEMA_VERSION
-                    && state.grid_digest == digest
-                    && state.records.len() == scenarios.len()
-                {
-                    records = state.records;
-                }
+    if let Some(ledger) = &ledger {
+        if let Some(state) = ledger.read() {
+            if state.schema_version == SWEEP_REPORT_SCHEMA_VERSION
+                && state.grid_digest == digest
+                && state.records.len() == scenarios.len()
+            {
+                records = state.records;
             }
         }
     }
@@ -627,7 +802,7 @@ pub fn run_sweep(grid: &ScenarioGrid, opts: &SweepOptions) -> Result<SweepReport
             let cache = Arc::clone(&cache);
             let scenarios = Arc::clone(&scenarios);
             let (cursor, todo, results, first_error) = (&cursor, &todo, &results, &first_error);
-            let state_path = state_path.as_deref();
+            let ledger = ledger.as_ref();
             scope.spawn(move || loop {
                 let claim = cursor.fetch_add(1, Ordering::Relaxed);
                 if claim >= todo.len() {
@@ -641,15 +816,15 @@ pub fn run_sweep(grid: &ScenarioGrid, opts: &SweepOptions) -> Result<SweepReport
                     Ok(record) => {
                         let mut recs = results.lock().expect("result slot poisoned");
                         recs[scenario.index] = Some(record);
-                        if let Some(path) = state_path {
+                        if let Some(ledger) = ledger {
                             let state = SweepState {
                                 schema_version: SWEEP_REPORT_SCHEMA_VERSION,
                                 grid_digest: digest,
                                 records: recs.clone(),
+                                leases: Vec::new(),
+                                shard_size: 1,
                             };
-                            let json = serde_json::to_string(&state)
-                                .expect("state serialisation cannot fail");
-                            if let Err(e) = write_atomic(path, &json) {
+                            if let Err(e) = ledger.write(&state) {
                                 let mut slot = first_error.lock().expect("error slot poisoned");
                                 slot.get_or_insert(e);
                                 return;
@@ -744,10 +919,628 @@ fn run_scenario(
     })
 }
 
+// --------------------------------------------------------------------
+// Multi-process fleet: lease-based sharding over the shared ledger
+// --------------------------------------------------------------------
+
+/// How fleet workers and the coordinator behave. All time knobs are
+/// liveness-only — they can change results' *latency*, never their
+/// *bytes* (the bitwise-merge contract in DESIGN.md §14).
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Step implementation every scenario runs with.
+    pub step_mode: StepMode,
+    /// Scenarios per lease shard (≥ 1). Bigger shards amortise ledger
+    /// round-trips; smaller shards re-run less work after a kill.
+    pub shard_size: usize,
+    /// Lease expiry in milliseconds: a lease whose heartbeat is older
+    /// than this is presumed dead and reclaimable by anyone.
+    pub lease_ms: u64,
+    /// Heartbeat renewal cadence while a worker runs a shard. Must be
+    /// comfortably below `lease_ms` or live workers lose their leases.
+    pub heartbeat_ms: u64,
+    /// Idle poll cadence: a worker waiting for claimable work, and the
+    /// coordinator waiting for completions, re-check this often.
+    pub poll_ms: u64,
+    /// Steps between mid-scenario checkpoints (`0` = resume only at
+    /// scenario boundaries).
+    pub checkpoint_every: usize,
+    /// Give-up horizon in milliseconds; `None` waits for grid
+    /// completion indefinitely. A worker that hits it returns what it
+    /// finished; the coordinator errors (the grid is incomplete).
+    pub max_wall_ms: Option<u64>,
+    /// Deterministic kill switch for tests: abandon the worker loop
+    /// abruptly — leases unreleased, checkpoint files left behind,
+    /// exactly the on-disk state a SIGKILL produces — after writing
+    /// this many mid-scenario checkpoints. The companion of
+    /// [`SweepOptions::limit`] for simulating killed fleets.
+    pub kill_after_checkpoints: Option<usize>,
+}
+
+impl Default for FleetOptions {
+    fn default() -> Self {
+        FleetOptions {
+            step_mode: StepMode::Fast,
+            shard_size: 1,
+            lease_ms: 5_000,
+            heartbeat_ms: 1_000,
+            poll_ms: 25,
+            checkpoint_every: 0,
+            max_wall_ms: None,
+            kill_after_checkpoints: None,
+        }
+    }
+}
+
+/// What one [`run_fleet_worker`] invocation accomplished.
+#[derive(Debug, Clone)]
+pub struct FleetWorkerReport {
+    /// The worker's id (as recorded in its leases and JSONL stream).
+    pub worker_id: String,
+    /// Scenarios this worker completed and recorded.
+    pub completed: usize,
+    /// Whether the deterministic kill switch fired (leases were left
+    /// unreleased; only tests set the switch).
+    pub killed: bool,
+}
+
+/// A point-in-time view of a fleet's shared ledger (for progress
+/// display and tests).
+#[derive(Debug, Clone)]
+pub struct FleetStatus {
+    /// Scenarios in the grid.
+    pub total: usize,
+    /// Scenarios completed and recorded in the ledger.
+    pub completed: usize,
+    /// Scenarios per lease shard.
+    pub shard_size: usize,
+    /// Live lease table as persisted (expired leases included — expiry
+    /// is judged against [`FleetOptions::lease_ms`] at claim time).
+    pub leases: Vec<ShardLease>,
+}
+
+/// Reads the fleet ledger in `dir`, returning `None` when no sweep has
+/// started there (or the ledger was quarantined as corrupt).
+///
+/// # Errors
+/// [`SimError::Io`] when the ledger lock cannot be acquired.
+pub fn fleet_status(dir: &Path) -> Result<Option<FleetStatus>, SimError> {
+    let ledger = Ledger::in_dir(dir);
+    let _guard = ledger.lock()?;
+    Ok(ledger.read().map(|state| FleetStatus {
+        total: state.records.len(),
+        completed: state.records.iter().filter(|r| r.is_some()).count(),
+        shard_size: state.shard_size,
+        leases: state.leases,
+    }))
+}
+
+/// Rejects a ledger that belongs to a different job than the caller's
+/// grid + options — resuming across grids or disagreeing shard sizes
+/// would corrupt the sweep silently.
+fn check_state(
+    state: &SweepState,
+    digest: u64,
+    n: usize,
+    shard_size: usize,
+) -> Result<(), SimError> {
+    if state.schema_version != SWEEP_REPORT_SCHEMA_VERSION
+        || state.grid_digest != digest
+        || state.records.len() != n
+    {
+        return Err(SimError::InvalidConfig {
+            message: format!(
+                "sweep ledger belongs to a different grid \
+                 (digest {:016x}/{} scenarios vs {:016x}/{n})",
+                state.grid_digest,
+                state.records.len(),
+                digest
+            ),
+        });
+    }
+    if state.shard_size != shard_size {
+        return Err(SimError::InvalidConfig {
+            message: format!(
+                "sweep ledger shard size {} disagrees with requested {shard_size}; \
+                 every fleet member must use identical FleetOptions::shard_size",
+                state.shard_size
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Outcome of one claim attempt against the lease board.
+enum Claim {
+    /// A shard was leased: its index and its still-pending scenarios.
+    Shard { shard: usize, pending: Vec<usize> },
+    /// Pending work exists but every pending shard is under a live
+    /// lease held by someone else (duplicate claims are rejected).
+    Busy,
+    /// Every scenario in the grid is recorded complete.
+    Done,
+}
+
+/// One locked read-reclaim-claim-write cycle: expired leases are
+/// dropped, then the first shard with pending scenarios and no live
+/// lease is leased to `worker_id`.
+fn claim_shard(
+    ledger: &Ledger,
+    digest: u64,
+    n: usize,
+    worker_id: &str,
+    opts: &FleetOptions,
+) -> Result<Claim, SimError> {
+    let _guard = ledger.lock()?;
+    let mut state = match ledger.read() {
+        Some(state) => {
+            check_state(&state, digest, n, opts.shard_size)?;
+            state
+        }
+        None => SweepState::fresh(digest, n, opts.shard_size),
+    };
+    let now = unix_ms();
+    state
+        .leases
+        .retain(|l| now.saturating_sub(l.heartbeat_unix_ms) < opts.lease_ms);
+    let shards = n.div_ceil(opts.shard_size);
+    let mut outcome = Claim::Done;
+    for shard in 0..shards {
+        let lo = shard * opts.shard_size;
+        let hi = (lo + opts.shard_size).min(n);
+        let pending: Vec<usize> = (lo..hi).filter(|&i| state.records[i].is_none()).collect();
+        if pending.is_empty() {
+            continue;
+        }
+        if state.leases.iter().any(|l| l.shard == shard) {
+            outcome = Claim::Busy;
+            continue;
+        }
+        state.leases.push(ShardLease {
+            shard,
+            worker: worker_id.to_string(),
+            granted_unix_ms: now,
+            heartbeat_unix_ms: now,
+        });
+        ledger.write(&state)?;
+        return Ok(Claim::Shard { shard, pending });
+    }
+    // Nothing claimable; still persist the reclamation sweep so a dead
+    // worker's leases disappear even when everyone else is idle.
+    ledger.write(&state)?;
+    Ok(outcome)
+}
+
+/// Renews `worker_id`'s heartbeat on `shard`. Returns `false` when the
+/// lease is no longer held (it expired and was reclaimed, or the
+/// ledger was reset) — the caller must abandon the shard immediately
+/// rather than double-run scenarios another worker now owns.
+fn renew_lease(ledger: &Ledger, worker_id: &str, shard: usize) -> Result<bool, SimError> {
+    let _guard = ledger.lock()?;
+    let Some(mut state) = ledger.read() else {
+        return Ok(false);
+    };
+    match state.leases.iter_mut().find(|l| l.shard == shard) {
+        Some(lease) if lease.worker == worker_id => {
+            lease.heartbeat_unix_ms = unix_ms();
+            ledger.write(&state)?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+/// Records a completed scenario in the ledger (first writer wins —
+/// duplicate completions after a lease reclaim carry bitwise-identical
+/// results, so keeping the first is sound) and renews the worker's
+/// heartbeat in the same locked cycle.
+fn record_completion(
+    ledger: &Ledger,
+    digest: u64,
+    n: usize,
+    worker_id: &str,
+    shard: usize,
+    record: ScenarioRecord,
+    opts: &FleetOptions,
+) -> Result<(), SimError> {
+    let _guard = ledger.lock()?;
+    let mut state = match ledger.read() {
+        Some(state) => {
+            check_state(&state, digest, n, opts.shard_size)?;
+            state
+        }
+        None => SweepState::fresh(digest, n, opts.shard_size),
+    };
+    let index = record.index;
+    if state.records[index].is_none() {
+        state.records[index] = Some(record);
+    }
+    if let Some(lease) = state
+        .leases
+        .iter_mut()
+        .find(|l| l.shard == shard && l.worker == worker_id)
+    {
+        lease.heartbeat_unix_ms = unix_ms();
+    }
+    ledger.write(&state)
+}
+
+/// Drops `worker_id`'s lease on `shard` after the shard's scenarios
+/// are all recorded.
+fn release_shard(ledger: &Ledger, worker_id: &str, shard: usize) -> Result<(), SimError> {
+    let _guard = ledger.lock()?;
+    if let Some(mut state) = ledger.read() {
+        state
+            .leases
+            .retain(|l| !(l.shard == shard && l.worker == worker_id));
+        ledger.write(&state)?;
+    }
+    Ok(())
+}
+
+/// A worker id reduced to filesystem-safe characters for its JSONL
+/// stream filename.
+fn safe_id(worker_id: &str) -> String {
+    worker_id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+/// Appends one completed scenario to the worker's JSONL stream (the
+/// coordinator tails these files and merges them into the incremental
+/// report).
+fn append_jsonl(path: &Path, record: &ScenarioRecord) -> Result<(), SimError> {
+    let json = serde_json::to_string(record).expect("record serialisation cannot fail");
+    let mut file = fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err(path, e))?;
+    writeln!(file, "{json}").map_err(|e| io_err(path, e))
+}
+
+/// Everything a fleet worker threads through its scenario runs.
+struct WorkerCtx<'a> {
+    ledger: Ledger,
+    dir: &'a Path,
+    digest: u64,
+    n: usize,
+    worker_id: &'a str,
+    opts: &'a FleetOptions,
+    cache: Arc<InputCache>,
+    jsonl: PathBuf,
+    checkpoints_written: usize,
+}
+
+/// How one leased scenario ended.
+enum ScenarioOutcome {
+    /// Completed, streamed and recorded.
+    Done,
+    /// The lease was lost mid-run (reclaimed after expiry); the shard
+    /// belongs to someone else now.
+    Abandoned,
+    /// The deterministic kill switch fired.
+    Killed,
+}
+
+/// Runs one scenario under a lease: resumes from its checkpoint if one
+/// exists, snapshots every `checkpoint_every` steps, renews the
+/// heartbeat every `heartbeat_ms`, and on completion streams the
+/// record (JSONL first, then the ledger — a kill between the two only
+/// costs a duplicate line the coordinator deduplicates).
+fn run_leased_scenario(
+    ctx: &mut WorkerCtx<'_>,
+    scenario: &Scenario,
+    shard: usize,
+) -> Result<ScenarioOutcome, SimError> {
+    let mut sim = SimulationBuilder::new(scenario.config.clone())
+        .with_shared_inputs(Arc::clone(&ctx.cache))
+        .build()
+        .map_err(|e| match e {
+            SimError::InvalidConfig { message } => SimError::InvalidConfig {
+                message: format!("scenario {}: {message}", scenario.label),
+            },
+            other => other,
+        })?;
+    let ckpt_path = ctx
+        .dir
+        .join(format!("scenario_{}.ckpt.json", scenario.index));
+    if let Ok(text) = fs::read_to_string(&ckpt_path) {
+        if let Ok(ck) = SimCheckpoint::from_json(&text) {
+            // A mismatching snapshot (different grid reusing the
+            // directory) is ignored: the scenario restarts cold.
+            let _ = sim.restore(&ck);
+        }
+    }
+    let mut last_beat = Instant::now();
+    while !sim.is_finished() {
+        sim.tick(ctx.opts.step_mode);
+        if ctx.opts.checkpoint_every > 0
+            && sim.next_step() % ctx.opts.checkpoint_every == 0
+            && !sim.is_finished()
+        {
+            write_atomic(&ckpt_path, &sim.checkpoint().to_json())?;
+            ctx.checkpoints_written += 1;
+            if ctx
+                .opts
+                .kill_after_checkpoints
+                .is_some_and(|k| ctx.checkpoints_written >= k)
+            {
+                return Ok(ScenarioOutcome::Killed);
+            }
+        }
+        if u64::try_from(last_beat.elapsed().as_millis()).unwrap_or(u64::MAX)
+            >= ctx.opts.heartbeat_ms
+        {
+            if !renew_lease(&ctx.ledger, ctx.worker_id, shard)? {
+                return Ok(ScenarioOutcome::Abandoned);
+            }
+            last_beat = Instant::now();
+        }
+    }
+    let record = ScenarioRecord {
+        index: scenario.index,
+        label: scenario.label.clone(),
+        p: scenario.p,
+        k: scenario.k,
+        sync_period: scenario.sync_period,
+        seed: scenario.seed,
+        preset: scenario.preset.clone(),
+        compression: scenario.compression.clone(),
+        record: sim.finish(),
+    };
+    append_jsonl(&ctx.jsonl, &record)?;
+    record_completion(
+        &ctx.ledger,
+        ctx.digest,
+        ctx.n,
+        ctx.worker_id,
+        shard,
+        record,
+        ctx.opts,
+    )?;
+    let _ = fs::remove_file(&ckpt_path);
+    Ok(ScenarioOutcome::Done)
+}
+
+/// Runs a fleet worker process (or thread) to grid completion.
+///
+/// The worker loops: claim a shard lease from the shared ledger
+/// ([`claim_shard`] rejects duplicate claims on live leases and
+/// reclaims expired ones), run the shard's pending scenarios with
+/// heartbeat renewal and periodic checkpoints, stream each completed
+/// [`ScenarioRecord`] to `worker_<id>.jsonl`, record it in the ledger,
+/// release the lease, repeat. When every pending shard is leased by
+/// someone else it polls until work frees up (a lease expiring counts)
+/// or the grid completes; [`FleetOptions::max_wall_ms`] bounds the
+/// wait.
+///
+/// # Errors
+/// Grid expansion errors, ledger/grid mismatches
+/// ([`SimError::InvalidConfig`]), or the first I/O or builder error.
+pub fn run_fleet_worker(
+    grid: &ScenarioGrid,
+    dir: &Path,
+    worker_id: &str,
+    opts: &FleetOptions,
+) -> Result<FleetWorkerReport, SimError> {
+    if opts.shard_size == 0 {
+        return Err(SimError::InvalidConfig {
+            message: "FleetOptions::shard_size must be at least 1".to_string(),
+        });
+    }
+    let scenarios = grid.scenarios()?;
+    let digest = scenarios_digest(&scenarios);
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let mut ctx = WorkerCtx {
+        ledger: Ledger::in_dir(dir),
+        dir,
+        digest,
+        n: scenarios.len(),
+        worker_id,
+        opts,
+        cache: InputCache::new(),
+        jsonl: dir.join(format!("worker_{}.jsonl", safe_id(worker_id))),
+        checkpoints_written: 0,
+    };
+    let started = Instant::now();
+    let mut completed = 0usize;
+    loop {
+        let out_of_time = opts.max_wall_ms.is_some_and(|ms| {
+            u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX) >= ms
+        });
+        if out_of_time {
+            break;
+        }
+        match claim_shard(&ctx.ledger, digest, scenarios.len(), worker_id, opts)? {
+            Claim::Done => break,
+            Claim::Busy => thread::sleep(Duration::from_millis(opts.poll_ms)),
+            Claim::Shard { shard, pending } => {
+                let mut lost = false;
+                for index in pending {
+                    match run_leased_scenario(&mut ctx, &scenarios[index], shard)? {
+                        ScenarioOutcome::Done => completed += 1,
+                        ScenarioOutcome::Abandoned => {
+                            lost = true;
+                            break;
+                        }
+                        ScenarioOutcome::Killed => {
+                            return Ok(FleetWorkerReport {
+                                worker_id: worker_id.to_string(),
+                                completed,
+                                killed: true,
+                            });
+                        }
+                    }
+                }
+                if !lost {
+                    release_shard(&ctx.ledger, worker_id, shard)?;
+                }
+            }
+        }
+    }
+    Ok(FleetWorkerReport {
+        worker_id: worker_id.to_string(),
+        completed,
+        killed: false,
+    })
+}
+
+/// Tails every `worker_*.jsonl` stream in `dir`, merging newly
+/// completed lines into `records` (first record per scenario wins;
+/// duplicates from reclaimed leases are bitwise-identical modulo wall
+/// clock). Only whole lines are consumed — a partial last line from a
+/// killed worker stays unread until the scenario re-runs elsewhere.
+fn tail_worker_streams(
+    dir: &Path,
+    offsets: &mut HashMap<PathBuf, usize>,
+    records: &mut [Option<ScenarioRecord>],
+    workers_seen: &mut Vec<String>,
+) -> Result<(), SimError> {
+    let entries = fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("worker_") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    paths.sort();
+    for path in paths {
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            if !workers_seen.iter().any(|w| w == name) {
+                workers_seen.push(name.to_string());
+            }
+        }
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue;
+        };
+        let start = offsets.get(&path).copied().unwrap_or(0);
+        if text.len() <= start {
+            continue;
+        }
+        let chunk = &text[start..];
+        let Some(end) = chunk.rfind('\n').map(|e| e + 1) else {
+            continue;
+        };
+        for line in chunk[..end].lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let Ok(record) = serde_json::from_str::<ScenarioRecord>(line) else {
+                continue;
+            };
+            let index = record.index;
+            if index < records.len() && records[index].is_none() {
+                records[index] = Some(record);
+            }
+        }
+        offsets.insert(path, start + end);
+    }
+    Ok(())
+}
+
+/// Runs the fleet coordinator: owns the grid, tails the workers'
+/// JSONL streams, merges them with the shared ledger in both
+/// directions (a worker killed between its JSONL append and its ledger
+/// update is healed here), reclaims expired leases, and returns the
+/// final [`SweepReport`] once every scenario is recorded.
+///
+/// The report's [`SweepReport::deterministic_json`] is byte-identical
+/// to a single-process [`run_sweep`] over the same grid — including
+/// fleets where workers were SIGKILL'd and replaced mid-sweep — because
+/// every scenario result is a pure function of its config and the
+/// merge only ever places a scenario's record at its grid index.
+///
+/// # Errors
+/// Grid expansion errors, a ledger belonging to a different grid, I/O
+/// errors, or [`SimError::Io`] with a timeout message when
+/// [`FleetOptions::max_wall_ms`] elapses before completion.
+pub fn run_fleet_coordinator(
+    grid: &ScenarioGrid,
+    dir: &Path,
+    opts: &FleetOptions,
+) -> Result<SweepReport, SimError> {
+    if opts.shard_size == 0 {
+        return Err(SimError::InvalidConfig {
+            message: "FleetOptions::shard_size must be at least 1".to_string(),
+        });
+    }
+    let start = Instant::now();
+    let scenarios = grid.scenarios()?;
+    let digest = scenarios_digest(&scenarios);
+    let n = scenarios.len();
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    let ledger = Ledger::in_dir(dir);
+    let mut records: Vec<Option<ScenarioRecord>> = vec![None; n];
+    let mut offsets: HashMap<PathBuf, usize> = HashMap::new();
+    let mut workers_seen: Vec<String> = Vec::new();
+    loop {
+        tail_worker_streams(dir, &mut offsets, &mut records, &mut workers_seen)?;
+        let all_done = {
+            let _guard = ledger.lock()?;
+            let mut state = match ledger.read() {
+                Some(state) => {
+                    check_state(&state, digest, n, opts.shard_size)?;
+                    state
+                }
+                None => SweepState::fresh(digest, n, opts.shard_size),
+            };
+            for (ours, theirs) in records.iter_mut().zip(state.records.iter_mut()) {
+                match (&ours, &theirs) {
+                    (None, Some(r)) => *ours = Some(r.clone()),
+                    (Some(r), None) => *theirs = Some(r.clone()),
+                    _ => {}
+                }
+            }
+            let now = unix_ms();
+            state
+                .leases
+                .retain(|l| now.saturating_sub(l.heartbeat_unix_ms) < opts.lease_ms);
+            ledger.write(&state)?;
+            records.iter().all(Option::is_some)
+        };
+        if all_done {
+            break;
+        }
+        let out_of_time = opts
+            .max_wall_ms
+            .is_some_and(|ms| u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX) >= ms);
+        if out_of_time {
+            return Err(SimError::Io {
+                path: dir.display().to_string(),
+                message: format!(
+                    "fleet coordinator timed out with {}/{n} scenarios complete",
+                    records.iter().filter(|r| r.is_some()).count()
+                ),
+            });
+        }
+        thread::sleep(Duration::from_millis(opts.poll_ms));
+    }
+    let completed: Vec<ScenarioRecord> = records.into_iter().flatten().collect();
+    let aggregates = aggregate(&completed);
+    Ok(SweepReport {
+        schema_version: SWEEP_REPORT_SCHEMA_VERSION,
+        grid_digest: digest,
+        complete: true,
+        scenarios: completed,
+        aggregates,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        threads: workers_seen.len(),
+        cache_hits: 0,
+        cache_misses: 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::algorithms::Algorithm;
+    use crate::comm::CommStats;
+    use crate::metrics::RUN_RECORD_SCHEMA_VERSION;
     use middle_data::Task;
 
     fn tiny() -> SimConfig {
@@ -850,6 +1643,78 @@ mod tests {
             .unwrap();
         assert_ne!(a, b);
         assert_eq!(a, ScenarioGrid::new(tiny()).digest().unwrap());
+    }
+
+    #[test]
+    fn sweep_state_with_leases_round_trips() {
+        let state = SweepState {
+            schema_version: SWEEP_REPORT_SCHEMA_VERSION,
+            grid_digest: 0xdead_beef,
+            records: vec![None, None],
+            leases: vec![ShardLease {
+                shard: 1,
+                worker: "w0".to_string(),
+                granted_unix_ms: 1_786_308_300_853,
+                heartbeat_unix_ms: 1_786_308_302_154,
+            }],
+            shard_size: 2,
+        };
+        let json = serde_json::to_string(&state).unwrap();
+        let back: SweepState = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("state must round-trip: {e}\n{json}"));
+        assert_eq!(back.leases, state.leases);
+        assert_eq!(back.shard_size, 2);
+        // Legacy pre-fleet ledgers (no leases/shard_size) still parse.
+        let legacy = r#"{"schema_version":1,"grid_digest":7,"records":[null]}"#;
+        let old: SweepState = serde_json::from_str(legacy).unwrap();
+        assert!(old.leases.is_empty());
+        assert_eq!(old.shard_size, 1);
+    }
+
+    #[test]
+    fn unswept_axis_records_round_trip_through_the_ledger() {
+        // Grids that pin (rather than sweep) the mobility / compression
+        // axes produce records with `p: None` / `compression: None`.
+        // Those fields are skipped on serialize, so deserialize must
+        // default them — a ledger written by one worker has to parse in
+        // every other process of the fleet.
+        let record = ScenarioRecord {
+            index: 0,
+            label: "k2-tc4-base-s7".to_string(),
+            p: None,
+            k: 2,
+            sync_period: 4,
+            seed: 7,
+            preset: "base".to_string(),
+            compression: None,
+            record: RunRecord {
+                schema_version: RUN_RECORD_SCHEMA_VERSION,
+                algorithm: "MIDDLE".to_string(),
+                task: "speech".to_string(),
+                points: Vec::new(),
+                empirical_mobility: 0.5,
+                wall_seconds: 0.0,
+                comm: CommStats::default(),
+                syncs: 1,
+                active_steps: 4,
+                param_count: 10,
+                telemetry: None,
+            },
+        };
+        let state = SweepState {
+            schema_version: SWEEP_REPORT_SCHEMA_VERSION,
+            grid_digest: 42,
+            records: vec![Some(record), None],
+            leases: Vec::new(),
+            shard_size: 1,
+        };
+        let json = serde_json::to_string(&state).unwrap();
+        let back: SweepState = serde_json::from_str(&json)
+            .unwrap_or_else(|e| panic!("ledger must round-trip: {e}\n{json}"));
+        let rec = back.records[0].as_ref().unwrap();
+        assert_eq!(rec.p, None);
+        assert_eq!(rec.compression, None);
+        assert_eq!(rec.label, "k2-tc4-base-s7");
     }
 
     #[test]

@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Bench-regression gate: re-runs the --smoke bench bins and fails when
+# a gated metric regresses beyond tolerance against the committed
+# baselines (`git show HEAD:BENCH_*.json`, so a working tree whose
+# BENCH files were just regenerated still compares against the real
+# baseline).
+#
+# Gated metrics:
+#   BENCH_sweep.json        .speedup                    higher is better
+#   BENCH_train.json        .<kernel>.speedup           higher is better
+#   BENCH_scale_smoke.json  .[cell].peak_rss_mb and
+#                           .[cell].peak_resident       lower is better
+#
+# Tolerances (fractional, overridable for noisy runners):
+#   MIDDLE_BENCH_TOL_SPEEDUP   default 0.50  (fresh >= base * (1 - tol))
+#   MIDDLE_BENCH_TOL_MEM       default 0.40  (fresh <= base * (1 + tol))
+#
+#   scripts/bench_compare.sh
+#
+# Run from anywhere; the script cd's to the repo root. Fresh results
+# land in a temp dir — the working tree's BENCH files are not touched.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/middle_bench_compare.XXXXXX")"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "==> baselines from HEAD"
+for f in BENCH_sweep.json BENCH_train.json BENCH_scale_smoke.json; do
+    # HEAD first; fall back to the staged copy so the gate works in the
+    # commit that first introduces a baseline.
+    if ! git show "HEAD:$f" >"$WORK/base_$f" 2>/dev/null \
+        && ! git show ":$f" >"$WORK/base_$f" 2>/dev/null; then
+        echo "bench_compare: $f is not committed at HEAD; nothing to gate against" >&2
+        exit 1
+    fi
+done
+
+echo "==> fresh smoke runs (sweep, train_kernels, scale_sweep)"
+cargo run -q -p middle-bench --release --bin sweep -- --smoke "$WORK/BENCH_sweep.json"
+# train_kernels reads the committed numbers from its out path before
+# overwriting it (its own internal smoke gate) — seed it with the
+# baseline.
+cp "$WORK/base_BENCH_train.json" "$WORK/BENCH_train.json"
+cargo run -q -p middle-bench --release --bin train_kernels -- --smoke "$WORK/BENCH_train.json"
+# scale_sweep writes BENCH_scale_smoke.json into its CWD.
+(cd "$WORK" && cargo run -q -p middle-bench --release \
+    --manifest-path "$ROOT/Cargo.toml" --bin scale_sweep -- --smoke)
+
+echo "==> comparing gated metrics"
+WORK="$WORK" python3 - <<'PY'
+import json
+import os
+import sys
+
+work = os.environ["WORK"]
+tol_speedup = float(os.environ.get("MIDDLE_BENCH_TOL_SPEEDUP", "0.50"))
+tol_mem = float(os.environ.get("MIDDLE_BENCH_TOL_MEM", "0.40"))
+failures = []
+
+
+def load(name, fresh=True):
+    path = os.path.join(work, name if fresh else f"base_{name}")
+    with open(path) as f:
+        return json.load(f)
+
+
+def gate_higher(label, base, fresh, tol):
+    floor = base * (1.0 - tol)
+    verdict = "ok" if fresh >= floor else "REGRESSED"
+    print(f"  {label:<42} base {base:8.3f}  fresh {fresh:8.3f}  floor {floor:8.3f}  {verdict}")
+    if fresh < floor:
+        failures.append(label)
+
+
+def gate_lower(label, base, fresh, tol):
+    ceil = base * (1.0 + tol)
+    verdict = "ok" if fresh <= ceil else "REGRESSED"
+    print(f"  {label:<42} base {base:8.1f}  fresh {fresh:8.1f}  ceil {ceil:8.1f}  {verdict}")
+    if fresh > ceil:
+        failures.append(label)
+
+
+sweep_base = load("BENCH_sweep.json", fresh=False)
+sweep_fresh = load("BENCH_sweep.json")
+gate_higher("sweep.speedup", sweep_base["speedup"], sweep_fresh["speedup"], tol_speedup)
+
+train_base = load("BENCH_train.json", fresh=False)
+train_fresh = load("BENCH_train.json")
+for kernel, entry in train_base.items():
+    if kernel not in train_fresh:
+        failures.append(f"train.{kernel} (missing from fresh run)")
+        continue
+    gate_higher(f"train.{kernel}.speedup", entry["speedup"], train_fresh[kernel]["speedup"], tol_speedup)
+
+scale_base = load("BENCH_scale_smoke.json", fresh=False)
+scale_fresh = load("BENCH_scale_smoke.json")
+key = lambda c: (c.get("devices"), c.get("edges"), c.get("mode"))
+fresh_cells = {key(c): c for c in scale_fresh if "devices" in c}
+for cell in scale_base:
+    if "devices" not in cell:
+        continue
+    label = f"scale.{cell['devices']}x{cell['edges']}.{cell['mode']}"
+    fresh = fresh_cells.get(key(cell))
+    if fresh is None:
+        failures.append(f"{label} (missing from fresh run)")
+        continue
+    gate_lower(f"{label}.peak_rss_mb", cell["peak_rss_mb"], fresh["peak_rss_mb"], tol_mem)
+    gate_lower(f"{label}.peak_resident", cell["peak_resident"], fresh["peak_resident"], tol_mem)
+
+if failures:
+    print(f"\nbench_compare: {len(failures)} gated metric(s) regressed beyond tolerance:")
+    for f in failures:
+        print(f"  - {f}")
+    sys.exit(1)
+print("\nbench_compare: all gated metrics within tolerance.")
+PY

@@ -3,19 +3,41 @@
 #
 #   scripts/check.sh           # everything
 #   scripts/check.sh --fast    # skip the release build and perf gates
-#   scripts/check.sh --ci      # everything + example builds + doc lints
+#   scripts/check.sh --ci      # everything + example builds, doc lints,
+#                              # bench smoke runs, fleet smoke, bench
+#                              # regression gate
 #
-# Run from anywhere; the script cd's to the repo root.
+# Flags combine (e.g. `--fast --ci` runs the CI extras without the
+# release build); unknown flags are rejected. Run from anywhere; the
+# script cd's to the repo root.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+usage() {
+    echo "usage: scripts/check.sh [--fast] [--ci]" >&2
+    echo "  --fast  skip the release build and perf gates" >&2
+    echo "  --ci    add example builds, doc lints, bench smoke runs," >&2
+    echo "          the fleet smoke and the bench regression gate" >&2
+}
+
 FAST=0
 CI=0
-case "${1:-}" in
---fast) FAST=1 ;;
---ci) CI=1 ;;
-esac
+for arg in "$@"; do
+    case "$arg" in
+    --fast) FAST=1 ;;
+    --ci) CI=1 ;;
+    -h | --help)
+        usage
+        exit 0
+        ;;
+    *)
+        echo "check.sh: unknown flag '$arg'" >&2
+        usage
+        exit 2
+        ;;
+    esac
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check
@@ -60,6 +82,12 @@ if [[ "$CI" -eq 1 ]]; then
 
     echo "==> population-scale smoke run (dense/lazy pair, writes BENCH_scale_smoke.json)"
     cargo run -q -p middle-bench --release --bin scale_sweep -- --smoke
+
+    echo "==> fleet smoke (3 workers, SIGKILL one, bitwise merge vs serial)"
+    scripts/fleet_smoke.sh
+
+    echo "==> bench regression gate (fresh smoke runs vs committed baselines)"
+    scripts/bench_compare.sh
 fi
 
 echo "All checks passed."

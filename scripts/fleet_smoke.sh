@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Fleet-smoke gate: the multi-process acceptance check for the
+# `middle-sweepd` lease protocol.
+#
+# Runs the smoke grid once single-process (the oracle), then with three
+# worker processes sharing the lease ledger, SIGKILLs one worker
+# mid-sweep, lets the survivors reclaim its expired lease, merges the
+# worker streams through the coordinator, and asserts the merged
+# deterministic report is byte-identical to the uninterrupted
+# single-process run.
+#
+#   scripts/fleet_smoke.sh
+#
+# Run from anywhere; the script cd's to the repo root. Builds
+# middle-sweepd (release) if the binary is missing.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=target/release/middle-sweepd
+if [[ ! -x "$BIN" ]]; then
+    echo "==> building middle-sweepd (release)"
+    cargo build --release -p middle-sweepd
+fi
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/middle_fleet_smoke.XXXXXX")"
+cleanup() {
+    # Don't leave orphan workers behind on any exit path.
+    [[ -n "${WORKER_PIDS:-}" ]] && kill -9 ${WORKER_PIDS} 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "==> gen-grid --smoke"
+"$BIN" gen-grid --smoke >"$WORK/grid.json"
+
+echo "==> serial oracle (single process, no fleet)"
+"$BIN" serial --grid "$WORK/grid.json" --deterministic --out "$WORK/serial.json"
+
+echo "==> 3 workers over the shared ledger"
+mkdir -p "$WORK/fleet"
+WORKER_PIDS=""
+for i in 0 1 2; do
+    "$BIN" worker --grid "$WORK/grid.json" --dir "$WORK/fleet" --id "w$i" \
+        --lease-ms 2000 --max-wall-ms 300000 >/dev/null 2>&1 &
+    WORKER_PIDS="$WORKER_PIDS $!"
+done
+read -r VICTIM _SURVIVORS <<<"${WORKER_PIDS# }"
+
+# Wait until the fleet has made real progress (so the kill lands
+# mid-sweep, not before the first lease), then SIGKILL one worker.
+for _ in $(seq 1 600); do
+    completed="$("$BIN" status --dir "$WORK/fleet" 2>/dev/null | head -n1 | cut -d/ -f1 || echo 0)"
+    [[ "${completed:-0}" =~ ^[0-9]+$ ]] || completed=0
+    if [[ "$completed" -ge 2 ]]; then
+        break
+    fi
+    sleep 0.1
+done
+if [[ "$completed" -lt 2 ]]; then
+    echo "fleet_smoke: fleet made no progress (completed=$completed)" >&2
+    exit 1
+fi
+echo "==> SIGKILL worker w0 (pid $VICTIM) at $completed completed"
+if ! kill -9 "$VICTIM" 2>/dev/null; then
+    echo "fleet_smoke: worker exited before the kill — grid too small to land a mid-run SIGKILL" >&2
+    exit 1
+fi
+
+echo "==> coordinator merge (reclaims the dead worker's lease)"
+"$BIN" coordinator --grid "$WORK/grid.json" --dir "$WORK/fleet" \
+    --lease-ms 2000 --max-wall-ms 300000 --deterministic --out "$WORK/fleet.json"
+
+wait 2>/dev/null || true
+WORKER_PIDS=""
+
+echo "==> bitwise compare: fleet report vs serial oracle"
+if ! cmp "$WORK/serial.json" "$WORK/fleet.json"; then
+    echo "fleet_smoke: merged fleet report is NOT byte-identical to the serial run" >&2
+    exit 1
+fi
+echo "fleet_smoke: merged report is byte-identical to the serial oracle."
