@@ -1,0 +1,132 @@
+//! Algorithm-zoo sweep: every named algorithm ([`Algorithm::zoo`])
+//! through a clean and a hostile fault regime, emitting
+//! machine-readable results to `BENCH_algos.json`.
+//!
+//! This is the bench face of the policy API: each cell builds one
+//! simulation whose `SimConfig::algorithm` names a zoo member (the same
+//! axis `ScenarioGrid::with_algorithms` sweeps) and records the final
+//! accuracy, the full communication ledger and the simulated
+//! communication wall-clock under the shared two-tier link model
+//! ([`middle_core::comm::WIRELESS_SECS_PER_TRANSFER`] /
+//! [`middle_core::comm::WAN_SECS_PER_TRANSFER`]). The hostile regime is
+//! `fault_sweep`'s everything-on scenario (sticky dropout, exponential
+//! stragglers against a deadline, lossy uploads with retry, WAN
+//! outages), so stateful policies (FedFly migration) are exercised
+//! under stale merges and masked cloud syncs, not just the happy path.
+//!
+//! ```text
+//! cargo run -p middle-bench --release --bin algos_sweep [--smoke] [out.json]
+//! ```
+//!
+//! `--smoke` shrinks the population and horizon for the CI gate; steps
+//! scale with `MIDDLE_SCALE` like every other bench bin. The committed
+//! `BENCH_algos.json` is the `--smoke` output (like `BENCH_sweep.json`)
+//! so `scripts/bench_compare.sh` compares like against like.
+
+use middle_bench::scaled_steps;
+use middle_core::comm::{WAN_SECS_PER_TRANSFER, WIRELESS_SECS_PER_TRANSFER};
+use middle_core::{Algorithm, DelayModel, DropoutModel, FaultConfig, SimConfig, SimulationBuilder};
+use middle_data::Task;
+
+fn sim_config(algorithm: Algorithm, faults: FaultConfig, smoke: bool) -> SimConfig {
+    let mut cfg = SimConfig::paper_default(Task::Mnist, algorithm);
+    cfg.faults = faults;
+    if smoke {
+        cfg.num_edges = 3;
+        cfg.num_devices = 15;
+        cfg.devices_per_edge = 2;
+        cfg.samples_per_device = 20;
+        cfg.steps = scaled_steps(10);
+        cfg.cloud_interval = 5;
+        cfg.test_samples = 120;
+        cfg.eval_interval = 5;
+    } else {
+        cfg.num_edges = 4;
+        cfg.num_devices = 24;
+        cfg.devices_per_edge = 3;
+        cfg.samples_per_device = 30;
+        cfg.steps = scaled_steps(30);
+        cfg.cloud_interval = 5;
+        cfg.test_samples = 200;
+        cfg.eval_interval = 5;
+    }
+    cfg
+}
+
+fn regimes() -> Vec<(&'static str, FaultConfig)> {
+    vec![
+        ("clean", FaultConfig::default()),
+        (
+            "hostile",
+            FaultConfig {
+                dropout: DropoutModel::Markov {
+                    p_fail: 0.1,
+                    p_recover: 0.3,
+                },
+                straggler_delay: DelayModel::Exponential { mean_s: 0.6 },
+                deadline_s: 1.0,
+                upload_loss: 0.2,
+                upload_retries: 2,
+                wan_outage: 0.2,
+            },
+        ),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_algos.json");
+    for arg in args {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            other => out_path = other.to_string(),
+        }
+    }
+
+    println!(
+        "{:<10} {:<8} {:>7} {:>8} {:>7} {:>6} {:>6} {:>7} {:>9}",
+        "algorithm", "regime", "final", "uploads", "e2e", "stale", "syncs", "active", "comm s"
+    );
+    let mut rows = Vec::new();
+    for algorithm in Algorithm::zoo() {
+        for (regime, faults) in regimes() {
+            let name = algorithm.name.clone();
+            let record = SimulationBuilder::new(sim_config(algorithm.clone(), faults, smoke))
+                .build()
+                .expect("valid zoo config")
+                .run();
+            let comm = &record.comm;
+            let comm_s = record.comm_wall_clock(WIRELESS_SECS_PER_TRANSFER, WAN_SECS_PER_TRANSFER);
+            println!(
+                "{:<10} {:<8} {:>7.3} {:>8} {:>7} {:>6} {:>6} {:>7} {:>9.1}",
+                name,
+                regime,
+                record.final_accuracy(),
+                comm.device_to_edge,
+                comm.edge_to_edge,
+                comm.stale_uploads,
+                record.syncs,
+                record.active_steps,
+                comm_s,
+            );
+            rows.push(format!(
+                "    {{\"algorithm\": \"{name}\", \"regime\": \"{regime}\", \
+                 \"final_accuracy\": {:.6}, \"comm\": {}, \"syncs\": {}, \
+                 \"active_steps\": {}, \"comm_wall_s\": {comm_s:.3}}}",
+                record.final_accuracy(),
+                serde_json::to_string(comm).expect("comm stats serialise"),
+                record.syncs,
+                record.active_steps,
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"wireless_secs_per_transfer\": {WIRELESS_SECS_PER_TRANSFER},\n  \
+         \"wan_secs_per_transfer\": {WAN_SECS_PER_TRANSFER},\n  \"cells\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, &json).expect("write BENCH_algos.json");
+    println!("\nwrote {out_path}");
+}

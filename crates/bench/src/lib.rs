@@ -10,13 +10,10 @@
 //! variable (default `1.0`); values below 1 shrink step counts for smoke
 //! runs (e.g. `MIDDLE_SCALE=0.1` in CI), values above stretch them.
 //!
-//! Telemetry: the first-class switches are
-//! [`SimulationBuilder::telemetry`] and
+//! Telemetry: the switches are [`SimulationBuilder::telemetry`] and
 //! [`SimulationBuilder::telemetry_jsonl`] (or the corresponding
-//! `SimConfig` fields). The `MIDDLE_TELEMETRY=1` /
-//! `MIDDLE_TELEMETRY_JSONL=<dir>` environment variables are still
-//! honoured by [`run_logged`] for scripted figure regeneration, but are
-//! **deprecated** — prefer the builder options in new code.
+//! `SimConfig` fields). The old `MIDDLE_TELEMETRY` /
+//! `MIDDLE_TELEMETRY_JSONL` environment variables have been removed.
 //!
 //! [`SimulationBuilder::telemetry`]: middle_core::SimulationBuilder::telemetry
 //! [`SimulationBuilder::telemetry_jsonl`]: middle_core::SimulationBuilder::telemetry_jsonl
@@ -39,35 +36,11 @@ pub fn scaled_steps(base: usize) -> usize {
     ((base as f64 * scale()).round() as usize).max(4)
 }
 
-/// Applies the `MIDDLE_TELEMETRY` / `MIDDLE_TELEMETRY_JSONL` environment
-/// switches to a config (see the crate docs).
-///
-/// Deprecated in favour of [`SimulationBuilder::telemetry`] and
-/// [`SimulationBuilder::telemetry_jsonl`]; kept so existing
-/// figure-regeneration scripts keep working.
-pub fn apply_telemetry_env(cfg: &mut SimConfig) {
-    if std::env::var("MIDDLE_TELEMETRY").is_ok_and(|v| v != "0" && !v.is_empty()) {
-        cfg.telemetry = true;
-    }
-    if let Ok(dir) = std::env::var("MIDDLE_TELEMETRY_JSONL") {
-        if !dir.is_empty() {
-            let file = format!(
-                "{}_{}.jsonl",
-                cfg.algorithm.name.to_lowercase().replace([' ', '/'], "_"),
-                cfg.task.name().to_lowercase()
-            );
-            cfg.telemetry_jsonl =
-                Some(PathBuf::from(dir).join(file).to_string_lossy().into_owned());
-        }
-    }
-}
-
-/// Runs a simulation, echoing progress to stderr. Honours the telemetry
-/// environment switches; when telemetry is on, the per-phase summary
-/// table is echoed after the run.
+/// Runs a simulation, echoing progress to stderr. When telemetry is
+/// enabled on the config ([`SimulationBuilder::telemetry`] /
+/// [`SimulationBuilder::telemetry_jsonl`]), the per-phase summary table
+/// is echoed after the run.
 pub fn run_logged(cfg: SimConfig) -> RunRecord {
-    let mut cfg = cfg;
-    apply_telemetry_env(&mut cfg);
     let label = format!("{} / {}", cfg.algorithm.name, cfg.task.name());
     eprintln!(
         "[middle-bench] {label}: {} edges, {} devices, {} steps ...",

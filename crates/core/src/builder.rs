@@ -4,9 +4,9 @@
 //! instead of once per scenario.
 //!
 //! [`crate::Simulation::new`] predates this module and panics on an
-//! invalid configuration; it remains as a thin compatibility wrapper.
-//! New code — and every example, test and bench bin in-tree — goes
-//! through the builder:
+//! invalid configuration; it remains only as a deprecated compatibility
+//! wrapper. New code — and every example, test and bench bin in-tree —
+//! goes through the builder:
 //!
 //! ```
 //! use middle_core::{Algorithm, SimConfig, SimulationBuilder};
@@ -310,7 +310,7 @@ impl SimulationBuilder {
 
     /// Enables (or disables) the telemetry plane, overriding
     /// [`SimConfig::telemetry`]. This is the first-class replacement for
-    /// the deprecated `MIDDLE_TELEMETRY` environment variable.
+    /// the removed `MIDDLE_TELEMETRY` environment variable.
     pub fn telemetry(mut self, enabled: bool) -> Self {
         self.telemetry = Some(enabled);
         self
@@ -318,7 +318,7 @@ impl SimulationBuilder {
 
     /// Streams one JSONL telemetry event per step to `path` (implies
     /// [`SimulationBuilder::telemetry`]). First-class replacement for
-    /// the deprecated `MIDDLE_TELEMETRY_JSONL` environment variable.
+    /// the removed `MIDDLE_TELEMETRY_JSONL` environment variable.
     pub fn telemetry_jsonl(mut self, path: impl Into<String>) -> Self {
         self.telemetry_jsonl = Some(path.into());
         self

@@ -195,6 +195,12 @@ pub struct SimCheckpoint {
     /// residuals); `None` when compression is off or lossless.
     #[serde(default)]
     pub compression: Option<CompressionPlaneCheckpoint>,
+    /// Cross-round algorithm-policy state (FedFly in-flight set,
+    /// FedLECC cluster assignment); `None` for stateless algorithms —
+    /// including every pre-policy-API one, keeping their serialisation
+    /// byte-identical to older checkpoints.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub algorithm: Option<crate::algorithms::AlgorithmState>,
     /// Communication ledger so far.
     pub comm: CommStats,
     /// Cloud synchronisations so far.

@@ -74,6 +74,14 @@ pub struct CommStats {
     /// Wire bytes of all cloud → device broadcasts (always dense).
     #[serde(default)]
     pub cloud_to_device_bytes: u64,
+    /// Edge → edge in-flight update hand-offs (FedFly migration: one
+    /// per device that moved edges while its last uploaded update was
+    /// still in flight). Zero for every non-migrating algorithm.
+    #[serde(default)]
+    pub edge_to_edge: u64,
+    /// Wire bytes of all edge → edge hand-offs (always dense).
+    #[serde(default)]
+    pub edge_to_edge_bytes: u64,
 }
 
 impl CommStats {
@@ -82,9 +90,10 @@ impl CommStats {
         self.edge_to_device + self.device_to_edge + self.cloud_to_device
     }
 
-    /// Total transmissions over the edge-cloud WAN.
+    /// Total transmissions over the edge-cloud WAN; edge → edge
+    /// hand-offs ride the same inter-edge backhaul and are grouped here.
     pub fn wan_total(&self) -> u64 {
-        self.edge_to_cloud + self.cloud_to_edge
+        self.edge_to_cloud + self.cloud_to_edge + self.edge_to_edge
     }
 
     /// Total transmissions.
@@ -114,9 +123,10 @@ impl CommStats {
         self.edge_to_device_bytes + self.device_to_edge_bytes + self.cloud_to_device_bytes
     }
 
-    /// Exact wire bytes moved over the edge-cloud WAN.
+    /// Exact wire bytes moved over the edge-cloud WAN (including
+    /// edge → edge hand-offs on the inter-edge backhaul).
     pub fn wan_bytes(&self) -> u64 {
-        self.edge_to_cloud_bytes + self.cloud_to_edge_bytes
+        self.edge_to_cloud_bytes + self.cloud_to_edge_bytes + self.edge_to_edge_bytes
     }
 
     /// Exact wire bytes moved on the two uplink classes the compression
@@ -210,6 +220,8 @@ impl CommStats {
         self.edge_to_cloud_bytes += other.edge_to_cloud_bytes;
         self.cloud_to_edge_bytes += other.cloud_to_edge_bytes;
         self.cloud_to_device_bytes += other.cloud_to_device_bytes;
+        self.edge_to_edge += other.edge_to_edge;
+        self.edge_to_edge_bytes += other.edge_to_edge_bytes;
     }
 }
 
@@ -351,6 +363,23 @@ mod tests {
         assert_eq!(s.retry_backoff_slots, 0);
         // Pre-compression records default every byte counter to zero.
         assert_eq!(s.payload_total_bytes(), 0);
+        // Pre-migration records default the edge↔edge ledger to zero.
+        assert_eq!(s.edge_to_edge, 0);
+        assert_eq!(s.edge_to_edge_bytes, 0);
+    }
+
+    #[test]
+    fn edge_to_edge_counts_toward_backhaul_totals() {
+        let mut a = CommStats {
+            edge_to_edge: 3,
+            edge_to_edge_bytes: 12,
+            ..stats()
+        };
+        assert_eq!(a.wan_total(), 7);
+        assert_eq!(a.wan_bytes(), 12);
+        a.merge(&a.clone());
+        assert_eq!(a.edge_to_edge, 6);
+        assert_eq!(a.edge_to_edge_bytes, 24);
     }
 
     #[test]

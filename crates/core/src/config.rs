@@ -283,6 +283,11 @@ impl SimConfig {
         }
         self.faults.validate()?;
         self.compression.validate()?;
+        if let crate::SelectionPolicy::ClusterGuided { clusters } = self.algorithm.selection {
+            if clusters == 0 {
+                return Err("ClusterGuided selection needs at least one cluster".into());
+            }
+        }
         if self.telemetry_jsonl.as_deref() == Some("") {
             return Err("telemetry_jsonl path must be non-empty".into());
         }

@@ -32,8 +32,9 @@
 //! * [`aggregation`] — on-device aggregation (Eq. 9) + edge/cloud FedAvg
 //!   (Eqs. 6–7);
 //! * [`selection`] — in-edge device selection (Eqs. 10–12) + baselines;
-//! * [`algorithms`] — MIDDLE / OORT / FedMes / Greedy / Ensemble /
-//!   HierFAVG as (selection, on-device) policy pairs;
+//! * [`algorithms`] — the algorithm zoo (MIDDLE / OORT / FedMes / Greedy
+//!   / Ensemble / HierFAVG / FedFly / FedLECC / Random) behind the
+//!   [`AlgorithmConfig`] → [`algorithms::AlgorithmPolicy`] policy API;
 //! * [`device`], [`sim`] — mobile devices and the Algorithm 1 loop,
 //!   Rayon-parallel across devices;
 //! * [`config`], [`metrics`] — experiment configs and run records
@@ -70,7 +71,10 @@ pub mod sweep;
 pub mod telemetry;
 pub mod theory;
 
-pub use algorithms::{Algorithm, OnDevicePolicy, SelectionPolicy};
+pub use algorithms::{
+    Algorithm, AlgorithmConfig, AlgorithmPolicy, AlgorithmState, MoveAction, OnDevicePolicy,
+    SelectionPolicy,
+};
 pub use builder::{input_key, InputCache, SharedInputs, SimError, SimulationBuilder};
 pub use checkpoint::{config_digest, SimCheckpoint, SIM_CHECKPOINT_SCHEMA_VERSION};
 pub use checkpoint::{seal_json, unseal_json};

@@ -44,6 +44,12 @@ pub struct CandidateScorers<'a> {
     /// The Oort statistical utility for device `m` (`+inf` when the
     /// device has never trained).
     pub oort: &'a (dyn Fn(usize) -> f32 + Sync),
+    /// The loss-ranked cluster of device `m`, supplied by a
+    /// cluster-carrying [`crate::algorithms::AlgorithmPolicy`] when the
+    /// policy is [`SelectionPolicy::ClusterGuided`]. `None` collapses
+    /// every candidate into one cluster, degrading cluster-guided
+    /// selection to a plain Oort-utility top-k.
+    pub cluster: Option<&'a (dyn Fn(usize) -> u32 + Sync)>,
 }
 
 /// Selects up to `k` devices from `candidates` (indices into `devices`)
@@ -106,6 +112,7 @@ pub fn select_devices_into(
         &CandidateScorers {
             similarity: &similarity,
             oort: &oort,
+            cluster: None,
         },
         rng,
         scratch,
@@ -154,16 +161,21 @@ pub fn select_devices_scored(
                 slot.0 = (scorers.similarity)(slot.2);
             });
         }
-        SelectionPolicy::OortUtility => {
-            // Never-trained devices get +inf utility: Oort-style
-            // exploration of fresh clients, required here because moved
-            // devices have no history at the new edge.
+        // Never-trained devices get +inf utility: Oort-style
+        // exploration of fresh clients, required here because moved
+        // devices have no history at the new edge. Cluster-guided
+        // selection ranks by the same utility within each cluster.
+        SelectionPolicy::OortUtility | SelectionPolicy::ClusterGuided { .. } => {
             scored.par_iter_mut().for_each(|slot| {
                 slot.0 = (scorers.oort)(slot.2);
             });
         }
     }
-    top_k_into(scored, k, out);
+    if matches!(policy, SelectionPolicy::ClusterGuided { .. }) {
+        cluster_round_robin_into(scored, scorers.cluster, k, out);
+    } else {
+        top_k_into(scored, k, out);
+    }
 }
 
 /// The MIDDLE selection criterion `U(w_c, Δw_m)` with `Δw_m = w_m − w_c`
@@ -238,6 +250,7 @@ pub fn select_devices_reference(
         &CandidateScorers {
             similarity: &similarity,
             oort: &oort,
+            cluster: None,
         },
         rng,
     )
@@ -275,6 +288,18 @@ pub fn select_devices_reference_scored(
         SelectionPolicy::LeastSimilarUpdate => top_k_by(&|m| -(scorers.similarity)(m), rng),
         SelectionPolicy::MostSimilarUpdate => top_k_by(&|m| (scorers.similarity)(m), rng),
         SelectionPolicy::OortUtility => top_k_by(&|m| (scorers.oort)(m), rng),
+        SelectionPolicy::ClusterGuided { .. } => {
+            // Same serial key draws as `top_k_by`, then the *shared*
+            // round-robin cut — the fast path calls the identical
+            // function, so fast == reference holds by construction.
+            let mut scored: Vec<(f32, u32, usize)> = candidates
+                .iter()
+                .map(|&m| ((scorers.oort)(m), rng.gen::<u32>(), m))
+                .collect();
+            let mut out = Vec::new();
+            cluster_round_robin_into(&mut scored, scorers.cluster, k, &mut out);
+            out
+        }
     }
 }
 
@@ -296,6 +321,62 @@ fn top_k_into(scored: &mut [(f32, u32, usize)], k: usize, out: &mut Vec<usize>) 
     let winners = &mut scored[..k];
     winners.sort_unstable_by(cmp);
     out.extend(winners.iter().map(|&(_, _, m)| m));
+}
+
+/// FedLECC-style cluster-guided cut ([`SelectionPolicy::ClusterGuided`]):
+/// rank every candidate by (score desc, key, id) — the same total order
+/// as [`top_k_into`] — then take each cluster's best remaining candidate
+/// round-robin (ascending cluster id) until `k` are selected, so every
+/// loss stratum stays represented even when one cluster dominates the
+/// raw top-k.
+///
+/// Shared verbatim by the fast and reference selection paths: both draw
+/// tie-break keys serially in candidate order and then call this, so the
+/// two are identical by construction. Allocates (it is not on the
+/// MIDDLE hot path).
+fn cluster_round_robin_into(
+    scored: &mut [(f32, u32, usize)],
+    cluster: Option<&(dyn Fn(usize) -> u32 + Sync)>,
+    k: usize,
+    out: &mut Vec<usize>,
+) {
+    debug_assert!(k < scored.len(), "caller handles the select-all case");
+    let cmp = |a: &(f32, u32, usize), b: &(f32, u32, usize)| {
+        b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+    };
+    scored.sort_unstable_by(cmp);
+    let single = |_: usize| 0u32;
+    let cluster: &(dyn Fn(usize) -> u32 + Sync) = match cluster {
+        Some(c) => c,
+        None => &single,
+    };
+    // Bucket candidates by cluster id (ascending), preserving the score
+    // order within each bucket.
+    let mut buckets: Vec<(u32, Vec<usize>)> = Vec::new();
+    for &(_, _, m) in scored.iter() {
+        let c = cluster(m);
+        match buckets.binary_search_by_key(&c, |b| b.0) {
+            Ok(i) => buckets[i].1.push(m),
+            Err(i) => buckets.insert(i, (c, vec![m])),
+        }
+    }
+    let mut cursors = vec![0usize; buckets.len()];
+    while out.len() < k {
+        let before = out.len();
+        for (i, (_, members)) in buckets.iter().enumerate() {
+            if out.len() == k {
+                break;
+            }
+            if cursors[i] < members.len() {
+                out.push(members[cursors[i]]);
+                cursors[i] += 1;
+            }
+        }
+        debug_assert!(out.len() > before, "ran out of candidates before k");
+        if out.len() == before {
+            break;
+        }
+    }
 }
 
 /// Uniform sample of `k` distinct items (partial Fisher–Yates) appended
@@ -390,6 +471,71 @@ mod tests {
             &mut rng(3),
         );
         assert_eq!(sel, vec![2, 1]);
+    }
+
+    #[test]
+    fn cluster_guided_takes_each_clusters_best_round_robin() {
+        // Utilities rank cluster 0 (devices 0–2) strictly above
+        // cluster 1 (devices 3–5); a plain top-k would be all of
+        // cluster 0 plus one, the round-robin must alternate.
+        let util = [9.0f32, 8.0, 7.0, 1.0, 2.0, 3.0];
+        let similarity = |_: usize| 0.0f32;
+        let oort = move |m: usize| util[m];
+        let cluster = |m: usize| u32::from(m >= 3);
+        let scorers = CandidateScorers {
+            similarity: &similarity,
+            oort: &oort,
+            cluster: Some(&cluster),
+        };
+        let cands: Vec<usize> = (0..6).collect();
+        let mut scratch = SelectionScratch::new();
+        let mut out = Vec::new();
+        select_devices_scored(
+            SelectionPolicy::ClusterGuided { clusters: 2 },
+            4,
+            &cands,
+            &scorers,
+            &mut rng(3),
+            &mut scratch,
+            &mut out,
+        );
+        assert_eq!(out, vec![0, 5, 1, 4]);
+    }
+
+    #[test]
+    fn cluster_guided_fast_matches_reference() {
+        let util = [4.0f32, 4.0, 4.0, 2.0, 2.0, 9.0, 1.0, 0.5];
+        let similarity = |_: usize| 0.0f32;
+        let oort = move |m: usize| util[m];
+        let cluster = |m: usize| (m % 3) as u32;
+        let scorers = CandidateScorers {
+            similarity: &similarity,
+            oort: &oort,
+            cluster: Some(&cluster),
+        };
+        let cands: Vec<usize> = (0..8).collect();
+        for k in [1, 3, 5, 7] {
+            let mut scratch = SelectionScratch::new();
+            let mut fast = Vec::new();
+            select_devices_scored(
+                SelectionPolicy::ClusterGuided { clusters: 3 },
+                k,
+                &cands,
+                &scorers,
+                &mut rng(17),
+                &mut scratch,
+                &mut fast,
+            );
+            let slow = select_devices_reference_scored(
+                SelectionPolicy::ClusterGuided { clusters: 3 },
+                k,
+                &cands,
+                &scorers,
+                &mut rng(17),
+            );
+            assert_eq!(fast, slow, "k={k}");
+            assert_eq!(fast.len(), k);
+        }
     }
 
     #[test]

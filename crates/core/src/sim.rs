@@ -17,6 +17,7 @@ use crate::aggregation::{
     cloud_aggregate, cloud_aggregate_into, edge_aggregate, edge_aggregate_into, on_device_init,
     on_device_init_into,
 };
+use crate::algorithms::{AlgorithmPolicy, MoveAction};
 use crate::builder::{SharedInputs, SimError, SimulationBuilder};
 use crate::checkpoint::{
     config_digest, DeviceCheckpoint, EdgeCheckpoint, FaultPlaneCheckpoint, RngStateCheckpoint,
@@ -199,6 +200,12 @@ pub struct Simulation {
     active_steps: u64,
     telemetry: Telemetry,
     faults: FaultPlane,
+    // The resolved algorithm-policy object ([`SimConfig::algorithm`]
+    // via `AlgorithmConfig::resolve`): selection source, on-move
+    // verdicts and any cross-round state. Both step implementations
+    // drive it through the same hooks at the same points, so stateful
+    // algorithms evolve identically in fast and reference mode.
+    policy: Box<dyn AlgorithmPolicy>,
     // Uplink compression (quantization + top-K sparsification with
     // error feedback) and its aggregation scratch buffer. Inert — no
     // draws, no residuals, dense byte accounting — unless the config
@@ -246,6 +253,10 @@ impl Simulation {
     ///
     /// # Panics
     /// Panics when the configuration fails [`SimConfig::validate`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SimulationBuilder::new(config).build() and handle the Result"
+    )]
     pub fn new(config: SimConfig) -> Self {
         match SimulationBuilder::new(config).build() {
             Ok(sim) => sim,
@@ -262,6 +273,10 @@ impl Simulation {
     /// # Panics
     /// Panics when the trace's device/edge counts or horizon disagree
     /// with the configuration.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SimulationBuilder::new(config).with_trace(trace).build() and handle the Result"
+    )]
     pub fn with_trace(config: SimConfig, trace: Trace) -> Self {
         match SimulationBuilder::new(config).with_trace(trace).build() {
             Ok(sim) => sim,
@@ -293,6 +308,7 @@ impl Simulation {
         let participating = vec![false; config.num_devices];
         let telemetry = Telemetry::from_config(&config);
         let faults = FaultPlane::new(config.faults, config.num_devices, seed);
+        let policy = config.algorithm.resolve(config.num_devices);
         let compression = CompressionPlane::new(
             config.compression.clone(),
             config.num_devices,
@@ -314,6 +330,7 @@ impl Simulation {
             active_steps: 0,
             telemetry,
             faults,
+            policy,
             compression,
             agg_scratch: Vec::new(),
             cloud_flat,
@@ -458,6 +475,10 @@ impl Simulation {
             self.comm.stale_uploads += 1;
             probe.uploads(1);
             probe.stale_merge();
+            // A stale merge is still an edge aggregation of this
+            // device's update, so stateful algorithms observe it.
+            self.policy
+                .after_edge_aggregate(p.edge, std::slice::from_ref(&p.device));
         }
         self.faults.advance_dropout();
         probe.stop(Phase::FaultRecovery);
@@ -611,6 +632,7 @@ impl Simulation {
                 edge_of: &self.index.cur,
             },
         );
+        self.policy.after_cloud_sync(Some(wan_up), &self.index.cur);
         probe.stop(Phase::CloudSync);
         true
     }
@@ -651,6 +673,7 @@ impl Simulation {
             let norm_sq = dot_slices(&self.agg_scratch, &self.agg_scratch);
             self.edges[n].load_flat(&self.agg_scratch, norm_sq);
             self.edges[n].window_samples += total as f64;
+            self.policy.after_edge_aggregate(n, cohort);
         }
         probe.stop(Phase::Compress);
     }
@@ -726,6 +749,7 @@ impl Simulation {
                 None => Reached::All,
             },
         );
+        self.policy.after_cloud_sync(wan_up, &self.index.cur);
         probe.stop(Phase::CloudSync);
     }
 
@@ -753,7 +777,6 @@ impl Simulation {
     /// equivalence tests pin the two together.
     pub fn step(&mut self, t: usize) {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
-        let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
         let mut probe = self.telemetry.begin_step();
         self.index.build(&self.trace, t, self.edges.len());
         self.fault_step_begin(&mut probe);
@@ -762,7 +785,7 @@ impl Simulation {
         // score bitwise, exactly as idle dense devices holding the same
         // broadcast would.
         if matches!(
-            self.config.algorithm.selection,
+            self.policy.selection(),
             SelectionPolicy::LeastSimilarUpdate | SelectionPolicy::MostSimilarUpdate
         ) {
             let mut scores = std::mem::take(&mut self.version_scores);
@@ -812,13 +835,16 @@ impl Simulation {
                     DeviceRef::Stub(v) => version_scores[v as usize],
                 };
                 let oort = |m: usize| population.oort_utility(m).unwrap_or(f32::INFINITY);
+                let policy = &self.policy;
+                let cluster = |m: usize| policy.cluster_of(m);
                 select_devices_scored(
-                    self.config.algorithm.selection,
+                    policy.selection(),
                     self.config.devices_per_edge,
                     &self.candidates,
                     &CandidateScorers {
                         similarity: &similarity,
                         oort: &oort,
+                        cluster: Some(&cluster),
                     },
                     &mut self.rng,
                     &mut self.selection_scratch,
@@ -843,6 +869,7 @@ impl Simulation {
                 probe.uploads(selected.len() as u64);
             }
             let mut downloads = 0u64;
+            let mut migrations = 0u64;
             let edge = &self.edges[n];
             for &m in selected {
                 // A selected device must be materialised before its
@@ -851,16 +878,24 @@ impl Simulation {
                 self.population.ensure_resident(m);
                 if self.index.moved(m) {
                     probe.moved_init();
-                    if !keep_local {
-                        downloads += 1;
+                    match self.policy.on_move(m, self.index.prev[m], n) {
+                        MoveAction::Blend(on_device) => {
+                            if !matches!(on_device, OnDevicePolicy::KeepLocal) {
+                                downloads += 1;
+                            }
+                            on_device_init_into(
+                                on_device,
+                                self.population.get_mut(m),
+                                &edge.model,
+                                edge.flat(),
+                                edge.flat_norm_sq(),
+                            );
+                        }
+                        // FedFly hand-off: the carried model continues
+                        // untouched while the in-flight update rides the
+                        // inter-edge backhaul (charged below).
+                        MoveAction::Migrate => migrations += 1,
                     }
-                    on_device_init_into(
-                        self.config.algorithm.on_device,
-                        self.population.get_mut(m),
-                        &edge.model,
-                        edge.flat(),
-                        edge.flat_norm_sq(),
-                    );
                 } else {
                     downloads += 1;
                     self.population
@@ -872,6 +907,8 @@ impl Simulation {
             }
             self.comm.edge_to_device += downloads;
             self.comm.edge_to_device_bytes += downloads * self.compression.dense_payload_bytes();
+            self.comm.edge_to_edge += migrations;
+            self.comm.edge_to_edge_bytes += migrations * self.compression.dense_payload_bytes();
             probe.downloads(downloads);
             probe.stop(Phase::DeviceInit);
         }
@@ -898,7 +935,14 @@ impl Simulation {
         participants.par_iter_mut().for_each(|dev| {
             dev.local_train(local_steps, batch_size, &optimizer, t);
         });
+        drop(participants);
         probe.stop(Phase::LocalTraining);
+        {
+            let population = &self.population;
+            let utility = |m: usize| population.oort_utility(m);
+            self.policy
+                .observe_participants(&self.participants, &utility);
+        }
 
         // Fault plane: run every upload through the deadline and
         // loss/retry processes, producing the delivered cohorts.
@@ -948,6 +992,11 @@ impl Simulation {
                     .sum::<usize>() as f64;
                 edge.refresh_flat();
             }
+            for (n, cohort) in cohorts.iter().enumerate() {
+                if !cohort.is_empty() {
+                    self.policy.after_edge_aggregate(n, cohort);
+                }
+            }
             probe.stop(Phase::EdgeAggregation);
         }
 
@@ -987,6 +1036,7 @@ impl Simulation {
                 edge.window_samples = 0.0;
             }
             self.population.apply_broadcast(flat, norm_sq, Reached::All);
+            self.policy.after_cloud_sync(None, &self.index.cur);
             probe.stop(Phase::CloudSync);
             true
         } else {
@@ -1005,7 +1055,6 @@ impl Simulation {
     /// [`StepMode::Reference`].
     fn step_reference(&mut self, t: usize) {
         assert!(t < self.trace.steps(), "step beyond trace horizon");
-        let keep_local = matches!(self.config.algorithm.on_device, OnDevicePolicy::KeepLocal);
         let mut probe = self.telemetry.begin_step();
         self.index.build(&self.trace, t, self.edges.len());
         self.fault_step_begin(&mut probe);
@@ -1044,13 +1093,16 @@ impl Simulation {
                     }
                 };
                 let oort = |m: usize| population.oort_utility(m).unwrap_or(f32::INFINITY);
+                let policy = &self.policy;
+                let cluster = |m: usize| policy.cluster_of(m);
                 select_devices_reference_scored(
-                    self.config.algorithm.selection,
+                    policy.selection(),
                     self.config.devices_per_edge,
                     &candidates,
                     &CandidateScorers {
                         similarity: &similarity,
                         oort: &oort,
+                        cluster: Some(&cluster),
                     },
                     &mut self.rng,
                 )
@@ -1069,18 +1121,27 @@ impl Simulation {
                 probe.uploads(selected.len() as u64);
             }
             let mut downloads = 0u64;
+            let mut migrations = 0u64;
             for &m in &selected {
                 self.population.ensure_resident(m);
                 let init = if self.index.moved(m) {
                     probe.moved_init();
-                    if !keep_local {
-                        downloads += 1;
+                    match self.policy.on_move(m, self.index.prev[m], n) {
+                        MoveAction::Blend(on_device) => {
+                            if !matches!(on_device, OnDevicePolicy::KeepLocal) {
+                                downloads += 1;
+                            }
+                            on_device_init(on_device, &edge.model, &self.population.get(m).model)
+                        }
+                        MoveAction::Migrate => {
+                            // The carried model continues untouched —
+                            // the allocating oracle stages a clone of
+                            // it, bitwise-equal to the fast path's
+                            // leave-in-place.
+                            migrations += 1;
+                            self.population.get(m).model.clone()
+                        }
                     }
-                    on_device_init(
-                        self.config.algorithm.on_device,
-                        &edge.model,
-                        &self.population.get(m).model,
-                    )
                 } else {
                     downloads += 1;
                     edge.model.clone()
@@ -1089,6 +1150,8 @@ impl Simulation {
             }
             self.comm.edge_to_device += downloads;
             self.comm.edge_to_device_bytes += downloads * self.compression.dense_payload_bytes();
+            self.comm.edge_to_edge += migrations;
+            self.comm.edge_to_edge_bytes += migrations * self.compression.dense_payload_bytes();
             probe.downloads(downloads);
             probe.stop(Phase::DeviceInit);
             selected_per_edge.push(selected);
@@ -1119,7 +1182,13 @@ impl Simulation {
                 dev.invalidate_flat();
                 dev.local_train_reference(local_steps, batch_size, &optimizer, t);
             });
+        drop(participants);
         probe.stop(Phase::LocalTraining);
+        {
+            let population = &self.population;
+            let utility = |m: usize| population.oort_utility(m);
+            self.policy.observe_participants(&ids, &utility);
+        }
 
         // Fault plane: identical upload pass (shared helper, same RNG
         // draw order) as `step`.
@@ -1161,6 +1230,7 @@ impl Simulation {
                 self.edges[n].model = edge_aggregate(&models, &counts);
                 self.edges[n].window_samples += counts.iter().sum::<usize>() as f64;
                 self.edges[n].refresh_flat();
+                self.policy.after_edge_aggregate(n, cohort);
             }
             probe.stop(Phase::EdgeAggregation);
         }
@@ -1216,6 +1286,7 @@ impl Simulation {
                 let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
                 self.population.apply_broadcast(flat, norm_sq, Reached::All);
             }
+            self.policy.after_cloud_sync(None, &self.index.cur);
             probe.stop(Phase::CloudSync);
             true
         } else {
@@ -1354,6 +1425,7 @@ impl Simulation {
                 pending: self.faults.pending().to_vec(),
             },
             compression: self.compression.state_checkpoint(),
+            algorithm: self.policy.state(),
             comm: self.comm,
             syncs: self.syncs,
             active_steps: self.active_steps,
@@ -1452,6 +1524,22 @@ impl Simulation {
             (false, Some(_)) => {
                 return Err(mismatch(
                     "checkpoint carries compression state but the plane is inert".into(),
+                ))
+            }
+        }
+        match (&ck.algorithm, self.policy.state().is_some()) {
+            (Some(state), true) => self.policy.restore_state(state).map_err(&mismatch)?,
+            (None, false) => {}
+            (Some(_), false) => {
+                return Err(mismatch(
+                    "checkpoint carries algorithm state but the configured algorithm is stateless"
+                        .into(),
+                ))
+            }
+            (None, true) => {
+                return Err(mismatch(
+                    "configured algorithm carries cross-round state but the checkpoint has none"
+                        .into(),
                 ))
             }
         }
@@ -1689,6 +1777,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "invalid SimConfig")]
+    #[allow(deprecated)]
     fn invalid_config_panics() {
         let mut cfg = SimConfig::tiny(Task::Mnist, Algorithm::middle());
         cfg.steps = 0;

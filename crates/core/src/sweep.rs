@@ -8,8 +8,9 @@
 //! turns the repo into a batch experiment service:
 //!
 //! * [`ScenarioGrid`] describes a cartesian product over `P`, `K`,
-//!   `T_c`, seeds, named [`FaultPreset`]s and named
-//!   [`CompressionPreset`]s on top of a base [`SimConfig`];
+//!   `T_c`, seeds, named [`FaultPreset`]s, named
+//!   [`CompressionPreset`]s and named [`AlgorithmConfig`]s (the
+//!   algorithm zoo) on top of a base [`SimConfig`];
 //!   [`ScenarioGrid::scenarios`] expands and validates it up front, so
 //!   a bad axis fails before any work starts.
 //! * [`run_sweep`] shards the scenarios across a deterministic
@@ -52,6 +53,7 @@
 //! `middle-sweepd` binary wraps these entry points as `worker` /
 //! `coordinator` subcommands; DESIGN.md §14 specifies the protocol.
 
+use crate::algorithms::AlgorithmConfig;
 use crate::builder::{InputCache, SimError, SimulationBuilder};
 use crate::checkpoint::{fnv1a, seal_json, unseal_json, SimCheckpoint};
 use crate::compress::CompressionConfig;
@@ -130,6 +132,8 @@ pub struct ScenarioGrid {
     seeds: Vec<u64>,
     fault_presets: Vec<FaultPreset>,
     compression_presets: Vec<CompressionPreset>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    algorithms: Vec<AlgorithmConfig>,
 }
 
 impl ScenarioGrid {
@@ -143,6 +147,7 @@ impl ScenarioGrid {
             seeds: Vec::new(),
             fault_presets: Vec::new(),
             compression_presets: Vec::new(),
+            algorithms: Vec::new(),
         }
     }
 
@@ -190,9 +195,21 @@ impl ScenarioGrid {
         self
     }
 
+    /// Sweeps named algorithms (e.g. [`AlgorithmConfig::zoo`]). An
+    /// unset axis inherits the base config's algorithm and leaves
+    /// scenario labels unchanged; swept scenarios gain an
+    /// `-a<algorithm>` label segment. Algorithms share cached inputs
+    /// across the axis — the algorithm is deliberately not part of the
+    /// input cache key.
+    pub fn with_algorithms(mut self, algorithms: impl Into<Vec<AlgorithmConfig>>) -> Self {
+        self.algorithms = algorithms.into();
+        self
+    }
+
     /// Expands the grid into its scenario list (fixed order: `P`
     /// outermost, then `K`, `T_c`, fault preset, compression preset,
-    /// seed innermost) and validates every derived configuration.
+    /// algorithm, seed innermost) and validates every derived
+    /// configuration.
     ///
     /// # Errors
     /// [`SimError::InvalidConfig`] when the mobility axis is set on a
@@ -245,57 +262,83 @@ impl ScenarioGrid {
         } else {
             self.compression_presets.iter().map(Some).collect()
         };
+        let algos: Vec<Option<&AlgorithmConfig>> = if self.algorithms.is_empty() {
+            vec![None]
+        } else {
+            self.algorithms.iter().map(Some).collect()
+        };
         let mut out = Vec::with_capacity(
-            ps.len() * ks.len() * tcs.len() * presets.len() * comps.len() * seeds.len(),
+            ps.len()
+                * ks.len()
+                * tcs.len()
+                * presets.len()
+                * comps.len()
+                * algos.len()
+                * seeds.len(),
         );
         for &p in &ps {
             for &k in &ks {
                 for &tc in &tcs {
                     for preset in &presets {
                         for &comp in &comps {
-                            for &seed in &seeds {
-                                let mut config = self.base.clone();
-                                if let Some(p) = p {
-                                    config.mobility = match config.mobility {
-                                        MobilitySource::MarkovHop { .. } => {
-                                            MobilitySource::MarkovHop { p }
-                                        }
-                                        MobilitySource::HomedMarkovHop { home_bias, .. } => {
-                                            MobilitySource::HomedMarkovHop { p, home_bias }
-                                        }
-                                        other => other,
-                                    };
-                                }
-                                config.devices_per_edge = k;
-                                config.cloud_interval = tc;
-                                config.seed = seed;
-                                config.faults = preset.faults;
-                                if let Some(comp) = comp {
-                                    config.compression = comp.compression.clone();
-                                }
-                                let c = comp.map(|c| format!("-c{}", c.name)).unwrap_or_default();
-                                let label = match p {
-                                    Some(p) => {
-                                        format!("p{p}-k{k}-tc{tc}-{}{c}-s{seed}", preset.name)
+                            for &algo in &algos {
+                                for &seed in &seeds {
+                                    let mut config = self.base.clone();
+                                    if let Some(p) = p {
+                                        config.mobility = match config.mobility {
+                                            MobilitySource::MarkovHop { .. } => {
+                                                MobilitySource::MarkovHop { p }
+                                            }
+                                            MobilitySource::HomedMarkovHop {
+                                                home_bias, ..
+                                            } => MobilitySource::HomedMarkovHop { p, home_bias },
+                                            other => other,
+                                        };
                                     }
-                                    None => format!("k{k}-tc{tc}-{}{c}-s{seed}", preset.name),
-                                };
-                                config
-                                    .validate()
-                                    .map_err(|message| SimError::InvalidConfig {
-                                        message: format!("scenario {label}: {message}"),
+                                    config.devices_per_edge = k;
+                                    config.cloud_interval = tc;
+                                    config.seed = seed;
+                                    config.faults = preset.faults;
+                                    if let Some(comp) = comp {
+                                        config.compression = comp.compression.clone();
+                                    }
+                                    if let Some(algo) = algo {
+                                        config.algorithm = algo.clone();
+                                    }
+                                    let c =
+                                        comp.map(|c| format!("-c{}", c.name)).unwrap_or_default();
+                                    let a = algo
+                                        .map(|a| format!("-a{}", a.name.to_lowercase()))
+                                        .unwrap_or_default();
+                                    let label = match p {
+                                        Some(p) => {
+                                            format!(
+                                                "p{p}-k{k}-tc{tc}-{}{c}{a}-s{seed}",
+                                                preset.name
+                                            )
+                                        }
+                                        None => {
+                                            format!("k{k}-tc{tc}-{}{c}{a}-s{seed}", preset.name)
+                                        }
+                                    };
+                                    config.validate().map_err(|message| {
+                                        SimError::InvalidConfig {
+                                            message: format!("scenario {label}: {message}"),
+                                        }
                                     })?;
-                                out.push(Scenario {
-                                    index: out.len(),
-                                    label,
-                                    p,
-                                    k,
-                                    sync_period: tc,
-                                    seed,
-                                    preset: preset.name.clone(),
-                                    compression: comp.map(|c| c.name.clone()),
-                                    config,
-                                });
+                                    out.push(Scenario {
+                                        index: out.len(),
+                                        label,
+                                        p,
+                                        k,
+                                        sync_period: tc,
+                                        seed,
+                                        preset: preset.name.clone(),
+                                        compression: comp.map(|c| c.name.clone()),
+                                        algorithm: algo.map(|a| a.name.clone()),
+                                        config,
+                                    });
+                                }
                             }
                         }
                     }
@@ -351,6 +394,8 @@ pub struct Scenario {
     pub preset: String,
     /// Compression preset name (`None` when the axis was not swept).
     pub compression: Option<String>,
+    /// Algorithm name (`None` when the axis was not swept).
+    pub algorithm: Option<String>,
     /// The fully derived, validated configuration.
     pub config: SimConfig,
 }
@@ -409,6 +454,9 @@ pub struct ScenarioRecord {
     /// Compression preset name, when swept.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub compression: Option<String>,
+    /// Algorithm name, when swept.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub algorithm: Option<String>,
     /// The run's measured output.
     pub record: RunRecord,
 }
@@ -431,6 +479,9 @@ pub struct AggregatePoint {
     /// Compression preset name, when swept.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub compression: Option<String>,
+    /// Algorithm name, when swept.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub algorithm: Option<String>,
     /// Seeds aggregated.
     pub seeds: usize,
     /// Mean final accuracy across seeds.
@@ -698,9 +749,14 @@ fn aggregate(records: &[ScenarioRecord]) -> Vec<AggregatePoint> {
             .as_ref()
             .map(|c| format!("-c{c}"))
             .unwrap_or_default();
+        let a = r
+            .algorithm
+            .as_ref()
+            .map(|a| format!("-a{}", a.to_lowercase()))
+            .unwrap_or_default();
         let key = match r.p {
-            Some(p) => format!("p{p}-k{}-tc{}-{}{c}", r.k, r.sync_period, r.preset),
-            None => format!("k{}-tc{}-{}{c}", r.k, r.sync_period, r.preset),
+            Some(p) => format!("p{p}-k{}-tc{}-{}{c}{a}", r.k, r.sync_period, r.preset),
+            None => format!("k{}-tc{}-{}{c}{a}", r.k, r.sync_period, r.preset),
         };
         match cells.iter_mut().find(|(k, _)| *k == key) {
             Some((_, members)) => members.push(r),
@@ -728,6 +784,7 @@ fn aggregate(records: &[ScenarioRecord]) -> Vec<AggregatePoint> {
                 sync_period: first.sync_period,
                 preset: first.preset.clone(),
                 compression: first.compression.clone(),
+                algorithm: first.algorithm.clone(),
                 seeds: members.len(),
                 final_mean,
                 final_std,
@@ -915,6 +972,7 @@ fn run_scenario(
         seed: scenario.seed,
         preset: scenario.preset.clone(),
         compression: scenario.compression.clone(),
+        algorithm: scenario.algorithm.clone(),
         record,
     })
 }
@@ -1288,6 +1346,7 @@ fn run_leased_scenario(
         seed: scenario.seed,
         preset: scenario.preset.clone(),
         compression: scenario.compression.clone(),
+        algorithm: scenario.algorithm.clone(),
         record: sim.finish(),
     };
     append_jsonl(&ctx.jsonl, &record)?;
@@ -1307,7 +1366,7 @@ fn run_leased_scenario(
 /// Runs a fleet worker process (or thread) to grid completion.
 ///
 /// The worker loops: claim a shard lease from the shared ledger
-/// ([`claim_shard`] rejects duplicate claims on live leases and
+/// (`claim_shard` rejects duplicate claims on live leases and
 /// reclaims expired ones), run the shard's pending scenarios with
 /// heartbeat renewal and periodic checkpoints, stream each completed
 /// [`ScenarioRecord`] to `worker_<id>.jsonl`, record it in the ledger,
@@ -1614,6 +1673,69 @@ mod tests {
     }
 
     #[test]
+    fn algorithm_axis_expands_and_labels_scenarios() {
+        let grid = ScenarioGrid::new(tiny())
+            .with_algorithms([Algorithm::middle(), Algorithm::fedfly()])
+            .with_seeds([7u64, 8]);
+        let scenarios = grid.scenarios().unwrap();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(scenarios[0].label, "k2-tc4-base-amiddle-s7");
+        assert_eq!(scenarios[0].algorithm.as_deref(), Some("MIDDLE"));
+        assert_eq!(scenarios[0].config.algorithm, Algorithm::middle());
+        assert_eq!(scenarios[2].label, "k2-tc4-base-afedfly-s7");
+        assert_eq!(scenarios[2].algorithm.as_deref(), Some("FedFly"));
+        assert!(scenarios[2].config.algorithm.migrate_in_flight);
+        // Seed stays the innermost axis, inside the algorithm axis.
+        assert_eq!(scenarios[1].label, "k2-tc4-base-amiddle-s8");
+        // An unset axis leaves labels and records untouched.
+        let plain = ScenarioGrid::new(tiny()).scenarios().unwrap();
+        assert_eq!(plain[0].label, "k2-tc4-base-s7");
+        assert_eq!(plain[0].algorithm, None);
+        assert_eq!(plain[0].config.algorithm, tiny().algorithm);
+    }
+
+    #[test]
+    fn algorithm_cells_aggregate_separately() {
+        let mk = |algo: Option<&str>, seed: u64| ScenarioRecord {
+            index: 0,
+            label: match algo {
+                Some(a) => format!("k2-tc4-base-a{}-s{seed}", a.to_lowercase()),
+                None => format!("k2-tc4-base-s{seed}"),
+            },
+            p: None,
+            k: 2,
+            sync_period: 4,
+            seed,
+            preset: "base".to_string(),
+            compression: None,
+            algorithm: algo.map(str::to_string),
+            record: RunRecord {
+                schema_version: RUN_RECORD_SCHEMA_VERSION,
+                algorithm: algo.unwrap_or("MIDDLE").to_string(),
+                task: "mnist".to_string(),
+                points: Vec::new(),
+                empirical_mobility: 0.5,
+                wall_seconds: 0.0,
+                comm: CommStats::default(),
+                syncs: 0,
+                active_steps: 0,
+                param_count: 0,
+                telemetry: None,
+            },
+        };
+        let records = vec![
+            mk(Some("MIDDLE"), 7),
+            mk(Some("MIDDLE"), 8),
+            mk(Some("FedFly"), 7),
+        ];
+        let aggs = aggregate(&records);
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].label, "k2-tc4-base-amiddle");
+        assert_eq!(aggs[0].seeds, 2);
+        assert_eq!(aggs[1].algorithm.as_deref(), Some("FedFly"));
+    }
+
+    #[test]
     fn mobility_axis_rejects_bases_without_a_p_knob() {
         let mut cfg = tiny();
         cfg.mobility = MobilitySource::Stationary;
@@ -1687,6 +1809,7 @@ mod tests {
             seed: 7,
             preset: "base".to_string(),
             compression: None,
+            algorithm: None,
             record: RunRecord {
                 schema_version: RUN_RECORD_SCHEMA_VERSION,
                 algorithm: "MIDDLE".to_string(),
@@ -1738,6 +1861,7 @@ mod tests {
             seed,
             preset: "base".to_string(),
             compression: None,
+            algorithm: None,
             record: RunRecord {
                 schema_version: crate::metrics::RUN_RECORD_SCHEMA_VERSION,
                 algorithm: "MIDDLE".to_string(),

@@ -10,10 +10,13 @@
 #   BENCH_train.json        .<kernel>.speedup           higher is better
 #   BENCH_scale_smoke.json  .[cell].peak_rss_mb and
 #                           .[cell].peak_resident       lower is better
+#   BENCH_algos.json        every (algorithm, regime) cell present,
+#                           .final_accuracy             higher is better
 #
 # Tolerances (fractional, overridable for noisy runners):
 #   MIDDLE_BENCH_TOL_SPEEDUP   default 0.50  (fresh >= base * (1 - tol))
 #   MIDDLE_BENCH_TOL_MEM       default 0.40  (fresh <= base * (1 + tol))
+#   MIDDLE_BENCH_TOL_ACC       default 0.50  (fresh >= base * (1 - tol))
 #
 #   scripts/bench_compare.sh
 #
@@ -28,7 +31,7 @@ WORK="$(mktemp -d "${TMPDIR:-/tmp}/middle_bench_compare.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT
 
 echo "==> baselines from HEAD"
-for f in BENCH_sweep.json BENCH_train.json BENCH_scale_smoke.json; do
+for f in BENCH_sweep.json BENCH_train.json BENCH_scale_smoke.json BENCH_algos.json; do
     # HEAD first; fall back to the staged copy so the gate works in the
     # commit that first introduces a baseline.
     if ! git show "HEAD:$f" >"$WORK/base_$f" 2>/dev/null \
@@ -38,7 +41,7 @@ for f in BENCH_sweep.json BENCH_train.json BENCH_scale_smoke.json; do
     fi
 done
 
-echo "==> fresh smoke runs (sweep, train_kernels, scale_sweep)"
+echo "==> fresh smoke runs (sweep, train_kernels, scale_sweep, algos_sweep)"
 cargo run -q -p middle-bench --release --bin sweep -- --smoke "$WORK/BENCH_sweep.json"
 # train_kernels reads the committed numbers from its out path before
 # overwriting it (its own internal smoke gate) — seed it with the
@@ -48,6 +51,7 @@ cargo run -q -p middle-bench --release --bin train_kernels -- --smoke "$WORK/BEN
 # scale_sweep writes BENCH_scale_smoke.json into its CWD.
 (cd "$WORK" && cargo run -q -p middle-bench --release \
     --manifest-path "$ROOT/Cargo.toml" --bin scale_sweep -- --smoke)
+cargo run -q -p middle-bench --release --bin algos_sweep -- --smoke "$WORK/BENCH_algos.json"
 
 echo "==> comparing gated metrics"
 WORK="$WORK" python3 - <<'PY'
@@ -58,6 +62,7 @@ import sys
 work = os.environ["WORK"]
 tol_speedup = float(os.environ.get("MIDDLE_BENCH_TOL_SPEEDUP", "0.50"))
 tol_mem = float(os.environ.get("MIDDLE_BENCH_TOL_MEM", "0.40"))
+tol_acc = float(os.environ.get("MIDDLE_BENCH_TOL_ACC", "0.50"))
 failures = []
 
 
@@ -109,6 +114,18 @@ for cell in scale_base:
         continue
     gate_lower(f"{label}.peak_rss_mb", cell["peak_rss_mb"], fresh["peak_rss_mb"], tol_mem)
     gate_lower(f"{label}.peak_resident", cell["peak_resident"], fresh["peak_resident"], tol_mem)
+
+algos_base = load("BENCH_algos.json", fresh=False)
+algos_fresh = load("BENCH_algos.json")
+akey = lambda c: (c["algorithm"], c["regime"])
+afresh = {akey(c): c for c in algos_fresh["cells"]}
+for cell in algos_base["cells"]:
+    label = f"algos.{cell['algorithm']}.{cell['regime']}"
+    fresh = afresh.get(akey(cell))
+    if fresh is None:
+        failures.append(f"{label} (missing from fresh run)")
+        continue
+    gate_higher(f"{label}.final_accuracy", cell["final_accuracy"], fresh["final_accuracy"], tol_acc)
 
 if failures:
     print(f"\nbench_compare: {len(failures)} gated metric(s) regressed beyond tolerance:")

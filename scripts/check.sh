@@ -83,6 +83,9 @@ if [[ "$CI" -eq 1 ]]; then
     echo "==> population-scale smoke run (dense/lazy pair, writes BENCH_scale_smoke.json)"
     cargo run -q -p middle-bench --release --bin scale_sweep -- --smoke
 
+    echo "==> algorithm-zoo smoke run (zoo x {clean,hostile}, writes BENCH_algos.json)"
+    cargo run -q -p middle-bench --release --bin algos_sweep -- --smoke
+
     echo "==> fleet smoke (3 workers, SIGKILL one, bitwise merge vs serial)"
     scripts/fleet_smoke.sh
 

@@ -29,8 +29,9 @@ pub use middle_tensor as tensor;
 /// The most common imports in one place.
 pub mod prelude {
     pub use middle_core::{
-        Algorithm, CompressionConfig, DelayModel, DropoutModel, FaultConfig, MobilitySource,
-        PopulationMode, RunRecord, SimConfig, SimError, Simulation, SimulationBuilder, StepMode,
+        Algorithm, AlgorithmConfig, AlgorithmPolicy, AlgorithmState, CompressionConfig, DelayModel,
+        DropoutModel, FaultConfig, MobilitySource, MoveAction, OnDevicePolicy, PopulationMode,
+        RunRecord, SelectionPolicy, SimConfig, SimError, Simulation, SimulationBuilder, StepMode,
     };
     pub use middle_data::{Scheme, Task};
     pub use middle_mobility::Trace;
