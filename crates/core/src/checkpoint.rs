@@ -212,6 +212,12 @@ pub struct SimCheckpoint {
     /// Telemetry event counters so far (`None` when telemetry is off;
     /// latency histograms are host wall-clock and are not captured).
     pub telemetry_counters: Option<StepCounters>,
+    /// Event-driven timeline state (pending event heap, per-edge wave
+    /// state, in-flight upload snapshots, the simulated clock as raw
+    /// `f64` bits); `None` for lockstep runs, keeping their
+    /// serialisation byte-identical to pre-timeline checkpoints.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub timeline: Option<crate::timeline::TimelineCheckpoint>,
 }
 
 impl SimCheckpoint {

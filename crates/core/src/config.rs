@@ -3,6 +3,7 @@
 use crate::algorithms::Algorithm;
 use crate::compress::CompressionConfig;
 use crate::faults::FaultConfig;
+use crate::timeline::TimelineConfig;
 use middle_data::{Scheme, Task};
 use middle_nn::OptimizerKind;
 use serde::{Deserialize, Serialize};
@@ -150,6 +151,13 @@ pub struct SimConfig {
     /// million-device populations fit in memory.
     #[serde(default)]
     pub population: PopulationMode,
+    /// Execution timeline ([`TimelineConfig`]): lockstep rounds by
+    /// default, or the event-driven scheduler with real upload
+    /// latencies, threshold aggregation and timer-driven cloud syncs.
+    /// The zero-delay event-driven corner reproduces lockstep bitwise
+    /// (gated by `crates/core/tests/timeline_plane.rs`).
+    #[serde(default, skip_serializing_if = "TimelineConfig::is_default")]
+    pub timeline: TimelineConfig,
     /// Master seed; all randomness derives from it.
     pub seed: u64,
 }
@@ -193,6 +201,7 @@ impl SimConfig {
             telemetry: false,
             telemetry_jsonl: None,
             population: PopulationMode::Dense,
+            timeline: TimelineConfig::default(),
             seed: 2023,
         }
     }
@@ -224,6 +233,7 @@ impl SimConfig {
             telemetry: false,
             telemetry_jsonl: None,
             population: PopulationMode::Dense,
+            timeline: TimelineConfig::default(),
             seed: 7,
         }
     }
@@ -283,6 +293,7 @@ impl SimConfig {
         }
         self.faults.validate()?;
         self.compression.validate()?;
+        self.timeline.validate()?;
         if let crate::SelectionPolicy::ClusterGuided { clusters } = self.algorithm.selection {
             if clusters == 0 {
                 return Err("ClusterGuided selection needs at least one cluster".into());
@@ -375,6 +386,26 @@ mod tests {
             .replace("\"telemetry\":false,", "");
         let back: SimConfig = serde_json::from_str(&json).unwrap();
         assert!(!back.telemetry_enabled());
+    }
+
+    #[test]
+    fn timeline_default_is_skipped_in_json() {
+        let c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(
+            !json.contains("timeline"),
+            "default timeline must not change config JSON"
+        );
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.timeline.is_default());
+
+        let mut c = SimConfig::tiny(Task::Mnist, Algorithm::middle());
+        c.timeline = crate::timeline::TimelineConfig::event_driven_zero_delay();
+        assert!(c.validate().is_ok());
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(json.contains("EventDriven"));
+        let back: SimConfig = serde_json::from_str(&json).unwrap();
+        assert!(back.timeline.event_mode());
     }
 
     #[test]

@@ -368,12 +368,15 @@ impl FaultPlane {
         self.device_down[m]
     }
 
-    /// Samples one upload delay and compares it against the deadline.
-    /// Draws exactly one uniform when the straggler model is active,
-    /// zero otherwise.
-    pub fn misses_deadline(&mut self) -> bool {
-        let delay = match self.cfg.straggler_delay {
-            DelayModel::None => return false,
+    /// Samples one upload delay from the straggler model. Draws exactly
+    /// one uniform when the straggler model is active, zero otherwise
+    /// (returning 0.0). Lockstep compares the sample against the
+    /// deadline ([`Self::misses_deadline`]); the event-driven timeline
+    /// uses it directly as the upload's in-flight latency — both consume
+    /// the fault stream identically.
+    pub fn sample_upload_delay(&mut self) -> f64 {
+        match self.cfg.straggler_delay {
+            DelayModel::None => 0.0,
             DelayModel::Uniform { min_s, max_s } => self.rng.gen_range(min_s..=max_s),
             DelayModel::Exponential { mean_s } => {
                 let u: f64 = self.rng.gen();
@@ -383,8 +386,17 @@ impl FaultPlane {
                 let u: f64 = self.rng.gen();
                 scale_s * (1.0 - u).powf(-1.0 / shape)
             }
-        };
-        delay > self.cfg.deadline_s
+        }
+    }
+
+    /// Samples one upload delay and compares it against the deadline.
+    /// Draws exactly one uniform when the straggler model is active,
+    /// zero otherwise.
+    pub fn misses_deadline(&mut self) -> bool {
+        if matches!(self.cfg.straggler_delay, DelayModel::None) {
+            return false;
+        }
+        self.sample_upload_delay() > self.cfg.deadline_s
     }
 
     /// Runs one device's upload through the loss/retry process: the

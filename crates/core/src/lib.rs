@@ -49,6 +49,11 @@
 //!   sparsification with error feedback) and byte-accurate accounting;
 //! * [`telemetry`] — per-phase step timers, latency histograms and event
 //!   counters (no-op unless enabled in the config);
+//! * [`timeline`] — the event-driven execution mode: a deterministic
+//!   timestamped event heap where straggler delays become real upload
+//!   latencies, edges aggregate on arrival thresholds and the cloud
+//!   syncs on a timer; the zero-delay corner reproduces lockstep
+//!   bitwise;
 //! * [`theory`], [`quadratic_sim`] — the Theorem 1 bound, Remark 1, and
 //!   numerical validation on strongly-convex quadratics.
 
@@ -70,6 +75,7 @@ pub mod similarity;
 pub mod sweep;
 pub mod telemetry;
 pub mod theory;
+pub mod timeline;
 
 pub use algorithms::{
     Algorithm, AlgorithmConfig, AlgorithmPolicy, AlgorithmState, MoveAction, OnDevicePolicy,
@@ -96,3 +102,4 @@ pub use sweep::{
 };
 pub use telemetry::{Phase, StepCounters, Telemetry, TelemetryReport};
 pub use theory::{BoundParams, QuadraticProblem};
+pub use timeline::{ExecutionMode, LatencyModel, Timeline, TimelineCheckpoint, TimelineConfig};

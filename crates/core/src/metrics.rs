@@ -69,6 +69,14 @@ pub struct RunRecord {
     /// (`SimConfig::telemetry` / `telemetry_jsonl`).
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub telemetry: Option<TelemetryReport>,
+    /// Final simulated-clock reading of an event-driven run (the
+    /// timestamp of the last processed event). `None` for lockstep
+    /// runs. Deterministic — unlike `wall_seconds`, which is host
+    /// timing — but still excluded from bitwise record comparisons,
+    /// which contrast lockstep and event-driven runs whose clocks
+    /// legitimately differ.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub event_seconds: Option<f64>,
 }
 
 impl RunRecord {
@@ -219,6 +227,7 @@ mod tests {
             active_steps: 0,
             param_count: 0,
             telemetry: None,
+            event_seconds: None,
         }
     }
 

@@ -37,6 +37,7 @@ use crate::selection::{
 };
 use crate::similarity::{aggregation_weights, similarity_utility_cached};
 use crate::telemetry::{Phase, StepProbe, Telemetry};
+use crate::timeline::{ArrivalOutcome, Event, EventKind, ExecutionMode, LatencyModel, Timeline};
 use crate::{OnDevicePolicy, SelectionPolicy};
 use middle_data::partition::Partition;
 use middle_data::{Confusion, Dataset};
@@ -241,6 +242,13 @@ pub struct Simulation {
     next_step: usize,
     points: Vec<EvalPoint>,
     elapsed_seconds: f64,
+    // Event-driven execution state: the deterministic event heap plus
+    // wave/busy bookkeeping (untouched in lockstep mode), and the step
+    // probe carried across the events of the current step. The probe is
+    // host-timing scratch and is deliberately not checkpointed —
+    // checkpoints only happen between ticks, where it is `None`.
+    timeline: Timeline,
+    probe: Option<StepProbe>,
 }
 
 impl Simulation {
@@ -346,6 +354,8 @@ impl Simulation {
             next_step: 0,
             points: Vec::new(),
             elapsed_seconds: 0.0,
+            timeline: Timeline::new(config.num_edges, config.num_devices),
+            probe: None,
             config,
         }
     }
@@ -646,36 +656,44 @@ impl Simulation {
     /// while [`CompressionPlane::lossy_active`].
     fn compressed_edge_pass(&mut self, cohorts: &[Vec<usize>], probe: &mut StepProbe) {
         probe.start();
-        let len = self.cloud_flat.flat().len();
         for (n, cohort) in cohorts.iter().enumerate() {
             if cohort.is_empty() {
                 continue;
             }
-            let total: usize = cohort
-                .iter()
-                .map(|&m| self.population.get(m).num_samples())
-                .sum();
-            let total_f = total as f32;
-            self.agg_scratch.clear();
-            self.agg_scratch.resize(len, 0.0);
-            for &m in cohort {
-                let w = self.population.get(m).num_samples() as f32 / total_f;
-                let recon = self.compression.compress_device_upload(
-                    m,
-                    self.population.get(m).flat(),
-                    self.edges[n].flat(),
-                );
-                probe.compressed_uploads(1);
-                for (a, &r) in self.agg_scratch.iter_mut().zip(recon) {
-                    *a += w * r;
-                }
-            }
-            let norm_sq = dot_slices(&self.agg_scratch, &self.agg_scratch);
-            self.edges[n].load_flat(&self.agg_scratch, norm_sq);
-            self.edges[n].window_samples += total as f64;
-            self.policy.after_edge_aggregate(n, cohort);
+            self.compressed_edge_aggregate_one(n, cohort, probe);
         }
         probe.stop(Phase::Compress);
+    }
+
+    /// Aggregates one edge's cohort through the lossy compression plane
+    /// — the per-edge body of [`Simulation::compressed_edge_pass`],
+    /// also used wave-by-wave by the event engine. The caller owns the
+    /// `Phase::Compress` timing window.
+    fn compressed_edge_aggregate_one(&mut self, n: usize, cohort: &[usize], probe: &mut StepProbe) {
+        let len = self.cloud_flat.flat().len();
+        let total: usize = cohort
+            .iter()
+            .map(|&m| self.population.get(m).num_samples())
+            .sum();
+        let total_f = total as f32;
+        self.agg_scratch.clear();
+        self.agg_scratch.resize(len, 0.0);
+        for &m in cohort {
+            let w = self.population.get(m).num_samples() as f32 / total_f;
+            let recon = self.compression.compress_device_upload(
+                m,
+                self.population.get(m).flat(),
+                self.edges[n].flat(),
+            );
+            probe.compressed_uploads(1);
+            for (a, &r) in self.agg_scratch.iter_mut().zip(recon) {
+                *a += w * r;
+            }
+        }
+        let norm_sq = dot_slices(&self.agg_scratch, &self.agg_scratch);
+        self.edges[n].load_flat(&self.agg_scratch, norm_sq);
+        self.edges[n].window_samples += total as f64;
+        self.policy.after_edge_aggregate(n, cohort);
     }
 
     /// Cloud synchronisation (Eq. 7 + broadcast) through the lossy
@@ -776,14 +794,27 @@ impl Simulation {
     /// tracks `Simulation::step_reference` ([`StepMode::Reference`]); the
     /// equivalence tests pin the two together.
     pub fn step(&mut self, t: usize) {
-        assert!(t < self.trace.steps(), "step beyond trace horizon");
         let mut probe = self.telemetry.begin_step();
+        self.begin_step(t, &mut probe);
+        let active = self.phase_select_train_fast(t, &mut probe);
+        self.finish_step_fast(t, active, probe);
+    }
+
+    /// Step-begin work shared by every execution mode: rebuild the step
+    /// index for `t` and run the fault plane's begin-of-step recovery
+    /// (stale merges + dropout chains).
+    fn begin_step(&mut self, t: usize, probe: &mut StepProbe) {
+        assert!(t < self.trace.steps(), "step beyond trace horizon");
         self.index.build(&self.trace, t, self.edges.len());
-        self.fault_step_begin(&mut probe);
-        // Lazy mode scores each live broadcast version against the
-        // cloud once per step; every stub of a version then shares that
-        // score bitwise, exactly as idle dense devices holding the same
-        // broadcast would.
+        self.fault_step_begin(probe);
+    }
+
+    /// Lazy mode scores each live broadcast version against the cloud
+    /// once per step; every stub of a version then shares that score
+    /// bitwise, exactly as idle dense devices holding the same broadcast
+    /// would. No-op for selection policies that don't rank by update
+    /// similarity.
+    fn refresh_version_scores(&mut self) {
         if matches!(
             self.policy.selection(),
             SelectionPolicy::LeastSimilarUpdate | SelectionPolicy::MostSimilarUpdate
@@ -796,7 +827,16 @@ impl Simulation {
             );
             self.version_scores = scores;
         }
+    }
 
+    /// Fast-mode phases 1 + 2 — in-edge device selection, in-place
+    /// device init, then Rayon-parallel local training over the
+    /// participants. Fills `self.selected_per_edge` and returns whether
+    /// any edge selected a non-empty cohort (accruing `active_steps`).
+    /// Shared by the lockstep step and the event engine's step-boundary
+    /// handler.
+    fn phase_select_train_fast(&mut self, t: usize, probe: &mut StepProbe) -> bool {
+        self.refresh_version_scores();
         // Phase 1 — in-edge device selection, then write each selected
         // device's initial model (moved devices aggregate on device,
         // stationary ones download the edge model into place).
@@ -819,6 +859,14 @@ impl Simulation {
                 let faults = &self.faults;
                 self.candidates.retain(|&m| !faults.is_down(m));
                 probe.dropout_drops(before - self.candidates.len());
+            }
+            // A device whose async upload is still in flight cannot be
+            // re-selected (at most one upload in flight per device).
+            // Draw-free, so the filter is inert in lockstep mode and at
+            // zero delay, where no device is ever busy.
+            if self.timeline.busy_any() {
+                let timeline = &self.timeline;
+                self.candidates.retain(|&m| !timeline.is_busy(m));
             }
             if self.candidates.is_empty() {
                 self.selected_per_edge[n].clear();
@@ -943,7 +991,15 @@ impl Simulation {
             self.policy
                 .observe_participants(&self.participants, &utility);
         }
+        active
+    }
 
+    /// Fast-mode phases 3 + 4 — the fault-plane upload pass, edge
+    /// aggregation and the scheduled cloud sync — closing the step's
+    /// telemetry. Split from [`Simulation::step`] so the event engine
+    /// can reuse the front half with its own upload and aggregation
+    /// schedule.
+    fn finish_step_fast(&mut self, t: usize, active: bool, mut probe: StepProbe) {
         // Fault plane: run every upload through the deadline and
         // loss/retry processes, producing the delivered cohorts.
         if self.faults.enabled() {
@@ -1004,45 +1060,88 @@ impl Simulation {
         // The broadcast copies the cloud's flat parameters (and their
         // cached norm) into every edge and device — no model clones.
         let scheduled = (t + 1).is_multiple_of(self.config.cloud_interval);
-        let synced = if scheduled && self.faults.wan_active() {
-            self.fault_cloud_sync(&mut probe)
-        } else if scheduled && self.compression.lossy_active() {
+        let synced = scheduled && self.cloud_sync_now(StepMode::Fast, &mut probe);
+        self.telemetry.end_step(t, active, synced, probe);
+    }
+
+    /// Performs a cloud synchronisation *now* (Eq. 7 + broadcast) —
+    /// phase 4 without the lockstep schedule check, shared by both
+    /// lockstep steps (gated on `cloud_interval`) and the event engine
+    /// (fired by `CloudSync` events). The plain arm dispatches on the
+    /// fast/reference duality; the fault and compression arms are the
+    /// shared helpers either way. Returns whether a sync actually
+    /// happened (false only when the WAN fault plane finds every edge
+    /// down).
+    fn cloud_sync_now(&mut self, mode: StepMode, probe: &mut StepProbe) -> bool {
+        if self.faults.wan_active() {
+            return self.fault_cloud_sync(probe);
+        }
+        if self.compression.lossy_active() {
             self.syncs += 1;
             let edges = self.edges.len() as u64;
             self.comm.edge_to_cloud += edges;
             self.comm.edge_to_cloud_bytes += edges * self.compression.payload_bytes();
             self.comm.cloud_to_edge += edges;
             self.comm.cloud_to_edge_bytes += edges * self.compression.dense_payload_bytes();
-            self.compressed_cloud_sync(None, &mut probe);
-            true
-        } else if scheduled {
-            probe.start();
-            self.syncs += 1;
-            let dense = self.compression.dense_payload_bytes();
-            self.comm.edge_to_cloud += self.edges.len() as u64;
-            self.comm.edge_to_cloud_bytes += self.edges.len() as u64 * dense;
-            self.comm.cloud_to_edge += self.edges.len() as u64;
-            self.comm.cloud_to_edge_bytes += self.edges.len() as u64 * dense;
-            self.comm
-                .charge_broadcast(self.population.len() as u64, dense);
-            cloud_aggregate_into(
-                &mut self.cloud,
-                self.edges.iter().map(|e| (&e.model, e.window_samples)),
-            );
-            self.cloud_flat.refresh(&self.cloud);
-            let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
-            for edge in &mut self.edges {
-                edge.load_flat(flat, norm_sq);
-                edge.window_samples = 0.0;
+            self.compressed_cloud_sync(None, probe);
+            return true;
+        }
+        probe.start();
+        self.syncs += 1;
+        let dense = self.compression.dense_payload_bytes();
+        self.comm.edge_to_cloud += self.edges.len() as u64;
+        self.comm.edge_to_cloud_bytes += self.edges.len() as u64 * dense;
+        self.comm.cloud_to_edge += self.edges.len() as u64;
+        self.comm.cloud_to_edge_bytes += self.edges.len() as u64 * dense;
+        self.comm
+            .charge_broadcast(self.population.len() as u64, dense);
+        match mode {
+            StepMode::Fast => {
+                cloud_aggregate_into(
+                    &mut self.cloud,
+                    self.edges.iter().map(|e| (&e.model, e.window_samples)),
+                );
+                self.cloud_flat.refresh(&self.cloud);
+                let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
+                for edge in &mut self.edges {
+                    edge.load_flat(flat, norm_sq);
+                    edge.window_samples = 0.0;
+                }
+                self.population.apply_broadcast(flat, norm_sq, Reached::All);
             }
-            self.population.apply_broadcast(flat, norm_sq, Reached::All);
-            self.policy.after_cloud_sync(None, &self.index.cur);
-            probe.stop(Phase::CloudSync);
-            true
-        } else {
-            false
-        };
-        self.telemetry.end_step(t, active, synced, probe);
+            StepMode::Reference => {
+                let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
+                let weights: Vec<f64> = self.edges.iter().map(|e| e.window_samples).collect();
+                self.cloud = cloud_aggregate(&models, &weights);
+                self.cloud_flat.refresh(&self.cloud);
+                for edge in &mut self.edges {
+                    edge.model = self.cloud.clone();
+                    edge.window_samples = 0.0;
+                    edge.refresh_flat();
+                }
+                if self.population.is_dense() {
+                    // The clone-based broadcast is the reference oracle
+                    // for dense runs; `refresh_flat` and `load_flat`
+                    // compute the same dot product, so the lazy arm
+                    // below is bitwise equal (pinned by the dense==lazy
+                    // equivalence tests).
+                    let cloud = &self.cloud;
+                    self.population
+                        .dense_slice_mut()
+                        .par_iter_mut()
+                        .for_each(|d| {
+                            d.model = cloud.clone();
+                            d.refresh_flat();
+                        });
+                } else {
+                    let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
+                    self.population.apply_broadcast(flat, norm_sq, Reached::All);
+                }
+            }
+        }
+        self.policy.after_cloud_sync(None, &self.index.cur);
+        probe.stop(Phase::CloudSync);
+        true
     }
 
     /// Reference implementation of [`Simulation::step`]: the original
@@ -1054,17 +1153,24 @@ impl Simulation {
     /// Reached through [`Simulation::advance`] with
     /// [`StepMode::Reference`].
     fn step_reference(&mut self, t: usize) {
-        assert!(t < self.trace.steps(), "step beyond trace horizon");
         let mut probe = self.telemetry.begin_step();
-        self.index.build(&self.trace, t, self.edges.len());
-        self.fault_step_begin(&mut probe);
+        self.begin_step(t, &mut probe);
+        let active = self.phase_select_train_reference(t, &mut probe);
+        self.finish_step_reference(t, active, probe);
+    }
+
+    /// Reference-mode phases 1 + 2 — the allocating oracle's
+    /// counterpart to [`Simulation::phase_select_train_fast`]: staged
+    /// initial models, full-sort selection, clone-based init. Fills
+    /// `self.selected_per_edge` and returns whether any edge selected a
+    /// non-empty cohort.
+    fn phase_select_train_reference(&mut self, t: usize, probe: &mut StepProbe) -> bool {
         let cloud_flat = flatten(&self.cloud);
 
         // Phase 1 — selection + staged initial models, keyed by device
         // id (the participant list replaces the old per-device Option
         // array; training later walks exactly the participants).
         let mut staged: Vec<(usize, Option<Sequential>)> = Vec::new();
-        let mut selected_per_edge: Vec<Vec<usize>> = Vec::with_capacity(self.edges.len());
         for (n, edge) in self.edges.iter().enumerate() {
             probe.start();
             let mut candidates = self.index.devices_at(n).to_vec();
@@ -1079,8 +1185,14 @@ impl Simulation {
                 candidates.retain(|&m| !self.faults.is_down(m));
                 probe.dropout_drops(before - candidates.len());
             }
+            // In-flight exclusion, identical to the fast path (inert in
+            // lockstep mode and at zero delay).
+            if self.timeline.busy_any() {
+                let timeline = &self.timeline;
+                candidates.retain(|&m| !timeline.is_busy(m));
+            }
             if candidates.is_empty() {
-                selected_per_edge.push(Vec::new());
+                self.selected_per_edge[n].clear();
                 probe.stop(Phase::Selection);
                 continue;
             }
@@ -1154,9 +1266,9 @@ impl Simulation {
             self.comm.edge_to_edge_bytes += migrations * self.compression.dense_payload_bytes();
             probe.downloads(downloads);
             probe.stop(Phase::DeviceInit);
-            selected_per_edge.push(selected);
+            self.selected_per_edge[n] = selected;
         }
-        let active = selected_per_edge.iter().any(|s| !s.is_empty());
+        let active = self.selected_per_edge.iter().any(|s| !s.is_empty());
         if active {
             self.active_steps += 1;
         }
@@ -1189,9 +1301,15 @@ impl Simulation {
             let utility = |m: usize| population.oort_utility(m);
             self.policy.observe_participants(&ids, &utility);
         }
+        active
+    }
 
+    /// Reference-mode phases 3 + 4, closing the step (the allocating
+    /// counterpart of [`Simulation::finish_step_fast`]).
+    fn finish_step_reference(&mut self, t: usize, active: bool, mut probe: StepProbe) {
         // Fault plane: identical upload pass (shared helper, same RNG
         // draw order) as `step`.
+        let selected_per_edge = std::mem::take(&mut self.selected_per_edge);
         if self.faults.enabled() {
             self.fault_upload_pass(&selected_per_edge, &mut probe);
         }
@@ -1234,63 +1352,490 @@ impl Simulation {
             }
             probe.stop(Phase::EdgeAggregation);
         }
+        self.selected_per_edge = selected_per_edge;
 
         // Phase 4 — periodic cloud synchronisation (Eq. 7 + broadcast).
         // Under WAN faults both step implementations share
         // `fault_cloud_sync`, so equivalence holds by construction.
         let scheduled = (t + 1).is_multiple_of(self.config.cloud_interval);
-        let synced = if scheduled && self.faults.wan_active() {
-            self.fault_cloud_sync(&mut probe)
-        } else if scheduled && self.compression.lossy_active() {
-            self.syncs += 1;
-            let edges = self.edges.len() as u64;
-            self.comm.edge_to_cloud += edges;
-            self.comm.edge_to_cloud_bytes += edges * self.compression.payload_bytes();
-            self.comm.cloud_to_edge += edges;
-            self.comm.cloud_to_edge_bytes += edges * self.compression.dense_payload_bytes();
-            self.compressed_cloud_sync(None, &mut probe);
-            true
-        } else if scheduled {
-            probe.start();
-            self.syncs += 1;
-            let dense = self.compression.dense_payload_bytes();
-            self.comm.edge_to_cloud += self.edges.len() as u64;
-            self.comm.edge_to_cloud_bytes += self.edges.len() as u64 * dense;
-            self.comm.cloud_to_edge += self.edges.len() as u64;
-            self.comm.cloud_to_edge_bytes += self.edges.len() as u64 * dense;
-            self.comm
-                .charge_broadcast(self.population.len() as u64, dense);
-            let models: Vec<&Sequential> = self.edges.iter().map(|e| &e.model).collect();
-            let weights: Vec<f64> = self.edges.iter().map(|e| e.window_samples).collect();
-            self.cloud = cloud_aggregate(&models, &weights);
-            self.cloud_flat.refresh(&self.cloud);
-            for edge in &mut self.edges {
-                edge.model = self.cloud.clone();
-                edge.window_samples = 0.0;
-                edge.refresh_flat();
+        let synced = scheduled && self.cloud_sync_now(StepMode::Reference, &mut probe);
+        self.telemetry.end_step(t, active, synced, probe);
+    }
+
+    // ------------------------------------------------------------------
+    // Event-driven execution (ExecutionMode::EventDriven)
+    // ------------------------------------------------------------------
+
+    /// One `tick` of the event engine: drains events in deterministic
+    /// `(time, rank, edge, device, seq)` order until the current round's
+    /// `EndOfStep` marker has been processed. At the zero-delay /
+    /// synchronous-sync corner the pop order within a round is exactly
+    /// the lockstep phase order, so the run reproduces the lockstep
+    /// `RunRecord` bitwise (pinned by `tests/timeline_plane.rs`).
+    fn tick_event(&mut self, mode: StepMode) {
+        if !self.timeline.started {
+            self.timeline.started = true;
+            self.timeline.push(0.0, EventKind::StepBoundary { step: 0 });
+            if let Some(period) = self.config.timeline.cloud_timer {
+                self.timeline
+                    .push(period, EventKind::CloudSync { timer: true });
             }
-            if self.population.is_dense() {
-                // The clone-based broadcast is the reference oracle for
-                // dense runs; `refresh_flat` and `load_flat` compute the
-                // same dot product, so the lazy arm below is bitwise
-                // equal (pinned by the dense==lazy equivalence tests).
-                let cloud = &self.cloud;
-                self.population
-                    .dense_slice_mut()
-                    .par_iter_mut()
-                    .for_each(|d| {
-                        d.model = cloud.clone();
-                        d.refresh_flat();
-                    });
-            } else {
-                let (flat, norm_sq) = (self.cloud_flat.flat(), self.cloud_flat.norm_sq());
-                self.population.apply_broadcast(flat, norm_sq, Reached::All);
+        }
+        while let Some(ev) = self.timeline.pop() {
+            let start = self.telemetry.event_timer();
+            let end_of_step = self.process_event(&ev, mode);
+            self.telemetry.observe_event_since(ev.kind, start);
+            if end_of_step {
+                if matches!(ev.kind, EventKind::EndOfStep { step } if step + 1 == self.config.steps)
+                {
+                    self.drain_tail(mode);
+                }
+                break;
             }
-            self.policy.after_cloud_sync(None, &self.index.cur);
-            probe.stop(Phase::CloudSync);
-            true
+        }
+    }
+
+    /// After the final round's `EndOfStep` the heap can still hold the
+    /// horizon's tail: in-flight uploads, the wave aggregates they
+    /// trigger, and a round-cadence cloud sync scheduled at the round's
+    /// last arrival. Drain it so the final evaluation sees every update
+    /// the run paid for — without this, a cadence sync landing past the
+    /// last `EndOfStep` would silently never fire. Beyond-horizon
+    /// *timer* syncs are discarded instead of processed: the timer dies
+    /// with the run, and discarding keeps the clock (and with it
+    /// `event_seconds`) at the time real work finished. At zero delay
+    /// the heap is already empty here, so the lockstep oracle is
+    /// untouched.
+    fn drain_tail(&mut self, mode: StepMode) {
+        while let Some(next) = self.timeline.peek() {
+            if matches!(next.kind, EventKind::CloudSync { timer: true }) {
+                self.timeline.discard_next();
+                continue;
+            }
+            let ev = self.timeline.pop().expect("peeked event still queued");
+            let start = self.telemetry.event_timer();
+            self.process_event(&ev, mode);
+            self.telemetry.observe_event_since(ev.kind, start);
+        }
+    }
+
+    /// Dispatch one popped event. Returns true when the event was the
+    /// current round's `EndOfStep` (the tick is over). Events that land
+    /// between a round's `EndOfStep` and the next boundary (in-flight
+    /// arrivals, timer syncs) account their telemetry into a scratch
+    /// probe absorbed outside the per-step accounting.
+    fn process_event(&mut self, ev: &Event, mode: StepMode) -> bool {
+        match ev.kind {
+            EventKind::StepBoundary { step } => {
+                self.event_step_boundary(step, mode);
+                false
+            }
+            EventKind::DeviceUpload { edge, device, wave } => {
+                self.with_event_probe(|s, probe| s.event_upload_arrival(edge, device, wave, probe));
+                false
+            }
+            EventKind::EdgeAggregate { edge, wave } => {
+                self.with_event_probe(|s, probe| s.event_edge_aggregate(edge, wave, mode, probe));
+                false
+            }
+            EventKind::CloudSync { timer } => {
+                self.with_event_probe(|s, probe| s.event_cloud_sync(timer, mode, probe));
+                false
+            }
+            EventKind::EndOfStep { step } => {
+                self.event_end_of_step(step);
+                true
+            }
+        }
+    }
+
+    /// Runs `f` against the current step's probe; events that fire
+    /// between steps get a scratch probe whose counters are absorbed
+    /// into the telemetry without step accounting.
+    fn with_event_probe<R>(&mut self, f: impl FnOnce(&mut Self, &mut StepProbe) -> R) -> R {
+        let (mut probe, mid_step) = match self.probe.take() {
+            Some(p) => (p, true),
+            None => (self.telemetry.begin_step(), false),
+        };
+        let out = f(self, &mut probe);
+        if mid_step {
+            self.probe = Some(probe);
         } else {
-            false
+            self.telemetry.absorb_probe(probe);
+        }
+        out
+    }
+
+    /// `StepBoundary { t }`: the synchronous front half of round `t` —
+    /// fault recovery, selection, device init, local training — then
+    /// schedules the round's uploads as events, the synchronous cloud
+    /// sync (when no timer is configured) and the `EndOfStep` marker.
+    fn event_step_boundary(&mut self, t: usize, mode: StepMode) {
+        let mut probe = self.telemetry.begin_step();
+        self.begin_step(t, &mut probe);
+        let active = match mode {
+            StepMode::Fast => self.phase_select_train_fast(t, &mut probe),
+            StepMode::Reference => self.phase_select_train_reference(t, &mut probe),
+        };
+        self.timeline.step_active = active;
+        let now = self.timeline.clock();
+        let mut sync_at = now;
+        match self.config.timeline.latency {
+            LatencyModel::Zero => {
+                // The lockstep-oracle corner: uploads arrive the moment
+                // they are sent. With the fault plane on, the upload
+                // pass runs at the boundary exactly as in lockstep
+                // (identical deadline / loss / stale draws); the
+                // delivered cohorts then ride the event queue at zero
+                // latency. Same-instant rank order (uploads before
+                // aggregates) makes any `edge_threshold` provably
+                // irrelevant here: every upload of the round pops before
+                // its wave's aggregate event.
+                if self.faults.enabled() {
+                    let selected = std::mem::take(&mut self.selected_per_edge);
+                    self.fault_upload_pass(&selected, &mut probe);
+                    self.selected_per_edge = selected;
+                }
+                for n in 0..self.edges.len() {
+                    let cohort = if self.faults.enabled() {
+                        self.delivered_per_edge[n].clone()
+                    } else {
+                        self.selected_per_edge[n].clone()
+                    };
+                    let trigger = self.config.timeline.edge_threshold.unwrap_or(cohort.len());
+                    // Zero delay: every wave aggregates within its own
+                    // round, so there is never a remainder to flush.
+                    let flushed = self.timeline.open_wave(n, cohort.clone(), trigger);
+                    debug_assert!(flushed.is_none(), "zero-delay wave left a remainder");
+                    let wave = self.timeline.wave_id(n);
+                    for &m in &cohort {
+                        self.timeline.push(
+                            now,
+                            EventKind::DeviceUpload {
+                                edge: n,
+                                device: m,
+                                wave,
+                            },
+                        );
+                    }
+                }
+            }
+            LatencyModel::Faults => sync_at = self.event_upload_pass(mode, &mut probe),
+        }
+        // The synchronous sync rides the round count when no timer is
+        // configured. It fires when the round's last delivered upload
+        // lands (the boundary's own timestamp at zero delay) — rank
+        // order then puts it after that wave's aggregates, exactly
+        // where lockstep phase 4 sits; scheduling it any earlier would
+        // systematically sync a cloud that is one round stale.
+        if self.config.timeline.cloud_timer.is_none()
+            && (t + 1).is_multiple_of(self.config.cloud_interval)
+        {
+            self.timeline
+                .push(sync_at, EventKind::CloudSync { timer: false });
+        }
+        self.timeline.push(now, EventKind::EndOfStep { step: t });
+        if t + 1 < self.config.steps {
+            self.timeline.push(
+                (t + 1) as f64 * self.config.timeline.step_duration,
+                EventKind::StepBoundary { step: t + 1 },
+            );
+        }
+        self.probe = Some(probe);
+    }
+
+    /// Async-latency upload pass (`LatencyModel::Faults`): every
+    /// selected device's upload samples its straggler delay from the
+    /// same fault-plane stream the lockstep deadline check draws from,
+    /// then rides the event queue as a real in-flight latency — there is
+    /// no deadline and no stale path; a slow upload simply arrives late
+    /// (and blends like a stale merge if its wave has already closed).
+    /// Loss/retry draws and comm charges are identical to
+    /// [`Simulation::fault_upload_pass`]. With the fault plane disabled
+    /// the upload was already charged at selection and arrives with
+    /// zero delay. Returns the latest scheduled arrival time of this
+    /// round's delivered uploads (the boundary's own timestamp when
+    /// nothing was delivered), which is where a round-cadence cloud
+    /// sync belongs.
+    fn event_upload_pass(&mut self, mode: StepMode, probe: &mut StepProbe) -> f64 {
+        let now = self.timeline.clock();
+        let mut last_arrival = now;
+        let lossy = self.compression.lossy_active();
+        let payload = self.compression.payload_bytes();
+        probe.start();
+        for n in 0..self.edges.len() {
+            let selected = std::mem::take(&mut self.selected_per_edge[n]);
+            let mut delivered: Vec<(usize, f64)> = Vec::with_capacity(selected.len());
+            for &m in &selected {
+                if !self.faults.enabled() {
+                    delivered.push((m, 0.0));
+                    continue;
+                }
+                let delay = self.faults.sample_upload_delay();
+                let o = self.faults.upload_attempts();
+                self.comm.device_to_edge += u64::from(o.attempts);
+                self.comm.device_to_edge_bytes += u64::from(o.attempts) * payload;
+                self.comm.upload_retransmissions += u64::from(o.attempts - 1);
+                self.comm.retry_backoff_slots += o.backoff_slots;
+                probe.uploads(u64::from(o.attempts));
+                probe.upload_retries(u64::from(o.attempts - 1), !o.delivered);
+                if o.delivered {
+                    delivered.push((m, delay));
+                } else {
+                    self.comm.lost_uploads += 1;
+                    if lossy {
+                        // Sender-side error feedback: the device did
+                        // compress and transmit — the loss happens on
+                        // the wire — so its residual and the RNG advance
+                        // even though no edge consumes the
+                        // reconstruction.
+                        let _ = self.compression.compress_device_upload(
+                            m,
+                            self.population.get(m).flat(),
+                            self.edges[n].flat(),
+                        );
+                        probe.compressed_uploads(1);
+                    }
+                }
+            }
+            if !selected.is_empty() && delivered.is_empty() {
+                probe.empty_cohort();
+            }
+            // Open the round's wave with the delivered cohort; an
+            // un-triggered remainder of the previous wave is flushed
+            // into the edge first so arrived updates are never dropped.
+            let members: Vec<usize> = delivered.iter().map(|&(m, _)| m).collect();
+            let trigger = self.config.timeline.edge_threshold.unwrap_or(members.len());
+            if let Some((cohort, snaps)) = self.timeline.open_wave(n, members, trigger) {
+                probe.stop(Phase::FaultRecovery);
+                self.event_aggregate_cohort(n, &cohort, &snaps, mode, probe);
+                self.timeline.aggs_since_sync += 1;
+                probe.start();
+            }
+            let wave = self.timeline.wave_id(n);
+            for (m, delay) in delivered {
+                // The in-flight payload is snapshotted at send time —
+                // lossy runs ship the compressed reconstruction
+                // (advancing the device residual exactly once).
+                let snapshot = if lossy {
+                    let recon = self.compression.compress_device_upload(
+                        m,
+                        self.population.get(m).flat(),
+                        self.edges[n].flat(),
+                    );
+                    probe.compressed_uploads(1);
+                    recon.to_vec()
+                } else {
+                    self.population.get(m).flat().to_vec()
+                };
+                self.timeline.send_upload(m, snapshot);
+                last_arrival = last_arrival.max(now + delay);
+                self.timeline.push(
+                    now + delay,
+                    EventKind::DeviceUpload {
+                        edge: n,
+                        device: m,
+                        wave,
+                    },
+                );
+            }
+            self.selected_per_edge[n] = selected;
+        }
+        probe.stop(Phase::FaultRecovery);
+        last_arrival
+    }
+
+    /// `DeviceUpload` arrival: record it in its edge's wave; the
+    /// trigger-hitting arrival schedules the wave's `EdgeAggregate`.
+    /// Arrivals for an already-aggregated (or superseded) wave are
+    /// *late*: the update blends into the edge with the same
+    /// similarity-discounted weighting as a lockstep stale merge.
+    fn event_upload_arrival(
+        &mut self,
+        edge: usize,
+        device: usize,
+        wave: u64,
+        probe: &mut StepProbe,
+    ) {
+        let snapshot = self.timeline.take_in_flight(device);
+        if !self.timeline.wave_accepts(edge, device, wave) {
+            if let Some(flat) = snapshot {
+                self.event_late_blend(edge, device, &flat, probe);
+            }
+            return;
+        }
+        if self.timeline.record_arrival(edge, device, wave, snapshot) == ArrivalOutcome::Ready {
+            let now = self.timeline.clock();
+            self.timeline
+                .push(now, EventKind::EdgeAggregate { edge, wave });
+        }
+    }
+
+    /// Blend a late async upload into its edge with Eq. 9's
+    /// similarity-discounted weighting — the event engine's counterpart
+    /// of the lockstep stale merge in `fault_step_begin`. The transfer
+    /// was already charged at send time, so only the staleness counter
+    /// moves.
+    fn event_late_blend(
+        &mut self,
+        edge: usize,
+        device: usize,
+        flat: &[f32],
+        probe: &mut StepProbe,
+    ) {
+        probe.start();
+        let norm_sq = dot_slices(flat, flat);
+        let e = &mut self.edges[edge];
+        let u = similarity_utility_cached(flat, norm_sq, e.flat(), e.flat_norm_sq());
+        let (edge_w, stale_w) = aggregation_weights(u);
+        let mut blend = flat.to_vec();
+        for (v, &ew) in blend.iter_mut().zip(e.flat()) {
+            *v = edge_w * ew + stale_w * *v;
+        }
+        middle_nn::params::unflatten(&mut e.model, &blend);
+        e.refresh_flat();
+        self.comm.stale_uploads += 1;
+        probe.stale_merge();
+        self.policy
+            .after_edge_aggregate(edge, std::slice::from_ref(&device));
+        probe.stop(Phase::FaultRecovery);
+    }
+
+    /// `EdgeAggregate`: consume the wave's arrived cohort and aggregate
+    /// it into the edge (Eq. 6). A stale wave id (superseded before the
+    /// event popped) is a no-op.
+    fn event_edge_aggregate(
+        &mut self,
+        edge: usize,
+        wave: u64,
+        mode: StepMode,
+        probe: &mut StepProbe,
+    ) {
+        if let Some((cohort, snaps)) = self.timeline.take_ready(edge, wave) {
+            self.event_aggregate_cohort(edge, &cohort, &snaps, mode, probe);
+            self.timeline.aggs_since_sync += 1;
+        }
+    }
+
+    /// Aggregate one cohort into `edge`. At zero delay (`snapshots` all
+    /// `None`) this is exactly the lockstep phase-3 per-edge arm — live
+    /// device models, mode-dispatched fast / reference / compressed
+    /// aggregation. Async waves FedAvg their send-time snapshots with
+    /// the same `d_m / d` weighting instead.
+    fn event_aggregate_cohort(
+        &mut self,
+        edge: usize,
+        cohort: &[usize],
+        snapshots: &[Option<Vec<f32>>],
+        mode: StepMode,
+        probe: &mut StepProbe,
+    ) {
+        if cohort.is_empty() {
+            return;
+        }
+        if snapshots.iter().any(|s| s.is_some()) {
+            probe.start();
+            let len = self.cloud_flat.flat().len();
+            let total: usize = cohort
+                .iter()
+                .map(|&m| self.population.get(m).num_samples())
+                .sum();
+            let total_f = total as f32;
+            self.agg_scratch.clear();
+            self.agg_scratch.resize(len, 0.0);
+            for (i, &m) in cohort.iter().enumerate() {
+                let w = self.population.get(m).num_samples() as f32 / total_f;
+                let flat: &[f32] = match &snapshots[i] {
+                    Some(s) => s,
+                    None => self.population.get(m).flat(),
+                };
+                for (a, &r) in self.agg_scratch.iter_mut().zip(flat) {
+                    *a += w * r;
+                }
+            }
+            let norm_sq = dot_slices(&self.agg_scratch, &self.agg_scratch);
+            self.edges[edge].load_flat(&self.agg_scratch, norm_sq);
+            self.edges[edge].window_samples += total as f64;
+            self.policy.after_edge_aggregate(edge, cohort);
+            probe.stop(Phase::EdgeAggregation);
+            return;
+        }
+        if self.compression.lossy_active() {
+            probe.start();
+            self.compressed_edge_aggregate_one(edge, cohort, probe);
+            probe.stop(Phase::Compress);
+            return;
+        }
+        probe.start();
+        match mode {
+            StepMode::Fast => {
+                let population = &self.population;
+                let e = &mut self.edges[edge];
+                edge_aggregate_into(
+                    &mut e.model,
+                    cohort.iter().map(|&m| {
+                        let dev = population.get(m);
+                        (&dev.model, dev.num_samples())
+                    }),
+                );
+                e.window_samples += cohort
+                    .iter()
+                    .map(|&m| population.get(m).num_samples())
+                    .sum::<usize>() as f64;
+                e.refresh_flat();
+            }
+            StepMode::Reference => {
+                let models: Vec<&Sequential> = cohort
+                    .iter()
+                    .map(|&m| &self.population.get(m).model)
+                    .collect();
+                let counts: Vec<usize> = cohort
+                    .iter()
+                    .map(|&m| self.population.get(m).num_samples())
+                    .collect();
+                self.edges[edge].model = edge_aggregate(&models, &counts);
+                self.edges[edge].window_samples += counts.iter().sum::<usize>() as f64;
+                self.edges[edge].refresh_flat();
+            }
+        }
+        self.policy.after_edge_aggregate(edge, cohort);
+        probe.stop(Phase::EdgeAggregation);
+    }
+
+    /// `CloudSync`: timer syncs reschedule themselves every
+    /// `cloud_timer` simulated seconds and skip the sync entirely when
+    /// no edge aggregation has landed since the last one; synchronous
+    /// (round-scheduled) syncs always run, like lockstep phase 4. A
+    /// successful sync raises the step's synced flag, attributed to the
+    /// next `EndOfStep`.
+    fn event_cloud_sync(&mut self, timer: bool, mode: StepMode, probe: &mut StepProbe) {
+        if timer {
+            let period = self
+                .config
+                .timeline
+                .cloud_timer
+                .expect("timer sync without cloud_timer");
+            let next = self.timeline.clock() + period;
+            self.timeline
+                .push(next, EventKind::CloudSync { timer: true });
+            if self.timeline.aggs_since_sync == 0 {
+                return;
+            }
+        }
+        if self.cloud_sync_now(mode, probe) {
+            self.timeline.step_synced = true;
+            self.timeline.aggs_since_sync = 0;
+        }
+    }
+
+    /// `EndOfStep`: close the round's telemetry with the active/synced
+    /// flags accumulated since its boundary.
+    fn event_end_of_step(&mut self, t: usize) {
+        let active = std::mem::take(&mut self.timeline.step_active);
+        let synced = std::mem::take(&mut self.timeline.step_synced);
+        let probe = match self.probe.take() {
+            Some(p) => p,
+            None => self.telemetry.begin_step(),
         };
         self.telemetry.end_step(t, active, synced, probe);
     }
@@ -1337,7 +1882,10 @@ impl Simulation {
         assert!(!self.is_finished(), "simulation already finished");
         let start = Instant::now();
         let t = self.next_step;
-        self.advance(t, mode);
+        match self.config.timeline.mode {
+            ExecutionMode::Lockstep => self.advance(t, mode),
+            ExecutionMode::EventDriven => self.tick_event(mode),
+        }
         self.next_step = t + 1;
         let is_eval =
             (t + 1).is_multiple_of(self.config.eval_interval) || t + 1 == self.config.steps;
@@ -1381,6 +1929,11 @@ impl Simulation {
             active_steps: self.active_steps,
             param_count: self.cloud_flat.flat().len() as u64,
             telemetry: self.telemetry.report(),
+            event_seconds: if self.config.timeline.event_mode() {
+                Some(self.timeline.clock())
+            } else {
+                None
+            },
         }
     }
 
@@ -1432,6 +1985,11 @@ impl Simulation {
             points: self.points.clone(),
             telemetry_counters: if self.telemetry.is_enabled() {
                 Some(*self.telemetry.counters())
+            } else {
+                None
+            },
+            timeline: if self.config.timeline.event_mode() {
+                Some(self.timeline.checkpoint())
             } else {
                 None
             },
@@ -1540,6 +2098,31 @@ impl Simulation {
                 return Err(mismatch(
                     "configured algorithm carries cross-round state but the checkpoint has none"
                         .into(),
+                ))
+            }
+        }
+        match (self.config.timeline.event_mode(), &ck.timeline) {
+            (true, Some(tck)) => {
+                self.timeline = Timeline::restore(tck, self.edges.len(), self.population.len())
+                    .map_err(&mismatch)?;
+                // A timer sync can fire before the first post-restore
+                // step boundary rebuilds the step index; give it the
+                // index of the last executed step so its broadcast mask
+                // sees the same occupancy it did pre-checkpoint.
+                if self.timeline.started && ck.next_step > 0 {
+                    self.index
+                        .build(&self.trace, ck.next_step - 1, self.edges.len());
+                }
+            }
+            (false, None) => {}
+            (true, None) => {
+                return Err(mismatch(
+                    "checkpoint is from a lockstep run but the simulation is event-driven".into(),
+                ))
+            }
+            (false, Some(_)) => {
+                return Err(mismatch(
+                    "checkpoint is from an event-driven run but the simulation is lockstep".into(),
                 ))
             }
         }

@@ -61,6 +61,7 @@ use crate::config::{MobilitySource, SimConfig};
 use crate::faults::FaultConfig;
 use crate::metrics::RunRecord;
 use crate::sim::StepMode;
+use crate::timeline::TimelineConfig;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::io::Write;
@@ -134,6 +135,8 @@ pub struct ScenarioGrid {
     compression_presets: Vec<CompressionPreset>,
     #[serde(default, skip_serializing_if = "Vec::is_empty")]
     algorithms: Vec<AlgorithmConfig>,
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    execution: Vec<TimelineConfig>,
 }
 
 impl ScenarioGrid {
@@ -148,6 +151,7 @@ impl ScenarioGrid {
             fault_presets: Vec::new(),
             compression_presets: Vec::new(),
             algorithms: Vec::new(),
+            execution: Vec::new(),
         }
     }
 
@@ -203,6 +207,16 @@ impl ScenarioGrid {
     /// input cache key.
     pub fn with_algorithms(mut self, algorithms: impl Into<Vec<AlgorithmConfig>>) -> Self {
         self.algorithms = algorithms.into();
+        self
+    }
+
+    /// Sweeps execution-mode settings ([`TimelineConfig`] — lockstep vs
+    /// event-driven, latency model, thresholds, timers). An unset axis
+    /// inherits the base config's timeline and leaves scenario labels
+    /// unchanged; swept scenarios gain an `-xevent` / `-xlock` label
+    /// segment.
+    pub fn with_execution_modes(mut self, modes: impl Into<Vec<TimelineConfig>>) -> Self {
+        self.execution = modes.into();
         self
     }
 
@@ -267,6 +281,11 @@ impl ScenarioGrid {
         } else {
             self.algorithms.iter().map(Some).collect()
         };
+        let execs: Vec<Option<&TimelineConfig>> = if self.execution.is_empty() {
+            vec![None]
+        } else {
+            self.execution.iter().map(Some).collect()
+        };
         let mut out = Vec::with_capacity(
             ps.len()
                 * ks.len()
@@ -274,6 +293,7 @@ impl ScenarioGrid {
                 * presets.len()
                 * comps.len()
                 * algos.len()
+                * execs.len()
                 * seeds.len(),
         );
         for &p in &ps {
@@ -282,62 +302,81 @@ impl ScenarioGrid {
                     for preset in &presets {
                         for &comp in &comps {
                             for &algo in &algos {
-                                for &seed in &seeds {
-                                    let mut config = self.base.clone();
-                                    if let Some(p) = p {
-                                        config.mobility = match config.mobility {
-                                            MobilitySource::MarkovHop { .. } => {
-                                                MobilitySource::MarkovHop { p }
+                                for &exec in &execs {
+                                    for &seed in &seeds {
+                                        let mut config = self.base.clone();
+                                        if let Some(p) = p {
+                                            config.mobility = match config.mobility {
+                                                MobilitySource::MarkovHop { .. } => {
+                                                    MobilitySource::MarkovHop { p }
+                                                }
+                                                MobilitySource::HomedMarkovHop {
+                                                    home_bias,
+                                                    ..
+                                                } => {
+                                                    MobilitySource::HomedMarkovHop { p, home_bias }
+                                                }
+                                                other => other,
+                                            };
+                                        }
+                                        config.devices_per_edge = k;
+                                        config.cloud_interval = tc;
+                                        config.seed = seed;
+                                        config.faults = preset.faults;
+                                        if let Some(comp) = comp {
+                                            config.compression = comp.compression.clone();
+                                        }
+                                        if let Some(algo) = algo {
+                                            config.algorithm = algo.clone();
+                                        }
+                                        if let Some(exec) = exec {
+                                            config.timeline = *exec;
+                                        }
+                                        let c = comp
+                                            .map(|c| format!("-c{}", c.name))
+                                            .unwrap_or_default();
+                                        let a = algo
+                                            .map(|a| format!("-a{}", a.name.to_lowercase()))
+                                            .unwrap_or_default();
+                                        let execution =
+                                            exec.map(|e| execution_label(e).to_string());
+                                        let x = execution
+                                            .as_ref()
+                                            .map(|x| format!("-x{x}"))
+                                            .unwrap_or_default();
+                                        let label = match p {
+                                            Some(p) => {
+                                                format!(
+                                                    "p{p}-k{k}-tc{tc}-{}{c}{a}{x}-s{seed}",
+                                                    preset.name
+                                                )
                                             }
-                                            MobilitySource::HomedMarkovHop {
-                                                home_bias, ..
-                                            } => MobilitySource::HomedMarkovHop { p, home_bias },
-                                            other => other,
+                                            None => {
+                                                format!(
+                                                    "k{k}-tc{tc}-{}{c}{a}{x}-s{seed}",
+                                                    preset.name
+                                                )
+                                            }
                                         };
+                                        config.validate().map_err(|message| {
+                                            SimError::InvalidConfig {
+                                                message: format!("scenario {label}: {message}"),
+                                            }
+                                        })?;
+                                        out.push(Scenario {
+                                            index: out.len(),
+                                            label,
+                                            p,
+                                            k,
+                                            sync_period: tc,
+                                            seed,
+                                            preset: preset.name.clone(),
+                                            compression: comp.map(|c| c.name.clone()),
+                                            algorithm: algo.map(|a| a.name.clone()),
+                                            execution,
+                                            config,
+                                        });
                                     }
-                                    config.devices_per_edge = k;
-                                    config.cloud_interval = tc;
-                                    config.seed = seed;
-                                    config.faults = preset.faults;
-                                    if let Some(comp) = comp {
-                                        config.compression = comp.compression.clone();
-                                    }
-                                    if let Some(algo) = algo {
-                                        config.algorithm = algo.clone();
-                                    }
-                                    let c =
-                                        comp.map(|c| format!("-c{}", c.name)).unwrap_or_default();
-                                    let a = algo
-                                        .map(|a| format!("-a{}", a.name.to_lowercase()))
-                                        .unwrap_or_default();
-                                    let label = match p {
-                                        Some(p) => {
-                                            format!(
-                                                "p{p}-k{k}-tc{tc}-{}{c}{a}-s{seed}",
-                                                preset.name
-                                            )
-                                        }
-                                        None => {
-                                            format!("k{k}-tc{tc}-{}{c}{a}-s{seed}", preset.name)
-                                        }
-                                    };
-                                    config.validate().map_err(|message| {
-                                        SimError::InvalidConfig {
-                                            message: format!("scenario {label}: {message}"),
-                                        }
-                                    })?;
-                                    out.push(Scenario {
-                                        index: out.len(),
-                                        label,
-                                        p,
-                                        k,
-                                        sync_period: tc,
-                                        seed,
-                                        preset: preset.name.clone(),
-                                        compression: comp.map(|c| c.name.clone()),
-                                        algorithm: algo.map(|a| a.name.clone()),
-                                        config,
-                                    });
                                 }
                             }
                         }
@@ -356,6 +395,14 @@ impl ScenarioGrid {
     /// Propagates [`ScenarioGrid::scenarios`] errors.
     pub fn digest(&self) -> Result<u64, SimError> {
         Ok(scenarios_digest(&self.scenarios()?))
+    }
+}
+
+/// Label segment for a swept execution mode (`-x<label>`).
+fn execution_label(t: &TimelineConfig) -> &'static str {
+    match t.mode {
+        crate::timeline::ExecutionMode::Lockstep => "lock",
+        crate::timeline::ExecutionMode::EventDriven => "event",
     }
 }
 
@@ -396,6 +443,8 @@ pub struct Scenario {
     pub compression: Option<String>,
     /// Algorithm name (`None` when the axis was not swept).
     pub algorithm: Option<String>,
+    /// Execution-mode label (`None` when the axis was not swept).
+    pub execution: Option<String>,
     /// The fully derived, validated configuration.
     pub config: SimConfig,
 }
@@ -457,6 +506,9 @@ pub struct ScenarioRecord {
     /// Algorithm name, when swept.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub algorithm: Option<String>,
+    /// Execution-mode label, when swept.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub execution: Option<String>,
     /// The run's measured output.
     pub record: RunRecord,
 }
@@ -482,6 +534,9 @@ pub struct AggregatePoint {
     /// Algorithm name, when swept.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub algorithm: Option<String>,
+    /// Execution-mode label, when swept.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub execution: Option<String>,
     /// Seeds aggregated.
     pub seeds: usize,
     /// Mean final accuracy across seeds.
@@ -754,9 +809,14 @@ fn aggregate(records: &[ScenarioRecord]) -> Vec<AggregatePoint> {
             .as_ref()
             .map(|a| format!("-a{}", a.to_lowercase()))
             .unwrap_or_default();
+        let x = r
+            .execution
+            .as_ref()
+            .map(|x| format!("-x{x}"))
+            .unwrap_or_default();
         let key = match r.p {
-            Some(p) => format!("p{p}-k{}-tc{}-{}{c}{a}", r.k, r.sync_period, r.preset),
-            None => format!("k{}-tc{}-{}{c}{a}", r.k, r.sync_period, r.preset),
+            Some(p) => format!("p{p}-k{}-tc{}-{}{c}{a}{x}", r.k, r.sync_period, r.preset),
+            None => format!("k{}-tc{}-{}{c}{a}{x}", r.k, r.sync_period, r.preset),
         };
         match cells.iter_mut().find(|(k, _)| *k == key) {
             Some((_, members)) => members.push(r),
@@ -785,6 +845,7 @@ fn aggregate(records: &[ScenarioRecord]) -> Vec<AggregatePoint> {
                 preset: first.preset.clone(),
                 compression: first.compression.clone(),
                 algorithm: first.algorithm.clone(),
+                execution: first.execution.clone(),
                 seeds: members.len(),
                 final_mean,
                 final_std,
@@ -973,6 +1034,7 @@ fn run_scenario(
         preset: scenario.preset.clone(),
         compression: scenario.compression.clone(),
         algorithm: scenario.algorithm.clone(),
+        execution: scenario.execution.clone(),
         record,
     })
 }
@@ -1347,6 +1409,7 @@ fn run_leased_scenario(
         preset: scenario.preset.clone(),
         compression: scenario.compression.clone(),
         algorithm: scenario.algorithm.clone(),
+        execution: scenario.execution.clone(),
         record: sim.finish(),
     };
     append_jsonl(&ctx.jsonl, &record)?;
@@ -1709,6 +1772,7 @@ mod tests {
             preset: "base".to_string(),
             compression: None,
             algorithm: algo.map(str::to_string),
+            execution: None,
             record: RunRecord {
                 schema_version: RUN_RECORD_SCHEMA_VERSION,
                 algorithm: algo.unwrap_or("MIDDLE").to_string(),
@@ -1721,6 +1785,7 @@ mod tests {
                 active_steps: 0,
                 param_count: 0,
                 telemetry: None,
+                event_seconds: None,
             },
         };
         let records = vec![
@@ -1810,6 +1875,7 @@ mod tests {
             preset: "base".to_string(),
             compression: None,
             algorithm: None,
+            execution: None,
             record: RunRecord {
                 schema_version: RUN_RECORD_SCHEMA_VERSION,
                 algorithm: "MIDDLE".to_string(),
@@ -1822,6 +1888,7 @@ mod tests {
                 active_steps: 4,
                 param_count: 10,
                 telemetry: None,
+                event_seconds: None,
             },
         };
         let state = SweepState {
@@ -1862,6 +1929,7 @@ mod tests {
             preset: "base".to_string(),
             compression: None,
             algorithm: None,
+            execution: None,
             record: RunRecord {
                 schema_version: crate::metrics::RUN_RECORD_SCHEMA_VERSION,
                 algorithm: "MIDDLE".to_string(),
@@ -1881,6 +1949,7 @@ mod tests {
                 active_steps: 0,
                 param_count: 0,
                 telemetry: None,
+                event_seconds: None,
             },
         };
         let records = vec![mk(2, 7, 0.4), mk(2, 8, 0.6), mk(3, 7, 0.8)];

@@ -28,6 +28,7 @@
 //! against the recorded `BENCH_hotpath.json` baseline (±5%).
 
 use crate::config::SimConfig;
+use crate::timeline::{EventKind, EVENT_KIND_COUNT, EVENT_KIND_LABELS};
 use serde::{Deserialize, Serialize};
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -473,6 +474,10 @@ pub struct TelemetryReport {
     pub step: PhaseSummary,
     /// Event counters for the run.
     pub counters: StepCounters,
+    /// Per-event-kind host-time summaries (event-driven runs only;
+    /// empty — and absent from JSON — for lockstep runs).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub events: Vec<PhaseSummary>,
 }
 
 impl TelemetryReport {
@@ -498,7 +503,12 @@ impl TelemetryReport {
             "{:<18} {:>6} {:>12} {:>10} {:>10} {:>10}\n",
             "phase", "count", "total(ms)", "p50(us)", "p95(us)", "p99(us)"
         );
-        for p in self.phases.iter().chain(std::iter::once(&self.step)) {
+        for p in self
+            .phases
+            .iter()
+            .chain(self.events.iter())
+            .chain(std::iter::once(&self.step))
+        {
             out.push_str(&format!(
                 "{:<18} {:>6} {:>12.2} {:>10.1} {:>10.1} {:>10.1}\n",
                 p.phase,
@@ -563,6 +573,7 @@ pub struct Telemetry {
     enabled: bool,
     phase_hist: [LatencyHistogram; Phase::COUNT],
     step_hist: LatencyHistogram,
+    event_hist: [LatencyHistogram; EVENT_KIND_COUNT],
     counters: StepCounters,
     sink: Option<BufWriter<File>>,
 }
@@ -590,6 +601,7 @@ impl Telemetry {
             enabled: enabled || sink.is_some(),
             phase_hist: Default::default(),
             step_hist: LatencyHistogram::default(),
+            event_hist: Default::default(),
             counters: StepCounters::default(),
             sink,
         }
@@ -676,6 +688,39 @@ impl Telemetry {
         }
     }
 
+    /// Starts an event-processing timer (event-driven mode); pair with
+    /// [`Telemetry::observe_event_since`]. `None` while disabled.
+    pub fn event_timer(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes an event timer into the per-kind histogram for `kind`.
+    pub fn observe_event_since(&mut self, kind: EventKind, start: Option<Instant>) {
+        if let Some(s) = start {
+            self.event_hist[kind.index()].observe(s.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Merges a probe that ran *between* steps (timer-driven cloud
+    /// syncs, late upload arrivals): counters accumulate and any timed
+    /// phase segments land in the phase histograms, but no step is
+    /// counted — step/active/sync accounting belongs to `end_step`.
+    pub fn absorb_probe(&mut self, probe: StepProbe) {
+        if !self.enabled {
+            return;
+        }
+        for (i, &ns) in probe.phase_ns.iter().enumerate() {
+            if ns > 0 {
+                self.phase_hist[i].observe(ns);
+            }
+        }
+        self.counters.merge(&probe.counters);
+    }
+
     /// Starts an out-of-step phase timer (e.g. evaluation inside
     /// `run`); pair with [`Telemetry::observe_since`].
     pub fn phase_timer(&self) -> Option<Instant> {
@@ -738,6 +783,13 @@ impl Telemetry {
                 .collect(),
             step: self.step_hist.summary("step"),
             counters: self.counters,
+            events: self
+                .event_hist
+                .iter()
+                .zip(EVENT_KIND_LABELS.iter())
+                .filter(|(h, _)| h.count() > 0)
+                .map(|(h, &label)| h.summary(label))
+                .collect(),
         })
     }
 }
@@ -875,6 +927,47 @@ mod tests {
         assert_eq!(c.uploads, 12);
         assert_eq!(c.dropout_drops, 0);
         assert_eq!(c.wan_outages, 0);
+    }
+
+    #[test]
+    fn event_histograms_and_absorbed_probes_surface_in_report() {
+        let mut tel = Telemetry::new(true, None);
+        let start = tel.event_timer();
+        assert!(start.is_some());
+        tel.observe_event_since(
+            EventKind::DeviceUpload {
+                edge: 0,
+                device: 1,
+                wave: 1,
+            },
+            start,
+        );
+        tel.observe_event_since(EventKind::CloudSync { timer: true }, tel.event_timer());
+        // A between-steps probe: counters land, no step is counted.
+        let mut probe = tel.begin_step();
+        probe.start();
+        probe.stop(Phase::CloudSync);
+        probe.uploads(2);
+        tel.absorb_probe(probe);
+        let report = tel.report().unwrap();
+        assert_eq!(report.counters.steps, 0);
+        assert_eq!(report.counters.uploads, 2);
+        assert_eq!(report.events.len(), 2);
+        assert!(report.events.iter().any(|e| e.phase == "device_upload"));
+        assert!(report.events.iter().any(|e| e.phase == "cloud_sync"));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        // Lockstep reports omit the events key entirely.
+        let lockstep = Telemetry::new(true, None).report().unwrap();
+        assert!(lockstep.events.is_empty());
+        assert!(!serde_json::to_string(&lockstep).unwrap().contains("events"));
+        // Disabled recorders absorb probes as no-ops.
+        let mut off = Telemetry::disabled();
+        assert!(off.event_timer().is_none());
+        let p = off.begin_step();
+        off.absorb_probe(p);
+        assert_eq!(off.counters().uploads, 0);
     }
 
     #[test]

@@ -14,7 +14,9 @@ use middle_core::{
     Simulation, SimulationBuilder, StepMode,
 };
 use middle_data::Task;
-use middle_nn::params::flatten;
+
+mod common;
+use common::sim_bits as bits;
 
 fn built(cfg: SimConfig) -> Simulation {
     SimulationBuilder::new(cfg).build().expect("valid config")
@@ -72,21 +74,6 @@ fn uniform_delay() -> FaultConfig {
         deadline_s: 1.0,
         ..FaultConfig::default()
     }
-}
-
-/// Whole-simulation fingerprint: cloud, every edge, every device.
-fn bits(sim: &Simulation) -> Vec<u32> {
-    let mut out: Vec<u32> = flatten(sim.cloud_model())
-        .iter()
-        .map(|v| v.to_bits())
-        .collect();
-    for e in sim.edges() {
-        out.extend(flatten(&e.model).iter().map(|v| v.to_bits()));
-    }
-    for d in sim.devices() {
-        out.extend(flatten(&d.model).iter().map(|v| v.to_bits()));
-    }
-    out
 }
 
 /// Runs paired simulations — one on the fused hot path, one on the

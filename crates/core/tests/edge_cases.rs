@@ -6,6 +6,7 @@
 use middle_core::aggregation::{cloud_aggregate, on_device_init};
 use middle_core::{
     Algorithm, MobilitySource, OnDevicePolicy, SimConfig, SimError, Simulation, SimulationBuilder,
+    StepMode,
 };
 use middle_data::Task;
 use middle_mobility::Trace;
@@ -272,4 +273,68 @@ fn availability_outside_range_is_rejected() {
     let mut cfg = tiny(Algorithm::middle());
     cfg.availability = 1.5;
     assert!(cfg.validate().is_err());
+}
+
+/// A sync fires while one edge has an empty cohort (every device pinned
+/// elsewhere): the policy hooks that wrap aggregation and sync must
+/// tolerate edges that never aggregated this round, and the broadcast
+/// must still retarget the idle edge. Exercised across the zoo's
+/// hook-bearing policies, stateful FedFly included.
+fn empty_cohort_edge_at_sync_survives_policy_hooks(mode: StepMode) {
+    for algorithm in [Algorithm::middle(), Algorithm::fedfly(), Algorithm::oort()] {
+        let name = algorithm.name.clone();
+        let mut cfg = tiny(algorithm);
+        cfg.num_devices = 6;
+        cfg.num_edges = 2;
+        cfg.steps = 4;
+        cfg.cloud_interval = 2; // syncs at steps 2 and 4
+        let trace = Trace::new(2, vec![vec![0; 6]; 4]);
+        let mut sim = built_with_trace(cfg, trace);
+        let edge1_before = flatten(&sim.edges()[1].model);
+        for t in 0..4 {
+            sim.advance(t, mode);
+        }
+        assert!(sim.syncs() >= 1, "{name}: no sync fired");
+        assert_ne!(
+            flatten(&sim.edges()[1].model),
+            edge1_before,
+            "{name}: sync broadcast never reached the empty-cohort edge"
+        );
+        let (acc, loss, _) = sim.evaluate(&sim.virtual_global());
+        assert!(
+            acc.is_finite() && loss.is_finite(),
+            "{name}: NaN after sync"
+        );
+    }
+}
+
+#[test]
+fn empty_cohort_edge_at_sync_survives_policy_hooks_fast() {
+    empty_cohort_edge_at_sync_survives_policy_hooks(StepMode::Fast);
+}
+
+#[test]
+fn empty_cohort_edge_at_sync_survives_policy_hooks_reference() {
+    empty_cohort_edge_at_sync_survives_policy_hooks(StepMode::Reference);
+}
+
+/// The fully-degenerate corner: *no* device anywhere trains (zero
+/// availability) yet the sync cadence still fires. Every cohort is
+/// empty at sync time; the run and its policy hooks must complete with
+/// finite metrics for a stateful policy too.
+#[test]
+fn all_cohorts_empty_at_sync_time_completes() {
+    for algorithm in [Algorithm::middle(), Algorithm::fedfly()] {
+        let name = algorithm.name.clone();
+        let mut cfg = tiny(algorithm);
+        cfg.availability = 0.0;
+        cfg.steps = 4;
+        cfg.cloud_interval = 2;
+        let record = built(cfg).run();
+        assert_eq!(record.active_steps, 0, "{name}: nothing should train");
+        assert!(
+            record.final_accuracy().is_finite(),
+            "{name}: metrics corrupted by empty-cohort syncs"
+        );
+    }
 }

@@ -21,6 +21,9 @@ use middle_tensor::ops::{cosine_similarity_slices, dot3_slices, dot_slices};
 use middle_tensor::random::rng;
 use proptest::prelude::*;
 
+mod common;
+use common::{bits, fnv, fnv_params};
+
 fn built(cfg: SimConfig) -> Simulation {
     SimulationBuilder::new(cfg).build().expect("valid config")
 }
@@ -361,20 +364,6 @@ fn oort_trace_is_bitwise_identical_to_reference() {
 /// the pre-fault-plane commit on that platform.
 #[test]
 fn default_fault_config_is_bitwise_identical_to_pre_fault_plane_main() {
-    fn fnv(h: &mut u64, bytes: &[u8]) {
-        for &b in bytes {
-            *h ^= b as u64;
-            *h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    fn fnv_params(flat: &[f32]) -> u64 {
-        let mut h = 0xcbf29ce484222325u64;
-        for v in flat {
-            fnv(&mut h, &v.to_bits().to_le_bytes());
-        }
-        h
-    }
-
     let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
     cfg.steps = 20;
     cfg.cloud_interval = 4;
@@ -435,20 +424,6 @@ fn default_fault_config_is_bitwise_identical_to_pre_fault_plane_main() {
 /// counter must equal its transfer count times `4 · param_count`.
 #[test]
 fn default_compression_config_is_bitwise_identical_to_pre_compression_main() {
-    fn fnv(h: &mut u64, bytes: &[u8]) {
-        for &b in bytes {
-            *h ^= b as u64;
-            *h = h.wrapping_mul(0x100000001b3);
-        }
-    }
-    fn fnv_params(flat: &[f32]) -> u64 {
-        let mut h = 0xcbf29ce484222325u64;
-        for v in flat {
-            fnv(&mut h, &v.to_bits().to_le_bytes());
-        }
-        h
-    }
-
     let mut cfg = SimConfig::tiny(DataTask::Mnist, Algorithm::middle());
     cfg.steps = 20;
     cfg.cloud_interval = 4;
@@ -630,8 +605,4 @@ fn lossy_compression_with_all_faults_is_bitwise_identical_to_reference() {
     assert_eq!(fast.syncs(), slow.syncs());
     assert_eq!(fast.comm_stats(), slow.comm_stats());
     assert_eq!(fast.active_steps(), slow.active_steps());
-}
-
-fn bits(v: &[f32]) -> Vec<u32> {
-    v.iter().map(|x| x.to_bits()).collect()
 }

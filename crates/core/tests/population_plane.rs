@@ -14,9 +14,8 @@ use middle_core::{
 use middle_data::Task;
 use middle_nn::params::flatten;
 
-fn bits(v: &[f32]) -> Vec<u32> {
-    v.iter().map(|x| x.to_bits()).collect()
-}
+mod common;
+use common::{assert_records_equal, bits};
 
 fn built(cfg: SimConfig) -> Simulation {
     SimulationBuilder::new(cfg).build().expect("valid config")
@@ -58,24 +57,6 @@ fn fingerprint(cfg: &SimConfig, mode: StepMode) -> (RunRecord, Vec<Vec<u32>>) {
     models.extend(sim.edges().iter().map(|e| bits(&flatten(&e.model))));
     models.extend((0..cfg.num_devices).map(|m| effective_device_bits(&sim, m)));
     (record, models)
-}
-
-fn assert_records_equal(dense: &RunRecord, lazy: &RunRecord) {
-    assert_eq!(dense.points.len(), lazy.points.len());
-    for (d, l) in dense.points.iter().zip(&lazy.points) {
-        assert_eq!(d.step, l.step);
-        assert_eq!(d.global_accuracy.to_bits(), l.global_accuracy.to_bits());
-        assert_eq!(d.global_loss.to_bits(), l.global_loss.to_bits());
-        assert_eq!(bits(&d.edge_accuracy), bits(&l.edge_accuracy));
-    }
-    assert_eq!(dense.comm, lazy.comm);
-    assert_eq!(dense.syncs, lazy.syncs);
-    assert_eq!(dense.active_steps, lazy.active_steps);
-    assert_eq!(
-        dense.empirical_mobility.to_bits(),
-        lazy.empirical_mobility.to_bits()
-    );
-    assert_eq!(dense.param_count, lazy.param_count);
 }
 
 fn assert_modes_equivalent(cfg: SimConfig, mode: StepMode) {

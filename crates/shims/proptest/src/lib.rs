@@ -50,6 +50,62 @@ pub trait Strategy: Sized {
     fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
         Map { inner: self, f }
     }
+
+    /// Uniformly permutes generated collections (mirrors the real
+    /// crate's `Strategy::prop_shuffle`).
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self::Value: Shuffleable,
+    {
+        Shuffle { inner: self }
+    }
+}
+
+/// A constant-value strategy, mirroring `proptest::strategy::Just`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collections [`Strategy::prop_shuffle`] can permute in place.
+pub trait Shuffleable {
+    /// Applies a uniform random permutation.
+    fn shuffle(&mut self, rng: &mut StdRng);
+}
+
+impl<T> Shuffleable for Vec<T> {
+    fn shuffle(&mut self, rng: &mut StdRng) {
+        use rand::Rng;
+        // Fisher–Yates; uniform given a uniform `gen_range`.
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
+
+/// The result of [`Strategy::prop_shuffle`].
+pub struct Shuffle<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for Shuffle<S>
+where
+    S::Value: Shuffleable,
+{
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        let mut value = self.inner.generate(rng);
+        value.shuffle(rng);
+        value
+    }
 }
 
 impl<T: rand::SampleUniform> Strategy for core::ops::Range<T> {
@@ -152,7 +208,7 @@ impl From<core::ops::RangeInclusive<usize>> for SizeRange {
 /// Everything a test module needs in scope.
 pub mod prelude {
     pub use crate::test_runner::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest, Just, Strategy};
 
     /// Mirrors the real prelude's `prop` module alias.
     pub mod prop {
@@ -297,6 +353,18 @@ mod tests {
         fn assume_skips(n in 0usize..10) {
             prop_assume!(n % 2 == 0);
             prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn just_is_constant(v in Just(vec![1u8, 2, 3])) {
+            prop_assert_eq!(v, vec![1u8, 2, 3]);
+        }
+
+        #[test]
+        fn shuffle_permutes(v in Just((0u32..16).collect::<Vec<_>>()).prop_shuffle()) {
+            let mut sorted = v.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0u32..16).collect::<Vec<_>>());
         }
     }
 

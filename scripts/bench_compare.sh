@@ -12,6 +12,13 @@
 #                           .[cell].peak_resident       lower is better
 #   BENCH_algos.json        every (algorithm, regime) cell present,
 #                           .final_accuracy             higher is better
+#   BENCH_async.json        every regime present; under the hostile
+#                           straggler regime every async point must
+#                           keep beating the lockstep wall-clock, and
+#                           best async .final_accuracy  higher is better
+#                           (accuracy gated only when baseline and
+#                           fresh run share a horizon — the committed
+#                           baseline is a full run, not --smoke)
 #
 # Tolerances (fractional, overridable for noisy runners):
 #   MIDDLE_BENCH_TOL_SPEEDUP   default 0.50  (fresh >= base * (1 - tol))
@@ -31,7 +38,7 @@ WORK="$(mktemp -d "${TMPDIR:-/tmp}/middle_bench_compare.XXXXXX")"
 trap 'rm -rf "$WORK"' EXIT
 
 echo "==> baselines from HEAD"
-for f in BENCH_sweep.json BENCH_train.json BENCH_scale_smoke.json BENCH_algos.json; do
+for f in BENCH_sweep.json BENCH_train.json BENCH_scale_smoke.json BENCH_algos.json BENCH_async.json; do
     # HEAD first; fall back to the staged copy so the gate works in the
     # commit that first introduces a baseline.
     if ! git show "HEAD:$f" >"$WORK/base_$f" 2>/dev/null \
@@ -41,7 +48,7 @@ for f in BENCH_sweep.json BENCH_train.json BENCH_scale_smoke.json BENCH_algos.js
     fi
 done
 
-echo "==> fresh smoke runs (sweep, train_kernels, scale_sweep, algos_sweep)"
+echo "==> fresh smoke runs (sweep, train_kernels, scale_sweep, algos_sweep, async_sweep)"
 cargo run -q -p middle-bench --release --bin sweep -- --smoke "$WORK/BENCH_sweep.json"
 # train_kernels reads the committed numbers from its out path before
 # overwriting it (its own internal smoke gate) — seed it with the
@@ -52,6 +59,7 @@ cargo run -q -p middle-bench --release --bin train_kernels -- --smoke "$WORK/BEN
 (cd "$WORK" && cargo run -q -p middle-bench --release \
     --manifest-path "$ROOT/Cargo.toml" --bin scale_sweep -- --smoke)
 cargo run -q -p middle-bench --release --bin algos_sweep -- --smoke "$WORK/BENCH_algos.json"
+cargo run -q -p middle-bench --release --bin async_sweep -- "$WORK/BENCH_async.json" --smoke
 
 echo "==> comparing gated metrics"
 WORK="$WORK" python3 - <<'PY'
@@ -126,6 +134,31 @@ for cell in algos_base["cells"]:
         failures.append(f"{label} (missing from fresh run)")
         continue
     gate_higher(f"{label}.final_accuracy", cell["final_accuracy"], fresh["final_accuracy"], tol_acc)
+
+async_base = load("BENCH_async.json", fresh=False)
+async_fresh = load("BENCH_async.json")
+fresh_regimes = {r["regime"]: r for r in async_fresh["regimes"]}
+for regime in async_base["regimes"]:
+    name = regime["regime"]
+    fresh = fresh_regimes.get(name)
+    if fresh is None:
+        failures.append(f"async.{name} (missing from fresh run)")
+        continue
+    best = lambda r: max(p["final_accuracy"] for p in r["async"])
+    if async_base.get("smoke") == async_fresh.get("smoke"):
+        gate_higher(f"async.{name}.best_final_accuracy", best(regime), best(fresh), tol_acc)
+    else:
+        # The committed baseline is a full-horizon run; accuracies from
+        # a smoke run are not comparable to it. The wall-domination
+        # check below is fresh-vs-fresh and still gates.
+        print(f"  async.{name}.best_final_accuracy          skipped (smoke vs full horizon)")
+    if name == "hostile_stragglers":
+        lock_wall = fresh["lockstep"]["wall_s"]
+        slow = [p["label"] for p in fresh["async"] if p["wall_s"] >= lock_wall]
+        verdict = "ok" if not slow else "REGRESSED"
+        print(f"  {'async.hostile.wall_domination':<42} lock {lock_wall:8.1f}  {verdict}")
+        if slow:
+            failures.append(f"async.{name}.wall_domination ({', '.join(slow)})")
 
 if failures:
     print(f"\nbench_compare: {len(failures)} gated metric(s) regressed beyond tolerance:")

@@ -86,6 +86,12 @@ if [[ "$CI" -eq 1 ]]; then
     echo "==> algorithm-zoo smoke run (zoo x {clean,hostile}, writes BENCH_algos.json)"
     cargo run -q -p middle-bench --release --bin algos_sweep -- --smoke
 
+    # Unlike the other bench baselines, the committed BENCH_async.json
+    # is a *full* run (the dominance gate needs the real horizon), so
+    # the smoke run writes to target/ instead of overwriting it.
+    echo "==> async-timeline smoke run (lockstep vs event-driven Pareto, writes target/BENCH_async_smoke.json)"
+    cargo run -q -p middle-bench --release --bin async_sweep -- target/BENCH_async_smoke.json --smoke
+
     echo "==> fleet smoke (3 workers, SIGKILL one, bitwise merge vs serial)"
     scripts/fleet_smoke.sh
 

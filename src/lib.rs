@@ -30,8 +30,9 @@ pub use middle_tensor as tensor;
 pub mod prelude {
     pub use middle_core::{
         Algorithm, AlgorithmConfig, AlgorithmPolicy, AlgorithmState, CompressionConfig, DelayModel,
-        DropoutModel, FaultConfig, MobilitySource, MoveAction, OnDevicePolicy, PopulationMode,
-        RunRecord, SelectionPolicy, SimConfig, SimError, Simulation, SimulationBuilder, StepMode,
+        DropoutModel, ExecutionMode, FaultConfig, LatencyModel, MobilitySource, MoveAction,
+        OnDevicePolicy, PopulationMode, RunRecord, SelectionPolicy, SimConfig, SimError,
+        Simulation, SimulationBuilder, StepMode, TimelineConfig,
     };
     pub use middle_data::{Scheme, Task};
     pub use middle_mobility::Trace;
